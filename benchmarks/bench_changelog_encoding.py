@@ -1,0 +1,52 @@
+"""Retraction vs upsert changelog encodings (Appendix B.2.3).
+
+Flink encodes relation changes either as retraction streams (general)
+or upsert streams (needs a unique key, but encodes an UPDATE as one
+message instead of two).  This bench re-encodes a windowed aggregate's
+changelog both ways and asserts the space saving, then times the
+conversions.
+"""
+
+import pytest
+
+from repro import StreamEngine
+from repro.core.changelog import to_upserts, upserts_to_changes
+from repro.nexmark.queries import q7_highest_bid
+
+AGG = (
+    "SELECT TB.wend, COUNT(*) c, MAX(TB.price) m FROM Tumble("
+    "data => TABLE(Bid), timecol => DESCRIPTOR(bidtime), "
+    "dur => INTERVAL '10' SECONDS) TB GROUP BY TB.wend"
+)
+
+
+@pytest.fixture(scope="module")
+def retraction_changelog(nexmark):
+    engine = StreamEngine()
+    nexmark.register_on(engine)
+    return engine.query(AGG).run().changes
+
+
+def test_upsert_encoding_is_smaller(benchmark, retraction_changelog):
+    # wend (column 0) is the aggregate's unique key
+    upserts = benchmark(lambda: to_upserts(retraction_changelog, [0]))
+    n_updates = sum(1 for c in retraction_changelog if c.is_retract)
+    assert n_updates > 0
+    # every retract+insert pair fused into one UPSERT message
+    assert len(upserts) == len(retraction_changelog) - n_updates
+
+
+def test_upsert_round_trip(benchmark, retraction_changelog):
+    from collections import Counter
+
+    def round_trip():
+        return upserts_to_changes(to_upserts(retraction_changelog, [0]))
+
+    decoded = benchmark(round_trip)
+    original_state = Counter()
+    for change in retraction_changelog:
+        original_state[change.values] += change.delta
+    decoded_state = Counter()
+    for change in decoded:
+        decoded_state[change.values] += change.delta
+    assert +original_state == +decoded_state

@@ -1,0 +1,68 @@
+"""Checkpoint/recovery costs (Appendix B.2.1).
+
+Measures checkpoint size and take/restore time for NEXMark Q7 state,
+and asserts the defining recovery property: restored + replayed equals
+uninterrupted.
+"""
+
+import pytest
+
+from repro import StreamEngine
+from repro.core.times import seconds
+from repro.nexmark import NexmarkConfig, generate
+from repro.nexmark.queries import q7_highest_bid
+
+SQL = q7_highest_bid(seconds(10))
+
+
+@pytest.fixture(scope="module")
+def setup():
+    streams = generate(NexmarkConfig(num_events=2_000, seed=8))
+    engine = StreamEngine()
+    streams.register_on(engine)
+    events = []
+    for idx, name in enumerate(["Person", "Auction", "Bid"]):
+        for i, event in enumerate(engine.source(name).events()):
+            events.append((event.ptime, idx, i, event, name))
+    events.sort(key=lambda item: (item[0], item[1], item[2]))
+    query = engine.query(SQL)
+    half = query.dataflow()
+    cut = len(events) // 2
+    for _, _, _, event, name in events[:cut]:
+        half.process(event, name)
+    return engine, query, events, cut, half
+
+
+def test_checkpoint_take(benchmark, setup):
+    _, _, _, _, half = setup
+    blob = benchmark(half.checkpoint)
+    assert len(blob) > 100
+
+
+def test_checkpoint_restore(benchmark, setup):
+    _, query, _, _, half = setup
+    blob = half.checkpoint()
+
+    def restore():
+        flow = query.dataflow()
+        flow.restore(blob)
+        return flow
+
+    flow = benchmark(restore)
+    assert flow.total_state_rows() == half.total_state_rows()
+
+
+def test_recovery_end_to_end(benchmark, setup):
+    engine, query, events, cut, half = setup
+    blob = half.checkpoint()
+    reference = query.run()
+
+    def recover_and_finish():
+        flow = query.dataflow()
+        flow.restore(blob)
+        for _, _, _, event, name in events[cut:]:
+            flow.process(event, name)
+        return flow.finish()
+
+    result = benchmark(recover_and_finish)
+    assert result.changes == reference.changes

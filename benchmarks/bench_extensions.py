@@ -1,0 +1,193 @@
+"""Benchmarks for the Section-8 future-work features we implement.
+
+Session windows, tail-of-stream temporal filters, AS OF temporal joins,
+and MATCH_RECOGNIZE — each timed end to end on synthetic workloads and
+asserted for correctness.
+"""
+
+import random
+
+import pytest
+
+from repro import StreamEngine
+from repro.core.schema import (
+    Schema,
+    float_col,
+    int_col,
+    string_col,
+    timestamp_col,
+)
+from repro.core.times import minutes, seconds, t
+from repro.core.tvr import TimeVaryingRelation
+
+N = 2_000
+
+
+def _engine_with(name, tvr):
+    engine = StreamEngine()
+    engine.register_stream(name, tvr)
+    return engine
+
+
+@pytest.fixture(scope="module")
+def activity_stream():
+    """Bursty per-user activity for session windows."""
+    schema = Schema(
+        [int_col("user"), timestamp_col("at", event_time=True), int_col("n")]
+    )
+    rng = random.Random(5)
+    tvr = TimeVaryingRelation(schema)
+    now = t("9:00")
+    for i in range(N):
+        now += rng.choice([seconds(1), seconds(2), minutes(6)])
+        tvr.insert(now, (rng.randrange(20), now, i))
+        if i % 50 == 49:
+            tvr.advance_watermark(now, now - seconds(5))
+    tvr.advance_watermark(now + 1, now + minutes(60))
+    return tvr
+
+
+def test_session_windows(benchmark, activity_stream):
+    engine = _engine_with("Act", activity_stream)
+    sql = """
+    SELECT SB.user, SB.wstart, SB.wend, COUNT(*) AS events
+    FROM Session(data => TABLE(Act), timecol => DESCRIPTOR(at),
+                 gap => INTERVAL '3' MINUTES,
+                 keycol => DESCRIPTOR(user)) SB
+    GROUP BY SB.wend, SB.user
+    """
+    rel = benchmark(lambda: engine.query(sql).table())
+    assert len(rel) > 10
+    # sessions never overlap per user
+    by_user: dict = {}
+    for user, wstart, wend, _ in rel.tuples:
+        by_user.setdefault(user, []).append((wstart, wend))
+    for spans in by_user.values():
+        spans.sort()
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+
+def test_tail_of_stream_filter(benchmark, activity_stream):
+    engine = _engine_with("Act", activity_stream)
+    sql = (
+        "SELECT COUNT(*) c FROM Act "
+        "WHERE at > CURRENT_TIME - INTERVAL '5' MINUTES"
+    )
+
+    def run():
+        return engine.query(sql).run()
+
+    result = benchmark(run)
+    # rows both enter and leave: the changelog has retractions
+    assert any(c.is_retract for c in result.changes)
+
+
+@pytest.fixture(scope="module")
+def orders_and_rates():
+    order_schema = Schema(
+        [
+            int_col("id"),
+            string_col("ccy"),
+            int_col("amount"),
+            timestamp_col("at", event_time=True),
+        ]
+    )
+    rate_schema = Schema(
+        [
+            string_col("ccy"),
+            float_col("rate"),
+            timestamp_col("at", event_time=True),
+        ]
+    )
+    rng = random.Random(9)
+    orders = TimeVaryingRelation(order_schema)
+    rates = TimeVaryingRelation(rate_schema)
+    now = t("9:00")
+    for i in range(20):
+        rates.insert(now + i, ("EUR", 1.0 + i / 100, t("9:00") + i * minutes(5)))
+        rates.insert(now + i, ("GBP", 0.8 + i / 100, t("9:00") + i * minutes(5)))
+    rates.advance_watermark(now + 100, t("23:00"))
+    ptime = now + 200
+    max_seen = 0
+    for i in range(N):
+        ptime += 10
+        order_time = t("9:00") + rng.randrange(95) * minutes(1)
+        max_seen = max(max_seen, order_time)
+        orders.insert(
+            ptime, (i, rng.choice(["EUR", "GBP"]), rng.randrange(100), order_time)
+        )
+        if i % 100 == 99:
+            # sound bounded-out-of-orderness watermark
+            orders.advance_watermark(ptime, max_seen - minutes(95))
+    orders.advance_watermark(ptime + 1, t("23:00"))
+    return orders, rates
+
+
+def test_temporal_as_of_join(benchmark, orders_and_rates):
+    orders, rates = orders_and_rates
+    engine = StreamEngine()
+    engine.register_stream("Orders", orders)
+    engine.register_stream("Rates", rates)
+    sql = """
+    SELECT O.id, O.amount, R.rate
+    FROM Orders O
+    JOIN Rates FOR SYSTEM_TIME AS OF O.at R ON O.ccy = R.ccy
+    """
+    rel = benchmark(lambda: engine.query(sql).table())
+    assert len(rel) == N  # every order finds a version
+
+
+def test_over_window_throughput(benchmark, activity_stream):
+    engine = _engine_with("Act", activity_stream)
+    sql = (
+        "SELECT user, n, SUM(n) OVER (PARTITION BY user ORDER BY at "
+        "ROWS BETWEEN 9 PRECEDING AND CURRENT ROW) AS running FROM Act"
+    )
+    rel = benchmark(lambda: engine.query(sql).table())
+    assert len(rel) > 0
+
+
+def test_semi_join_throughput(benchmark, activity_stream):
+    engine = _engine_with("Act", activity_stream)
+    engine.register_table(
+        "VIP",
+        Schema([int_col("uid")]),
+        [(i,) for i in range(0, 20, 3)],
+    )
+    sql = "SELECT n FROM Act WHERE user IN (SELECT uid FROM VIP)"
+    rel = benchmark(lambda: engine.query(sql).table())
+    assert 0 < len(rel) < N
+
+
+def test_match_recognize_throughput(benchmark):
+    schema = Schema(
+        [
+            string_col("ticker"),
+            timestamp_col("ts", event_time=True),
+            int_col("price"),
+        ]
+    )
+    rng = random.Random(3)
+    tvr = TimeVaryingRelation(schema)
+    now = t("9:00")
+    for i in range(N):
+        now += 1000
+        tvr.insert(now, (rng.choice(["A", "B", "C"]), now, rng.randrange(80, 120)))
+        if i % 40 == 39:
+            tvr.advance_watermark(now, now - 5000)
+    tvr.advance_watermark(now + 1, now + minutes(60))
+    engine = _engine_with("Ticks", tvr)
+    sql = """
+    SELECT * FROM Ticks MATCH_RECOGNIZE (
+      PARTITION BY ticker ORDER BY ts
+      MEASURES FIRST(DOWN.price) AS top, LAST(DOWN.price) AS bottom,
+               UP.price AS up
+      PATTERN ( DOWN DOWN+ UP )
+      DEFINE DOWN AS price < 100, UP AS price >= 100
+    )
+    """
+    rel = benchmark(lambda: engine.query(sql).table())
+    assert len(rel) > 0
+    for _, top, bottom, up in rel.tuples:
+        assert bottom < 100 <= up

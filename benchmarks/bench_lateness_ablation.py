@@ -1,0 +1,78 @@
+"""Ablation: allowed lateness vs dropped rows vs retained state.
+
+Extension 2 notes that "a configurable amount of allowed lateness is
+often needed" in practice.  This bench quantifies the trade-off on a
+workload with heavy disorder: more lateness → fewer dropped rows but
+more retained state, with zero lateness as the baseline.
+"""
+
+import random
+
+import pytest
+
+from repro import StreamEngine
+from repro.core.schema import Schema, int_col, timestamp_col
+from repro.core.times import seconds, t
+from repro.core.tvr import TimeVaryingRelation
+
+SCHEMA = Schema([timestamp_col("ts", event_time=True), int_col("v")])
+
+SQL = (
+    "SELECT TB.wend, COUNT(*) c FROM Tumble(data => TABLE(S), "
+    "timecol => DESCRIPTOR(ts), dur => INTERVAL '10' SECONDS) TB "
+    "GROUP BY TB.wend"
+)
+
+
+@pytest.fixture(scope="module")
+def disordered_stream():
+    """A stream whose disorder regularly exceeds its watermark slack."""
+    rng = random.Random(13)
+    tvr = TimeVaryingRelation(SCHEMA)
+    ptime = t("9:00")
+    max_seen = 0
+    for i in range(3_000):
+        ptime += 100
+        event = ptime - rng.randrange(0, seconds(30))  # up to 30s late
+        tvr.insert(ptime, (event, i))
+        max_seen = max(max_seen, event)
+        if i % 20 == 19:
+            # the watermark only allows 5s of slack: genuinely late data
+            tvr.advance_watermark(ptime, max_seen - seconds(5))
+    return tvr
+
+
+def run_with_lateness(stream, lateness):
+    engine = StreamEngine()
+    engine.register_stream("S", stream)
+    dataflow = engine.query(SQL, allowed_lateness=lateness).dataflow()
+    result = dataflow.run()
+    return result
+
+
+def test_zero_lateness_baseline(benchmark, disordered_stream):
+    result = benchmark(lambda: run_with_lateness(disordered_stream, 0))
+    assert result.late_dropped > 0
+
+
+def test_generous_lateness_drops_nothing(benchmark, disordered_stream):
+    result = benchmark(
+        lambda: run_with_lateness(disordered_stream, seconds(60))
+    )
+    assert result.late_dropped == 0
+
+
+def test_lateness_tradeoff_curve(benchmark, disordered_stream):
+    def curve():
+        return {
+            lateness: run_with_lateness(disordered_stream, lateness)
+            for lateness in (0, seconds(5), seconds(15), seconds(60))
+        }
+
+    results = benchmark(curve)
+    drops = [results[k].late_dropped for k in sorted(results)]
+    states = [results[k].peak_state_rows for k in sorted(results)]
+    # more lateness: monotonically fewer drops, no less state
+    assert drops == sorted(drops, reverse=True)
+    assert drops[-1] == 0
+    assert states[0] <= states[-1]

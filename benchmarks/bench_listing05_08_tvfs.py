@@ -1,0 +1,55 @@
+"""Listings 5-8: the Tumble and Hop windowing TVFs and their GROUP BYs."""
+
+from conftest import fresh_paper_engine, row
+
+from repro.core.times import t
+
+TUMBLE = (
+    "SELECT * FROM Tumble(data => TABLE(Bid), "
+    "timecol => DESCRIPTOR(bidtime), dur => INTERVAL '10' MINUTES, "
+    "offset => INTERVAL '0' MINUTES)"
+)
+TUMBLE_GROUP = (
+    "SELECT TB.wend, MAX(TB.price) maxPrice FROM Tumble(data => TABLE(Bid), "
+    "timecol => DESCRIPTOR(bidtime), dur => INTERVAL '10' MINUTES) TB "
+    "GROUP BY TB.wend"
+)
+HOP = (
+    "SELECT * FROM Hop(data => TABLE(Bid), timecol => DESCRIPTOR(bidtime), "
+    "dur => INTERVAL '10' MINUTES, hopsize => INTERVAL '5' MINUTES)"
+)
+HOP_GROUP = (
+    "SELECT HB.wend, MAX(HB.price) maxPrice FROM Hop(data => TABLE(Bid), "
+    "timecol => DESCRIPTOR(bidtime), dur => INTERVAL '10' MINUTES, "
+    "hopsize => INTERVAL '5' MINUTES) HB GROUP BY HB.wend"
+)
+
+
+def test_listing05_tumble(benchmark):
+    rel = benchmark(lambda: fresh_paper_engine().query(TUMBLE).table(at="8:21"))
+    assert len(rel) == 6
+    assert row("8:00", "8:10", "8:07", 2, "A") in set(rel.tuples)
+
+
+def test_listing06_tumble_group_by(benchmark):
+    rel = benchmark(
+        lambda: fresh_paper_engine().query(TUMBLE_GROUP).table(at="8:21")
+    )
+    assert rel.sorted(["wend"]).tuples == [(t("8:10"), 5), (t("8:20"), 6)]
+
+
+def test_listing07_hop(benchmark):
+    rel = benchmark(lambda: fresh_paper_engine().query(HOP).table(at="8:21"))
+    assert len(rel) == 12  # every bid lands in exactly two windows
+
+
+def test_listing08_hop_group_by(benchmark):
+    rel = benchmark(
+        lambda: fresh_paper_engine().query(HOP_GROUP).table(at="8:21")
+    )
+    assert rel.sorted(["wend"]).tuples == [
+        (t("8:10"), 5),
+        (t("8:15"), 5),
+        (t("8:20"), 6),
+        (t("8:25"), 6),
+    ]

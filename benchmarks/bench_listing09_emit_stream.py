@@ -1,0 +1,24 @@
+"""Listing 9: EMIT STREAM — the changelog rendering with undo/ptime/ver."""
+
+from conftest import fresh_paper_engine, stream_row
+
+from repro.nexmark.queries import q7_paper
+
+
+def test_listing09_emit_stream(benchmark):
+    engine = fresh_paper_engine()
+    query = engine.query(q7_paper(emit="EMIT STREAM"))
+    query.run()
+
+    out = benchmark(lambda: query.stream(until="8:21"))
+
+    assert [c.as_tuple() for c in out] == [
+        stream_row("8:00", "8:10", "8:07", 2, "A", "", "8:08", 0),
+        stream_row("8:10", "8:20", "8:11", 3, "B", "", "8:12", 0),
+        stream_row("8:00", "8:10", "8:07", 2, "A", "undo", "8:13", 1),
+        stream_row("8:00", "8:10", "8:05", 4, "C", "", "8:13", 2),
+        stream_row("8:00", "8:10", "8:05", 4, "C", "undo", "8:15", 3),
+        stream_row("8:00", "8:10", "8:09", 5, "D", "", "8:15", 4),
+        stream_row("8:10", "8:20", "8:11", 3, "B", "undo", "8:18", 1),
+        stream_row("8:10", "8:20", "8:17", 6, "F", "", "8:18", 2),
+    ]

@@ -1,0 +1,36 @@
+"""Listings 10-12: EMIT AFTER WATERMARK table views at 8:13/8:16/8:21.
+
+Completeness-delayed materialization: the table shows a window's row
+only once the watermark proves no more input can arrive for it.
+"""
+
+import pytest
+from conftest import fresh_paper_engine, row
+
+from repro.nexmark.queries import q7_paper
+
+
+@pytest.fixture(scope="module")
+def query():
+    engine = fresh_paper_engine()
+    prepared = engine.query(q7_paper(emit="EMIT AFTER WATERMARK"))
+    prepared.run()
+    return prepared
+
+
+def test_listing10_incomplete_at_813(benchmark, query):
+    rel = benchmark(lambda: query.table(at="8:13"))
+    assert rel.tuples == []
+
+
+def test_listing11_first_window_final_at_816(benchmark, query):
+    rel = benchmark(lambda: query.table(at="8:16"))
+    assert rel.tuples == [row("8:00", "8:10", "8:09", 5, "D")]
+
+
+def test_listing12_both_windows_final_at_821(benchmark, query):
+    rel = benchmark(lambda: query.table(at="8:21").sorted(["wstart"]))
+    assert rel.tuples == [
+        row("8:00", "8:10", "8:09", 5, "D"),
+        row("8:10", "8:20", "8:17", 6, "F"),
+    ]

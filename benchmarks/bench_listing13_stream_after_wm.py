@@ -1,0 +1,19 @@
+"""Listing 13: EMIT STREAM AFTER WATERMARK — one final row per window,
+stamped at the instant the watermark passed the window end."""
+
+from conftest import fresh_paper_engine, stream_row
+
+from repro.nexmark.queries import q7_paper
+
+
+def test_listing13_stream_after_watermark(benchmark):
+    engine = fresh_paper_engine()
+    query = engine.query(q7_paper(emit="EMIT STREAM AFTER WATERMARK"))
+    query.run()
+
+    out = benchmark(lambda: query.stream(until="8:21"))
+
+    assert [c.as_tuple() for c in out] == [
+        stream_row("8:00", "8:10", "8:09", 5, "D", "", "8:16", 0),
+        stream_row("8:10", "8:20", "8:17", 6, "F", "", "8:21", 0),
+    ]

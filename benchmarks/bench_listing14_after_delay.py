@@ -1,0 +1,23 @@
+"""Listing 14: EMIT STREAM AFTER DELAY '6' MINUTES — periodic
+materialization that coalesces each window's updates per delay period."""
+
+from conftest import fresh_paper_engine, stream_row
+
+from repro.nexmark.queries import q7_paper
+
+
+def test_listing14_after_delay(benchmark):
+    engine = fresh_paper_engine()
+    query = engine.query(
+        q7_paper(emit="EMIT STREAM AFTER DELAY INTERVAL '6' MINUTES")
+    )
+    query.run()
+
+    out = benchmark(lambda: query.stream(until="8:21"))
+
+    assert [c.as_tuple() for c in out] == [
+        stream_row("8:00", "8:10", "8:05", 4, "C", "", "8:14", 0),
+        stream_row("8:10", "8:20", "8:17", 6, "F", "", "8:18", 0),
+        stream_row("8:00", "8:10", "8:05", 4, "C", "undo", "8:21", 1),
+        stream_row("8:00", "8:10", "8:09", 5, "D", "", "8:21", 2),
+    ]

@@ -1,0 +1,75 @@
+"""The "torrents of updates" experiment (Section 5 lesson).
+
+For a high-throughput stream, continuously materializing every derived
+update is very expensive; the EMIT materialization delays exist to
+bound that volume.  This bench measures the changelog cardinality of
+the same windowed aggregation under the four materialization modes and
+asserts the paper's qualitative ordering::
+
+    AFTER WATERMARK  <=  AFTER DELAY (long)  <=  AFTER DELAY (short)
+                     <=  instantaneous EMIT STREAM
+"""
+
+import pytest
+
+from repro import StreamEngine
+from repro.core.times import seconds
+from repro.nexmark.queries import q7_highest_bid
+
+BASE = None  # filled per-fixture
+
+AGG = (
+    "SELECT TB.wend, COUNT(*) c, MAX(TB.price) m FROM Tumble("
+    "data => TABLE(Bid), timecol => DESCRIPTOR(bidtime), "
+    "dur => INTERVAL '10' SECONDS) TB GROUP BY TB.wend"
+)
+
+
+@pytest.fixture(scope="module")
+def engine(nexmark):
+    eng = StreamEngine()
+    nexmark.register_on(eng)
+    return eng
+
+
+def volume(engine, emit):
+    return len(engine.query(AGG + " " + emit).stream())
+
+
+def test_update_volume_ordering(benchmark, engine):
+    volumes = benchmark(
+        lambda: {
+            "stream": volume(engine, "EMIT STREAM"),
+            "delay_short": volume(
+                engine, "EMIT STREAM AFTER DELAY INTERVAL '2' SECONDS"
+            ),
+            "delay_long": volume(
+                engine, "EMIT STREAM AFTER DELAY INTERVAL '30' SECONDS"
+            ),
+            "watermark": volume(engine, "EMIT STREAM AFTER WATERMARK"),
+        }
+    )
+    assert volumes["watermark"] <= volumes["delay_long"]
+    assert volumes["delay_long"] <= volumes["delay_short"]
+    assert volumes["delay_short"] <= volumes["stream"]
+    # the coalescing must be material, not incidental: the instantaneous
+    # changelog re-emits per input record, the watermark rendering emits
+    # one row per window
+    assert volumes["stream"] > 3 * volumes["watermark"]
+
+
+def test_instantaneous_stream(benchmark, engine):
+    n = benchmark(lambda: volume(engine, "EMIT STREAM"))
+    assert n > 0
+
+
+def test_after_watermark_stream(benchmark, engine):
+    n = benchmark(lambda: volume(engine, "EMIT STREAM AFTER WATERMARK"))
+    assert n > 0
+
+
+def test_after_delay_stream(benchmark, engine):
+    n = benchmark(
+        lambda: volume(engine, "EMIT STREAM AFTER DELAY INTERVAL '5' SECONDS")
+    )
+    assert n > 0

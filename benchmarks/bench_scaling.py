@@ -1,0 +1,52 @@
+"""Throughput scaling: events/second across workload sizes.
+
+Confirms the engine's per-event cost stays flat (linear total time) as
+the NEXMark workload grows, for a stateless query and for the windowed
+Q7 pipeline — i.e. watermark-driven state cleanup keeps per-event work
+independent of history length.
+"""
+
+import time
+
+import pytest
+
+from repro import StreamEngine
+from repro.core.times import seconds
+from repro.nexmark import NexmarkConfig, generate
+from repro.nexmark.queries import Q0_PASSTHROUGH, q7_highest_bid
+
+
+def _run(num_events, sql):
+    streams = generate(NexmarkConfig(num_events=num_events, seed=17))
+    engine = StreamEngine()
+    streams.register_on(engine)
+    dataflow = engine.query(sql).dataflow()
+    dataflow.run()
+    return dataflow
+
+
+@pytest.mark.parametrize("num_events", [1_000, 4_000])
+def test_passthrough_scaling(benchmark, num_events):
+    dataflow = benchmark(lambda: _run(num_events, Q0_PASSTHROUGH))
+    assert dataflow.result().last_ptime > 0
+
+
+@pytest.mark.parametrize("num_events", [1_000, 4_000])
+def test_q7_scaling(benchmark, num_events):
+    dataflow = benchmark(lambda: _run(num_events, q7_highest_bid(seconds(10))))
+    # state stays bounded regardless of workload size
+    assert dataflow.result().peak_state_rows < 2_000
+
+
+def test_per_event_cost_is_flat():
+    """Quadruple the events → roughly quadruple the time (no blowup)."""
+    sql = q7_highest_bid(seconds(10))
+    t0 = time.perf_counter()
+    _run(1_000, sql)
+    small = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    _run(4_000, sql)
+    large = time.perf_counter() - t0
+    # allow generous headroom for noise: 4x work should cost < 12x time
+    assert large < max(12 * small, large)  # sanity guard, never flaky
+    assert large / small < 12

@@ -1,0 +1,58 @@
+"""SQL front-end costs: tokenize, parse, plan, optimize for Listing 2."""
+
+import pytest
+
+from repro.core.schema import Schema, int_col, string_col, timestamp_col
+from repro.plan.optimizer import optimize
+from repro.plan.planner import Catalog, Planner
+from repro.nexmark.model import PAPER_BID_SCHEMA
+from repro.nexmark.queries import q7_paper
+from repro.sql.functions import default_registry
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse
+
+
+@pytest.fixture(scope="module")
+def planner():
+    catalog = Catalog()
+    catalog.register("Bid", PAPER_BID_SCHEMA, bounded=False)
+    return Planner(catalog, default_registry())
+
+
+SQL = q7_paper(emit="EMIT STREAM AFTER WATERMARK")
+
+
+def test_tokenize(benchmark):
+    tokens = benchmark(lambda: tokenize(SQL))
+    assert len(tokens) > 50
+
+
+def test_parse(benchmark):
+    stmt = benchmark(lambda: parse(SQL))
+    assert stmt.emit is not None
+
+
+def test_plan(benchmark, planner):
+    plan = benchmark(lambda: planner.plan_sql(SQL))
+    assert plan.schema.column_names() == [
+        "wstart", "wend", "bidtime", "price", "item",
+    ]
+
+
+def test_optimize(benchmark, planner):
+    plan = planner.plan_sql(SQL)
+    optimized = benchmark(lambda: optimize(plan))
+    # the optimizer recognized the windowed join and derived expiry
+    from repro.plan.logical import JoinNode
+
+    def find_join(node):
+        if isinstance(node, JoinNode):
+            return node
+        for child in node.inputs:
+            found = find_join(child)
+            if found is not None:
+                return found
+        return None
+
+    join = find_join(optimized.root)
+    assert join is not None and join.expire_left is not None

@@ -1,0 +1,53 @@
+"""A real-time auction dashboard over generated NEXMark traffic.
+
+Scenario from Section 3.3.2 of the paper: "for a real-time dashboard
+viewed by a human operator, updates on the order of seconds are
+probably sufficient".  We run a per-window hot-items aggregation over
+5,000 generated auction events and compare the update volume a
+dashboard consumer would see under the three materialization modes —
+then render the final dashboard table.
+
+Run with::
+
+    python examples/auction_dashboard.py
+"""
+
+from repro import StreamEngine
+from repro.nexmark import NexmarkConfig, generate
+
+streams = generate(NexmarkConfig(num_events=5_000, seed=11))
+engine = StreamEngine()
+streams.register_on(engine)
+
+DASHBOARD = """
+SELECT TB.wend, TB.auction, COUNT(*) AS bids, MAX(TB.price) AS top
+FROM Tumble(
+  data    => TABLE(Bid),
+  timecol => DESCRIPTOR(bidtime),
+  dur     => INTERVAL '30' SECONDS) TB
+GROUP BY TB.wend, TB.auction
+"""
+
+raw = engine.query(DASHBOARD + " EMIT STREAM").stream()
+periodic = engine.query(
+    DASHBOARD + " EMIT STREAM AFTER DELAY INTERVAL '5' SECONDS"
+).stream()
+final_only = engine.query(DASHBOARD + " EMIT STREAM AFTER WATERMARK").stream()
+
+print("Updates pushed to the dashboard consumer per materialization mode:")
+print(f"  instantaneous (EMIT STREAM):          {len(raw):>6} updates")
+print(f"  periodic (AFTER DELAY '5' SECONDS):   {len(periodic):>6} updates")
+print(f"  final-only (AFTER WATERMARK):         {len(final_only):>6} updates")
+reduction = 100 * (1 - len(periodic) / len(raw))
+print(f"  -> periodic delay removed {reduction:.0f}% of the update torrent\n")
+
+print("Top-5 busiest (window, auction) cells on the finished dashboard:")
+top = engine.query(
+    DASHBOARD.replace("GROUP BY", "GROUP BY")  # same query, table rendering
+    + " ORDER BY bids DESC LIMIT 5"
+)
+print(top.table().to_table())
+
+result = engine.query(DASHBOARD).run()
+print(f"\nlate events dropped (Extension 2): {result.late_dropped}")
+print(f"peak operator state (rows):        {result.peak_state_rows}")

@@ -1,0 +1,74 @@
+"""Change-data-capture input: a TVR that retracts and updates.
+
+Streams are not always append-only: a CDC feed from an operational
+database carries INSERTs *and* DELETEs — precisely the changelog
+encoding of a time-varying relation (Section 3.3.1).  Because every
+operator here is retraction-correct, the same SQL works unchanged: the
+revenue aggregate below tracks order updates and cancellations, and the
+EMIT STREAM rendering shows the bookkeeping.
+
+Run with::
+
+    python examples/cdc_orders.py
+"""
+
+from repro import (
+    Schema,
+    StreamEngine,
+    TimeVaryingRelation,
+    fmt_time,
+    int_col,
+    string_col,
+    t,
+    timestamp_col,
+)
+
+orders = TimeVaryingRelation(
+    Schema(
+        [
+            int_col("id"),
+            string_col("status"),
+            int_col("amount"),
+            timestamp_col("placed", event_time=True),
+        ]
+    )
+)
+
+# a CDC tail: inserts, an update (delete+insert), and a cancellation
+orders.insert(t("9:00"), (1, "open", 100, t("9:00")))
+orders.insert(t("9:01"), (2, "open", 250, t("9:01")))
+orders.retract(t("9:05"), (1, "open", 100, t("9:00")))      # update:
+orders.insert(t("9:05"), (1, "open", 120, t("9:00")))       #   100 -> 120
+orders.insert(t("9:06"), (3, "open", 80, t("9:06")))
+orders.retract(t("9:10"), (2, "open", 250, t("9:01")))      # cancelled
+orders.advance_watermark(t("9:30"), t("9:29"))
+
+engine = StreamEngine()
+engine.register_stream("Orders", orders)
+
+REVENUE = "SELECT COUNT(*) AS open_orders, SUM(amount) AS revenue FROM Orders"
+
+print("== revenue over time (the aggregate follows the CDC feed) ==")
+query = engine.query(REVENUE)
+for at in ("9:02", "9:05", "9:10"):
+    (count, revenue), = query.table(at=at).tuples
+    print(f"  at {at}: {count} open orders, ${revenue} expected revenue")
+
+print("\n== the changelog the dashboard consumer would see ==")
+for change in engine.query(REVENUE + " EMIT STREAM").stream():
+    marker = "undo " if change.undo else "     "
+    print(f"  [{fmt_time(change.ptime)}] {marker}{change.values}")
+
+# updates/cancellations flow through joins and windows identically
+BIG = (
+    "SELECT id, amount FROM Orders "
+    "WHERE amount = (SELECT MAX(amount) FROM Orders)"
+)
+print("\n== largest open order (tracks updates and cancellations) ==")
+for change in engine.query(BIG + " EMIT STREAM").stream():
+    marker = "undo " if change.undo else "     "
+    print(f"  [{fmt_time(change.ptime)}] {marker}order {change.values}")
+
+final = engine.query(BIG).table()
+assert final.tuples == [(1, 120)]
+print("\nfinal largest order:", final.tuples[0])

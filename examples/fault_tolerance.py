@@ -1,0 +1,69 @@
+"""Crash and recover mid-stream with consistent checkpoints.
+
+Appendix B.2.1 of the paper describes Flink's model: periodically
+checkpoint all operator state; on failure, restart and initialize every
+operator from the last completed checkpoint.  This example runs NEXMark
+Q7 over a live stream, checkpoints every 500 events, kills the dataflow
+at a random point, recovers from the last checkpoint, replays the
+events since, and verifies the final answer matches an uninterrupted
+run exactly.
+
+Run with::
+
+    python examples/fault_tolerance.py
+"""
+
+import random
+
+from repro import StreamEngine
+from repro.core.times import seconds
+from repro.nexmark import NexmarkConfig, generate
+from repro.nexmark.queries import q7_highest_bid
+
+streams = generate(NexmarkConfig(num_events=3_000, seed=5))
+engine = StreamEngine()
+streams.register_on(engine)
+SQL = q7_highest_bid(seconds(15))
+
+# merge all source events the way the executor would
+events = []
+for idx, name in enumerate(["Person", "Auction", "Bid"]):
+    for i, event in enumerate(engine.source(name).events()):
+        events.append((event.ptime, idx, i, event, name))
+events.sort(key=lambda item: (item[0], item[1], item[2]))
+
+query = engine.query(SQL)
+reference = query.run()
+
+rng = random.Random(99)
+crash_at = rng.randrange(len(events) // 4, len(events))
+print(f"{len(events)} events; simulated crash after event {crash_at}")
+
+flow = query.dataflow()
+last_checkpoint = None
+checkpointed_at = 0
+for n, (_, _, _, event, name) in enumerate(events[:crash_at]):
+    flow.process(event, name)
+    if (n + 1) % 500 == 0:
+        last_checkpoint = flow.checkpoint()
+        checkpointed_at = n + 1
+print(
+    f"crash! last checkpoint covered {checkpointed_at} events "
+    f"({len(last_checkpoint or b'')} bytes)"
+)
+del flow
+
+recovered = query.dataflow()
+if last_checkpoint is not None:
+    recovered.restore(last_checkpoint)
+for _, _, _, event, name in events[checkpointed_at:]:
+    recovered.process(event, name)
+result = recovered.finish()
+
+assert result.changes == reference.changes
+assert result.watermarks.as_pairs() == reference.watermarks.as_pairs()
+print(
+    f"recovered run produced {len(result.changes)} changelog entries — "
+    "identical to the uninterrupted run"
+)
+print(f"final windows answered: {len(result.snapshot())}")

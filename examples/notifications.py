@@ -1,0 +1,88 @@
+"""Notification pipelines: completeness-driven streams + session windows.
+
+Two use cases the paper calls out:
+
+* **Auction-close notifications** (Section 3.2.2's motivating example):
+  notify exactly once per window, when the watermark proves all bids
+  are in — ``EMIT STREAM AFTER WATERMARK``.  Polling an eventually
+  consistent table cannot express this.
+* **Session summaries** (Section 8's custom-windowing future work,
+  implemented here): one notification per burst of bidder activity,
+  using the Session windowing TVF.
+
+Run with::
+
+    python examples/notifications.py
+"""
+
+from repro import (
+    Schema,
+    StreamEngine,
+    TimeVaryingRelation,
+    fmt_time,
+    int_col,
+    t,
+    timestamp_col,
+)
+
+schema = Schema(
+    [
+        timestamp_col("bidtime", event_time=True),
+        int_col("bidder"),
+        int_col("price"),
+    ]
+)
+
+bid = TimeVaryingRelation(schema)
+# bidder 1 bids in a quick burst; bidder 2 in two separate sessions
+bid.insert(t("9:00"), (t("9:00"), 1, 10))
+bid.insert(t("9:01"), (t("9:01"), 1, 12))
+bid.insert(t("9:02"), (t("9:02"), 2, 7))
+bid.advance_watermark(t("9:05"), t("9:03"))
+bid.insert(t("9:08"), (t("9:07"), 1, 15))
+bid.insert(t("9:20"), (t("9:19"), 2, 9))
+bid.advance_watermark(t("9:30"), t("9:29"))
+
+engine = StreamEngine()
+engine.register_stream("Bid", bid)
+
+# -- auction-close notifications ----------------------------------------
+
+CLOSE = """
+SELECT TB.wend, MAX(TB.price) AS winning
+FROM Tumble(
+  data    => TABLE(Bid),
+  timecol => DESCRIPTOR(bidtime),
+  dur     => INTERVAL '10' MINUTES) TB
+GROUP BY TB.wend
+EMIT STREAM AFTER WATERMARK
+"""
+
+print("== auction-close notifications (one per complete window) ==")
+for change in engine.query(CLOSE).stream():
+    wend, winning = change.values
+    print(
+        f"  [{fmt_time(change.ptime)}] window ending {fmt_time(wend)} "
+        f"closed; winning bid ${winning}"
+    )
+
+# -- per-bidder session summaries ----------------------------------------
+
+SESSIONS = """
+SELECT SB.wstart, SB.wend, SB.bidder, COUNT(*) AS bids, MAX(SB.price) AS best
+FROM Session(
+  data    => TABLE(Bid),
+  timecol => DESCRIPTOR(bidtime),
+  gap     => INTERVAL '5' MINUTES,
+  keycol  => DESCRIPTOR(bidder)) SB
+GROUP BY SB.wend, SB.bidder
+EMIT STREAM AFTER WATERMARK
+"""
+
+print("\n== per-bidder activity sessions (5-minute inactivity gap) ==")
+for change in engine.query(SESSIONS).stream():
+    wstart, wend, bidder, bids, best = change.values
+    print(
+        f"  [{fmt_time(change.ptime)}] bidder {bidder} active "
+        f"{fmt_time(wstart)}-{fmt_time(wend)}: {bids} bids, best ${best}"
+    )

@@ -1,0 +1,40 @@
+"""Reprocessing a recorded stream with the query that ran live.
+
+Appendix B lists this as adoption reason (4): "In case of faulty
+application logic or service outages, a recorded data stream can be
+reprocessed by the same query that processes the live data stream."
+Because both a stream and its recording are time-varying relations,
+the query text does not change — only the registration does.
+
+Run with::
+
+    python examples/replay_recorded_stream.py
+"""
+
+from repro import StreamEngine
+from repro.core.times import seconds
+from repro.nexmark import NexmarkConfig, generate
+from repro.nexmark.queries import q7_highest_bid
+
+streams = generate(NexmarkConfig(num_events=3_000, seed=23))
+SQL = q7_highest_bid(window=seconds(15))
+
+# live: unbounded streams with watermarks
+live = StreamEngine()
+streams.register_on(live)
+live_result = live.query(SQL).table()
+
+# replay: the recorded streams registered as bounded tables
+replay = StreamEngine()
+streams.register_recorded_on(replay)
+replay_result = replay.query(SQL).table()
+
+print(f"windows answered live:     {len(live_result)}")
+print(f"windows answered on replay: {len(replay_result)}")
+assert sorted(live_result.tuples) == sorted(replay_result.tuples)
+print("replay reproduced the live results exactly — same SQL, same answer")
+
+print("\nfirst rows of the replayed result:")
+print(replay_result.sorted(["wstart"]).to_table().split("\n", 8)[0:1][0])
+for line in replay_result.sorted(["wstart"]).to_table().splitlines()[:8]:
+    print(line)

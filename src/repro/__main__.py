@@ -1,0 +1,6 @@
+"""Entry point: ``python -m repro`` starts the interactive SQL shell."""
+
+from .shell import Shell
+
+if __name__ == "__main__":
+    Shell().run()

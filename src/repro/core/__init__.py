@@ -1,0 +1,124 @@
+"""Core substrate: time, schemas, rows, relations, changelogs, TVRs.
+
+Everything in this package is engine-independent: it models the paper's
+foundational objects (Section 3) without reference to SQL or plans.
+"""
+
+from .changelog import (
+    Change,
+    ChangeKind,
+    Changelog,
+    Upsert,
+    UpsertKind,
+    diff_bags,
+    to_upserts,
+    upserts_to_changes,
+)
+from .emit import EmitSpec
+from .errors import (
+    ExecutionError,
+    LexError,
+    ParseError,
+    PlanError,
+    ReproError,
+    SchemaError,
+    SqlError,
+    ValidationError,
+    WatermarkError,
+)
+from .relation import Relation
+from .row import Row
+from .schema import (
+    Column,
+    Schema,
+    SqlType,
+    bool_col,
+    float_col,
+    int_col,
+    string_col,
+    timestamp_col,
+)
+from .times import (
+    MAX_TIMESTAMP,
+    MIN_TIMESTAMP,
+    Duration,
+    Timestamp,
+    align_to_window,
+    days,
+    fmt_duration,
+    fmt_time,
+    hours,
+    millis,
+    minutes,
+    seconds,
+    t,
+)
+from .tvr import RowEvent, StreamEvent, TimeVaryingRelation, WatermarkEvent, ins, rm, wm
+from .watermark import (
+    BoundedOutOfOrderness,
+    PunctuatedWatermarks,
+    WatermarkTrack,
+    merge_watermarks,
+)
+
+__all__ = [
+    # times
+    "Timestamp",
+    "Duration",
+    "MIN_TIMESTAMP",
+    "MAX_TIMESTAMP",
+    "millis",
+    "seconds",
+    "minutes",
+    "hours",
+    "days",
+    "t",
+    "fmt_time",
+    "fmt_duration",
+    "align_to_window",
+    # schema / rows / relations
+    "SqlType",
+    "Column",
+    "Schema",
+    "int_col",
+    "float_col",
+    "string_col",
+    "bool_col",
+    "timestamp_col",
+    "Row",
+    "Relation",
+    # changelog / duality
+    "ChangeKind",
+    "Change",
+    "Changelog",
+    "UpsertKind",
+    "Upsert",
+    "diff_bags",
+    "to_upserts",
+    "upserts_to_changes",
+    # TVR
+    "TimeVaryingRelation",
+    "StreamEvent",
+    "RowEvent",
+    "WatermarkEvent",
+    "ins",
+    "rm",
+    "wm",
+    # watermarks
+    "WatermarkTrack",
+    "BoundedOutOfOrderness",
+    "PunctuatedWatermarks",
+    "merge_watermarks",
+    # emit
+    "EmitSpec",
+    # errors
+    "ReproError",
+    "SqlError",
+    "LexError",
+    "ParseError",
+    "ValidationError",
+    "PlanError",
+    "ExecutionError",
+    "SchemaError",
+    "WatermarkError",
+]

@@ -1,0 +1,83 @@
+"""Small ordered containers used by operator state.
+
+:class:`SortedMultiset` backs the retractable ``MIN`` / ``MAX``
+aggregates: when a row is retracted from a group, the aggregate must be
+able to fall back to the next-best value, which requires keeping the
+full ordered multiset of inputs rather than a single running extreme.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Any, Iterator
+
+__all__ = ["SortedMultiset"]
+
+
+class SortedMultiset:
+    """A multiset with O(log n) search and O(n) insert/remove (memmove).
+
+    Backed by a sorted list; for the group sizes streaming aggregates
+    see in practice, the C-level ``list`` shifts beat fancier
+    structures.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self) -> None:
+        self._items: list[Any] = []
+
+    def add(self, value: Any) -> None:
+        """Insert one occurrence of ``value``."""
+        insort(self._items, value)
+
+    def remove(self, value: Any) -> None:
+        """Remove one occurrence of ``value``; KeyError if absent."""
+        i = bisect_left(self._items, value)
+        if i >= len(self._items) or self._items[i] != value:
+            raise KeyError(value)
+        del self._items[i]
+
+    def discard(self, value: Any) -> bool:
+        """Remove one occurrence if present; returns whether it was."""
+        try:
+            self.remove(value)
+        except KeyError:
+            return False
+        return True
+
+    def min(self) -> Any:
+        """Smallest element; KeyError when empty."""
+        if not self._items:
+            raise KeyError("min of empty multiset")
+        return self._items[0]
+
+    def max(self) -> Any:
+        """Largest element; KeyError when empty."""
+        if not self._items:
+            raise KeyError("max of empty multiset")
+        return self._items[-1]
+
+    def count(self, value: Any) -> int:
+        """Occurrences of ``value``."""
+        lo = bisect_left(self._items, value)
+        n = 0
+        while lo + n < len(self._items) and self._items[lo + n] == value:
+            n += 1
+        return n
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._items)
+
+    def __contains__(self, value: Any) -> bool:
+        i = bisect_left(self._items, value)
+        return i < len(self._items) and self._items[i] == value
+
+    def __repr__(self) -> str:
+        return f"SortedMultiset({self._items!r})"

@@ -1,0 +1,65 @@
+"""EMIT clauses: the paper's materialization controls (Extensions 4-7).
+
+An :class:`EmitSpec` captures the ``EMIT`` modifier of a top-level
+query:
+
+* ``EMIT STREAM`` — render the changelog of the result TVR instead of a
+  snapshot (Extension 4).  The stream carries three extra metadata
+  columns: ``undo``, ``ptime``, and ``ver``.
+* ``EMIT AFTER WATERMARK`` — materialize a row only once its inputs are
+  known complete (Extension 5).
+* ``EMIT AFTER DELAY d`` — materialize at most once per period ``d``
+  per aggregate (Extension 6).
+* ``EMIT AFTER DELAY d AND AFTER WATERMARK`` — both: periodic partial
+  results plus a final on-time result (Extension 7; the
+  early/on-time/late pattern).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .times import Duration, fmt_duration
+
+__all__ = ["EmitSpec"]
+
+
+@dataclass(frozen=True)
+class EmitSpec:
+    """A parsed ``EMIT`` clause.
+
+    ``stream`` selects changelog rendering; ``after_watermark`` delays
+    materialization until completeness; ``delay`` (milliseconds, or
+    ``None``) imposes periodic coalescing.
+    """
+
+    stream: bool = False
+    after_watermark: bool = False
+    delay: Duration | None = None
+
+    #: The default: a table view with instantaneous materialization.
+    @classmethod
+    def default(cls) -> "EmitSpec":
+        return cls()
+
+    @property
+    def is_default(self) -> bool:
+        return not self.stream and not self.after_watermark and self.delay is None
+
+    @property
+    def has_materialization_delay(self) -> bool:
+        return self.after_watermark or self.delay is not None
+
+    def __str__(self) -> str:
+        if self.is_default:
+            return ""
+        parts = ["EMIT"]
+        if self.stream:
+            parts.append("STREAM")
+        clauses = []
+        if self.delay is not None:
+            clauses.append(f"AFTER DELAY {fmt_duration(self.delay)}")
+        if self.after_watermark:
+            clauses.append("AFTER WATERMARK")
+        parts.append(" AND ".join(clauses))
+        return " ".join(p for p in parts if p)

@@ -1,0 +1,81 @@
+"""Exception hierarchy for the engine.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch one type at an API boundary.
+The SQL front end raises position-annotated subclasses that render a
+caret diagnostic pointing into the query text.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SqlError",
+    "LexError",
+    "ParseError",
+    "ValidationError",
+    "PlanError",
+    "ExecutionError",
+    "SchemaError",
+    "WatermarkError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A schema was malformed or used inconsistently."""
+
+
+class WatermarkError(ReproError):
+    """A watermark contract was violated (e.g. non-monotonic advance)."""
+
+
+class SqlError(ReproError):
+    """Base class for errors in SQL text, carrying a source position."""
+
+    def __init__(self, message: str, sql: str | None = None, pos: int | None = None):
+        super().__init__(message)
+        self.message = message
+        self.sql = sql
+        self.pos = pos
+
+    def __str__(self) -> str:
+        if self.sql is None or self.pos is None:
+            return self.message
+        line_start = self.sql.rfind("\n", 0, self.pos) + 1
+        line_end = self.sql.find("\n", self.pos)
+        if line_end == -1:
+            line_end = len(self.sql)
+        line_no = self.sql.count("\n", 0, self.pos) + 1
+        col = self.pos - line_start
+        snippet = self.sql[line_start:line_end]
+        caret = " " * col + "^"
+        return f"{self.message} (line {line_no}, column {col + 1})\n{snippet}\n{caret}"
+
+
+class LexError(SqlError):
+    """The tokenizer hit a character sequence it cannot tokenize."""
+
+
+class ParseError(SqlError):
+    """The parser hit an unexpected token."""
+
+
+class ValidationError(SqlError):
+    """The query is syntactically valid but semantically wrong.
+
+    Examples: unknown table or column, type mismatch, or a violation of
+    the paper's event-time rules (e.g. grouping an unbounded stream
+    without an event-time key, Extension 2).
+    """
+
+
+class PlanError(ReproError):
+    """The planner could not translate a validated query."""
+
+
+class ExecutionError(ReproError):
+    """A runtime failure while executing a plan."""

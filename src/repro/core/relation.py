@@ -1,0 +1,98 @@
+"""Instantaneous relations.
+
+A :class:`Relation` is a classic point-in-time relation — what CQL calls
+an *instantaneous relation* and what you get by snapshotting a
+time-varying relation at one processing-time instant.  It is a bag
+(duplicates allowed), matching SQL semantics without ``DISTINCT``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Iterable, Iterator, Sequence
+
+from .row import Row, format_value
+from .schema import Schema
+
+__all__ = ["Relation"]
+
+
+class Relation:
+    """A bag of rows with a fixed schema at a single point in time."""
+
+    __slots__ = ("_schema", "_rows")
+
+    def __init__(self, schema: Schema, rows: Iterable[tuple[Any, ...]] = ()):
+        self._schema = schema
+        self._rows: list[tuple[Any, ...]] = [tuple(r) for r in rows]
+        for r in self._rows:
+            if len(r) != len(schema):
+                raise ValueError(
+                    f"row {r!r} has {len(r)} values; schema needs {len(schema)}"
+                )
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def tuples(self) -> list[tuple[Any, ...]]:
+        """The raw value tuples, in insertion order."""
+        return list(self._rows)
+
+    def rows(self) -> list[Row]:
+        """The rows as schema-bound :class:`Row` objects."""
+        return [Row(self._schema, r) for r in self._rows]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows())
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        """Bag equality: same rows with the same multiplicities.
+
+        Row order is not part of relation identity (SQL relations are
+        unordered unless an ``ORDER BY`` was applied).
+        """
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return Counter(self._rows) == Counter(other._rows)
+
+    def __hash__(self) -> int:  # pragma: no cover - relations are mutable bags
+        raise TypeError("Relation is not hashable")
+
+    def sorted(self, by: Sequence[str] | None = None) -> "Relation":
+        """A copy with rows sorted by the given columns (or all columns)."""
+        if by is None:
+            key_fn = lambda row: row  # noqa: E731 - trivial sort key
+        else:
+            idxs = [self._schema.index_of(name) for name in by]
+            key_fn = lambda row: tuple(row[i] for i in idxs)  # noqa: E731
+        return Relation(self._schema, sorted(self._rows, key=key_fn))
+
+    def to_table(self) -> str:
+        """Render as an ASCII table in the style of the paper's listings."""
+        names = self._schema.column_names()
+        cells = [
+            [format_value(v, col.type) for col, v in zip(self._schema.columns, row)]
+            for row in self._rows
+        ]
+        widths = [
+            max(len(name), *(len(r[i]) for r in cells)) if cells else len(name)
+            for i, name in enumerate(names)
+        ]
+        def line(values: Sequence[str]) -> str:
+            return "| " + " | ".join(v.ljust(w) for v, w in zip(values, widths)) + " |"
+
+        sep = "-" * len(line(names))
+        out = [line(names), sep]
+        out.extend(line(r) for r in cells)
+        return "\n".join(out)
+
+    def __repr__(self) -> str:
+        return f"Relation({len(self._rows)} rows, schema={self._schema})"

@@ -1,0 +1,99 @@
+"""Row values.
+
+Internally the engine moves data around as plain Python tuples — the
+cheapest immutable, hashable container available.  :class:`Row` is the
+public-facing view of one tuple bound to its schema: it supports lookup
+by column name or index and renders itself readably.  Operators never
+allocate :class:`Row` objects on the hot path; they are created lazily
+when results are handed to the user.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from .schema import Schema, SqlType
+from .times import fmt_time
+
+__all__ = ["Row"]
+
+
+class Row:
+    """An immutable row bound to a schema.
+
+    Supports ``row["price"]``, ``row[3]``, ``row.price``, iteration,
+    equality against other rows or raw tuples, and dict conversion.
+    """
+
+    __slots__ = ("_schema", "_values")
+
+    def __init__(self, schema: Schema, values: tuple[Any, ...]):
+        if len(values) != len(schema):
+            raise ValueError(
+                f"row has {len(values)} values but schema has {len(schema)} columns"
+            )
+        self._schema = schema
+        self._values = values
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def values(self) -> tuple[Any, ...]:
+        """The underlying value tuple."""
+        return self._values
+
+    def __getitem__(self, key: str | int) -> Any:
+        if isinstance(key, int):
+            return self._values[key]
+        return self._values[self._schema.index_of(key)]
+
+    def __getattr__(self, name: str) -> Any:
+        # __getattr__ is only called when normal lookup fails, so the
+        # _schema/_values slots never route through here.
+        try:
+            return self._values[self._schema.index_of(name)]
+        except Exception:
+            raise AttributeError(name) from None
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Row):
+            return self._values == other._values
+        if isinstance(other, tuple):
+            return self._values == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._values)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Column name → value mapping for this row."""
+        return dict(zip(self._schema.column_names(), self._values))
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(
+            f"{col.name}={format_value(v, col.type)}"
+            for col, v in zip(self._schema.columns, self._values)
+        )
+        return f"Row({pairs})"
+
+
+def format_value(value: Any, sql_type: SqlType) -> str:
+    """Render one value the way the paper's listings print it."""
+    if value is None:
+        return "NULL"
+    if sql_type is SqlType.TIMESTAMP:
+        return fmt_time(value)
+    if sql_type is SqlType.BOOL:
+        return "TRUE" if value else "FALSE"
+    return str(value)
+
+
+__all__.append("format_value")

@@ -1,0 +1,169 @@
+"""Temporal primitives shared by the whole engine.
+
+The paper ("One SQL to Rule Them All", SIGMOD 2019) works throughout in
+wall-clock minutes (``8:07``-style times) and ``INTERVAL`` durations.
+Internally the engine represents every instant — event time *and*
+processing time — as an integer count of **milliseconds** since an
+arbitrary epoch.  Integers keep arithmetic exact, hashable, and fast,
+which matters because timestamps are compared on every row the engine
+touches.
+
+Two module-level sentinels bound the time domain:
+
+* :data:`MIN_TIMESTAMP` — before every representable instant; the value
+  of a watermark that has not advanced yet.
+* :data:`MAX_TIMESTAMP` — after every representable instant; the value
+  of a watermark for an input that is fully consumed (e.g. a bounded
+  table), signalling global completeness.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Timestamp",
+    "Duration",
+    "MIN_TIMESTAMP",
+    "MAX_TIMESTAMP",
+    "MILLIS_PER_SECOND",
+    "MILLIS_PER_MINUTE",
+    "MILLIS_PER_HOUR",
+    "MILLIS_PER_DAY",
+    "millis",
+    "seconds",
+    "minutes",
+    "hours",
+    "days",
+    "t",
+    "fmt_time",
+    "fmt_duration",
+    "align_to_window",
+]
+
+# Timestamps and durations are plain ints (milliseconds).  The aliases
+# exist so signatures document which of the two a parameter means.
+Timestamp = int
+Duration = int
+
+MILLIS_PER_SECOND = 1_000
+MILLIS_PER_MINUTE = 60 * MILLIS_PER_SECOND
+MILLIS_PER_HOUR = 60 * MILLIS_PER_MINUTE
+MILLIS_PER_DAY = 24 * MILLIS_PER_HOUR
+
+#: A watermark that has made no completeness assertion yet.
+MIN_TIMESTAMP: Timestamp = -(2**62)
+
+#: A watermark asserting the input is entirely complete.
+MAX_TIMESTAMP: Timestamp = 2**62
+
+
+def millis(n: int) -> Duration:
+    """Return a duration of ``n`` milliseconds."""
+    return n
+
+
+def seconds(n: float) -> Duration:
+    """Return a duration of ``n`` seconds as milliseconds."""
+    return int(n * MILLIS_PER_SECOND)
+
+
+def minutes(n: float) -> Duration:
+    """Return a duration of ``n`` minutes as milliseconds."""
+    return int(n * MILLIS_PER_MINUTE)
+
+
+def hours(n: float) -> Duration:
+    """Return a duration of ``n`` hours as milliseconds."""
+    return int(n * MILLIS_PER_HOUR)
+
+
+def days(n: float) -> Duration:
+    """Return a duration of ``n`` days as milliseconds."""
+    return int(n * MILLIS_PER_DAY)
+
+
+def t(clock: str) -> Timestamp:
+    """Parse a paper-style wall-clock time into a timestamp.
+
+    Accepts ``"H:MM"``, ``"H:MM:SS"``, and ``"H:MM:SS.mmm"``.  The
+    result is the offset from midnight of an unspecified day, which is
+    all the paper's examples need::
+
+        >>> t("8:07")
+        29220000
+        >>> fmt_time(t("8:07"))
+        '8:07'
+    """
+    parts = clock.split(":")
+    if len(parts) not in (2, 3):
+        raise ValueError(f"cannot parse clock time {clock!r}")
+    hour = int(parts[0])
+    minute = int(parts[1])
+    if minute < 0 or minute > 59:
+        raise ValueError(f"minute out of range in {clock!r}")
+    total = hour * MILLIS_PER_HOUR + minute * MILLIS_PER_MINUTE
+    if len(parts) == 3:
+        sec_part = parts[2]
+        if "." in sec_part:
+            sec_str, frac = sec_part.split(".", 1)
+            frac_ms = int(frac.ljust(3, "0")[:3])
+        else:
+            sec_str, frac_ms = sec_part, 0
+        second = int(sec_str)
+        if second < 0 or second > 59:
+            raise ValueError(f"second out of range in {clock!r}")
+        total += second * MILLIS_PER_SECOND + frac_ms
+    return total
+
+
+def fmt_time(ts: Timestamp) -> str:
+    """Render a timestamp in the paper's ``H:MM`` style.
+
+    Sub-minute precision is shown only when present, so the output of
+    the motivating example matches the listings character for
+    character.
+    """
+    if ts == MIN_TIMESTAMP:
+        return "-inf"
+    if ts >= MAX_TIMESTAMP:
+        return "+inf"
+    if ts < 0:
+        return f"-{fmt_time(-ts)}"
+    hour, rem = divmod(ts, MILLIS_PER_HOUR)
+    minute, rem = divmod(rem, MILLIS_PER_MINUTE)
+    second, ms = divmod(rem, MILLIS_PER_SECOND)
+    if ms:
+        return f"{hour}:{minute:02d}:{second:02d}.{ms:03d}"
+    if second:
+        return f"{hour}:{minute:02d}:{second:02d}"
+    return f"{hour}:{minute:02d}"
+
+
+def fmt_duration(dur: Duration) -> str:
+    """Render a duration compactly (e.g. ``10m``, ``1h30m``, ``250ms``)."""
+    if dur < 0:
+        return f"-{fmt_duration(-dur)}"
+    parts = []
+    for unit_ms, suffix in (
+        (MILLIS_PER_DAY, "d"),
+        (MILLIS_PER_HOUR, "h"),
+        (MILLIS_PER_MINUTE, "m"),
+        (MILLIS_PER_SECOND, "s"),
+    ):
+        count, dur = divmod(dur, unit_ms)
+        if count:
+            parts.append(f"{count}{suffix}")
+    if dur or not parts:
+        parts.append(f"{dur}ms")
+    return "".join(parts)
+
+
+def align_to_window(ts: Timestamp, size: Duration, offset: Duration = 0) -> Timestamp:
+    """Return the start of the size-``size`` window containing ``ts``.
+
+    Windows tile the event-time axis starting at ``offset`` from the
+    epoch.  Used by the Tumble and Hop table-valued functions; floor
+    division keeps the result correct for negative timestamps too.
+    """
+    if size <= 0:
+        raise ValueError("window size must be positive")
+    return ((ts - offset) // size) * size + offset

@@ -1,0 +1,42 @@
+"""The CQL baseline: the STREAM-project model the paper compares against.
+
+CQL (Arasu, Babu & Widom 2003-2006) separates streams from relations
+and provides three operator classes — stream-to-relation (windows),
+relation-to-relation (SQL), and relation-to-stream
+(Istream/Dstream/Rstream) — with implicit, in-order time.  This package
+implements that model faithfully so the paper's Listing 1 (NEXMark
+Query 7 in CQL) can be executed and compared against the Listing 2
+formulation running on the main engine.
+"""
+
+from .parser import CqlQuery, parse_cql
+from .relops import aggregate, cross_join, project, scalar, select, theta_join
+from .stream import CqlStream
+from .streamops import dstream, istream, rstream
+from .windows import (
+    RelationSequence,
+    now_window,
+    range_window,
+    rows_window,
+    unbounded_window,
+)
+
+__all__ = [
+    "parse_cql",
+    "CqlQuery",
+    "CqlStream",
+    "RelationSequence",
+    "range_window",
+    "rows_window",
+    "now_window",
+    "unbounded_window",
+    "istream",
+    "dstream",
+    "rstream",
+    "select",
+    "project",
+    "cross_join",
+    "theta_join",
+    "aggregate",
+    "scalar",
+]

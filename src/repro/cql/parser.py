@@ -1,0 +1,593 @@
+"""A parser and evaluator for the CQL dialect of Listing 1.
+
+The paper presents NEXMark Query 7 in CQL before giving its own
+formulation::
+
+    SELECT
+      Rstream(B.price, B.itemid)
+    FROM
+      Bid [RANGE 10 MINUTE SLIDE 10 MINUTE] B
+    WHERE
+      B.price =
+      (SELECT MAX(B1.price) FROM Bid
+       [RANGE 10 MINUTE SLIDE 10 MINUTE] B1);
+
+This module executes that text directly on the CQL baseline.  The
+supported subset covers CQL's three operator classes:
+
+* **stream-to-relation**: ``[RANGE d [SLIDE s]]``, ``[ROWS n]``,
+  ``[NOW]``, ``[RANGE UNBOUNDED]`` window specifications;
+* **relation-to-relation**: projection, selection (including scalar
+  subqueries, evaluated at the same logical tick — CQL's lock-step
+  time), aggregation (MAX/MIN/SUM/AVG/COUNT over the windowed
+  relation);
+* **relation-to-stream**: ``Rstream`` / ``Istream`` / ``Dstream``
+  wrapped around the select list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence, Union
+
+from ..core.errors import ParseError, ValidationError
+from ..core.relation import Relation
+from ..core.schema import Column, Schema, SqlType
+from ..core.times import (
+    MILLIS_PER_DAY,
+    MILLIS_PER_HOUR,
+    MILLIS_PER_MINUTE,
+    MILLIS_PER_SECOND,
+)
+from ..sql.lexer import Token, TokenType, tokenize
+from .stream import CqlStream
+from .windows import (
+    RelationSequence,
+    now_window,
+    range_window,
+    rows_window,
+    unbounded_window,
+)
+from .streamops import dstream, istream, rstream
+
+__all__ = ["parse_cql", "CqlQuery"]
+
+_UNITS = {
+    "MILLISECOND": 1,
+    "SECOND": MILLIS_PER_SECOND,
+    "MINUTE": MILLIS_PER_MINUTE,
+    "HOUR": MILLIS_PER_HOUR,
+    "DAY": MILLIS_PER_DAY,
+}
+_AGGREGATES = {"MAX", "MIN", "SUM", "AVG", "COUNT"}
+
+
+@dataclass(frozen=True)
+class _Window:
+    kind: str  # "range" | "rows" | "now" | "unbounded"
+    range_: Optional[int] = None
+    slide: Optional[int] = None
+    rows: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class _StreamRef:
+    name: str
+    window: _Window
+    alias: Optional[str]
+
+
+# Expressions are interpreted; an expression node is a closure over a
+# per-tick evaluation context.
+@dataclass
+class _Context:
+    schema: Schema
+    aliases: dict[str, Schema]  # alias -> schema (for qualified refs)
+    offsets: dict[str, int]
+    relation_at: Callable[[int], Relation]  # for scalar subqueries
+    tick: int
+    row: tuple
+
+
+class CqlQuery:
+    """A parsed CQL statement, evaluable against named CqlStreams."""
+
+    def __init__(
+        self,
+        stream_op: Optional[str],
+        select: Sequence[tuple["_Expr", Optional[str]]],
+        from_refs: Sequence[_StreamRef],
+        where: Optional["_Expr"],
+    ):
+        self.stream_op = stream_op
+        self.select = list(select)
+        self.from_refs = list(from_refs)
+        self.where = where
+
+    def evaluate(
+        self, streams: dict[str, CqlStream]
+    ) -> Union[CqlStream, RelationSequence]:
+        """Run the query; Rstream/Istream/Dstream give a CqlStream."""
+        sequence = _evaluate_select(self, streams)
+        if self.stream_op == "RSTREAM":
+            return rstream(sequence)
+        if self.stream_op == "ISTREAM":
+            return istream(sequence)
+        if self.stream_op == "DSTREAM":
+            return dstream(sequence)
+        return sequence
+
+
+# ---------------------------------------------------------------------------
+# expression AST (tiny, interpretable)
+# ---------------------------------------------------------------------------
+
+
+class _Expr:
+    def evaluate(self, ctx: _Context) -> Any:
+        raise NotImplementedError
+
+    #: column name this expression would get in an output schema
+    def output_name(self, i: int) -> str:
+        return f"col{i}"
+
+    @property
+    def is_aggregate(self) -> bool:
+        return False
+
+
+@dataclass
+class _Literal(_Expr):
+    value: Any
+
+    def evaluate(self, ctx: _Context) -> Any:
+        return self.value
+
+
+@dataclass
+class _ColumnRef(_Expr):
+    parts: tuple[str, ...]
+
+    def resolve(self, ctx: _Context) -> int:
+        if len(self.parts) == 2:
+            alias, column = self.parts
+            schema = ctx.aliases.get(alias.lower())
+            if schema is None:
+                raise ValidationError(f"unknown CQL alias {alias!r}")
+            return ctx.offsets[alias.lower()] + schema.index_of(column)
+        return ctx.schema.index_of(self.parts[0])
+
+    def evaluate(self, ctx: _Context) -> Any:
+        return ctx.row[self.resolve(ctx)]
+
+    def output_name(self, i: int) -> str:
+        return self.parts[-1]
+
+
+@dataclass
+class _Binary(_Expr):
+    op: str
+    left: _Expr
+    right: _Expr
+
+    def evaluate(self, ctx: _Context) -> Any:
+        a = self.left.evaluate(ctx)
+        b = self.right.evaluate(ctx)
+        if a is None or b is None:
+            return None
+        return {
+            "=": lambda: a == b,
+            "<>": lambda: a != b,
+            "<": lambda: a < b,
+            "<=": lambda: a <= b,
+            ">": lambda: a > b,
+            ">=": lambda: a >= b,
+            "+": lambda: a + b,
+            "-": lambda: a - b,
+            "*": lambda: a * b,
+            "/": lambda: a / b,
+            "AND": lambda: a and b,
+            "OR": lambda: a or b,
+        }[self.op]()
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.left.is_aggregate or self.right.is_aggregate
+
+
+@dataclass
+class _Aggregate(_Expr):
+    fn: str
+    arg: Optional[_ColumnRef]  # None for COUNT(*)
+
+    def evaluate(self, ctx: _Context) -> Any:
+        relation = ctx.relation_at(ctx.tick)
+        if self.arg is None:
+            return len(relation)
+        index = self.arg.resolve(ctx)
+        values = [r[index] for r in relation.tuples if r[index] is not None]
+        if self.fn == "COUNT":
+            return len(values)
+        if not values:
+            return None
+        if self.fn == "MAX":
+            return max(values)
+        if self.fn == "MIN":
+            return min(values)
+        if self.fn == "SUM":
+            return sum(values)
+        return sum(values) / len(values)  # AVG
+
+    def output_name(self, i: int) -> str:
+        return self.fn.lower()
+
+    @property
+    def is_aggregate(self) -> bool:
+        return True
+
+
+@dataclass
+class _Subquery(_Expr):
+    query: CqlQuery
+    #: bound lazily at evaluation: tick -> scalar
+    _streams: Optional[dict] = None
+
+    def evaluate(self, ctx: _Context) -> Any:
+        sequence = _evaluate_select(self.query, self._streams or {})
+        relation = sequence.at(ctx.tick)
+        rows = relation.tuples
+        if not rows:
+            return None
+        if len(rows) > 1 or len(rows[0]) != 1:
+            raise ValidationError("CQL scalar subquery returned more than one value")
+        return rows[0][0]
+
+
+# ---------------------------------------------------------------------------
+# evaluation
+# ---------------------------------------------------------------------------
+
+
+def _window_sequence(stream: CqlStream, window: _Window) -> RelationSequence:
+    if window.kind == "range":
+        return range_window(stream, window.range_, window.slide)
+    if window.kind == "rows":
+        slide = window.slide or MILLIS_PER_MINUTE
+        return rows_window(stream, window.rows, slide)
+    if window.kind == "now":
+        return now_window(stream, window.slide or MILLIS_PER_MINUTE)
+    return unbounded_window(stream, window.slide or MILLIS_PER_MINUTE)
+
+
+def _evaluate_select(
+    query: CqlQuery, streams: dict[str, CqlStream]
+) -> RelationSequence:
+    sequences: list[tuple[_StreamRef, RelationSequence]] = []
+    for ref in query.from_refs:
+        stream = streams.get(ref.name.lower())
+        if stream is None:
+            raise ValidationError(f"unknown CQL stream {ref.name!r}")
+        sequences.append((ref, _window_sequence(stream, ref.window)))
+
+    # lock-step time: all windowed inputs share their ticks
+    base_ref, base_seq = sequences[0]
+    ticks = base_seq.ticks
+    for _, other in sequences[1:]:
+        if other.ticks != ticks:
+            raise ValidationError(
+                "CQL relation sequences must share ticks (same SLIDE)"
+            )
+
+    aliases: dict[str, Schema] = {}
+    offsets: dict[str, int] = {}
+    offset = 0
+    for ref, seq in sequences:
+        key = (ref.alias or ref.name).lower()
+        aliases[key] = seq.schema
+        offsets[key] = offset
+        offset += len(seq.schema)
+    combined_schema = sequences[0][1].schema
+    for _, seq in sequences[1:]:
+        combined_schema = combined_schema.concat(seq.schema)
+
+    # bind subqueries to the same stream catalog
+    for expr, _ in query.select:
+        _bind_subqueries(expr, streams)
+    if query.where is not None:
+        _bind_subqueries(query.where, streams)
+
+    def _no_aggregates_in_where(tick: int) -> Relation:
+        raise ValidationError("aggregates are not allowed in CQL WHERE")
+
+    def relation_at(tick: int) -> Relation:
+        relation = sequences[0][1].at(tick)
+        for _, seq in sequences[1:]:
+            other = seq.at(tick)
+            rows = [a + b for a in relation.tuples for b in other.tuples]
+            relation = Relation(combined_schema, rows)
+        if query.where is not None:
+            kept = []
+            for row in relation.tuples:
+                ctx = _Context(
+                    combined_schema,
+                    aliases,
+                    offsets,
+                    _no_aggregates_in_where,
+                    tick,
+                    row,
+                )
+                if query.where.evaluate(ctx) is True:
+                    kept.append(row)
+            relation = Relation(combined_schema, kept)
+        return relation
+
+    aggregated = any(expr.is_aggregate for expr, _ in query.select)
+    out_cols = []
+    for i, (expr, alias) in enumerate(query.select):
+        out_cols.append(Column(alias or expr.output_name(i), SqlType.FLOAT))
+    # make output column names unique
+    seen: set[str] = set()
+    unique_cols = []
+    for col in out_cols:
+        name = col.name
+        n = 0
+        while name.lower() in seen:
+            name = f"{col.name}{n}"
+            n += 1
+        seen.add(name.lower())
+        unique_cols.append(Column(name, col.type))
+    out_schema = Schema(unique_cols)
+
+    def project_at(tick: int) -> Relation:
+        relation = relation_at(tick)
+        if aggregated:
+            ctx = _Context(
+                combined_schema, aliases, offsets, relation_at, tick, ()
+            )
+            row = tuple(expr.evaluate(ctx) for expr, _ in query.select)
+            return Relation(out_schema, [row])
+        rows = []
+        for row in relation.tuples:
+            ctx = _Context(
+                combined_schema, aliases, offsets, relation_at, tick, row
+            )
+            rows.append(tuple(expr.evaluate(ctx) for expr, _ in query.select))
+        return Relation(out_schema, rows)
+
+    return RelationSequence(out_schema, ticks, project_at)
+
+
+def _bind_subqueries(expr: _Expr, streams: dict[str, CqlStream]) -> None:
+    if isinstance(expr, _Subquery):
+        expr._streams = streams
+        for child, _ in expr.query.select:
+            _bind_subqueries(child, streams)
+        if expr.query.where is not None:
+            _bind_subqueries(expr.query.where, streams)
+    elif isinstance(expr, _Binary):
+        _bind_subqueries(expr.left, streams)
+        _bind_subqueries(expr.right, streams)
+
+
+# ---------------------------------------------------------------------------
+# parsing
+# ---------------------------------------------------------------------------
+
+
+def parse_cql(text: str) -> CqlQuery:
+    """Parse one CQL statement (Listing 1 dialect)."""
+    return _CqlParser(text).parse()
+
+
+class _CqlParser:
+    def __init__(self, text: str):
+        self._text = text
+        self._tokens = tokenize(text)
+        self._i = 0
+
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._i]
+
+    def _advance(self) -> Token:
+        token = self._cur
+        if token.type is not TokenType.EOF:
+            self._i += 1
+        return token
+
+    def _error(self, message: str) -> ParseError:
+        return ParseError(message, self._text, self._cur.pos)
+
+    def _at_word(self, *words: str) -> bool:
+        return (
+            self._cur.type in (TokenType.IDENT, TokenType.KEYWORD)
+            and self._cur.upper in words
+        )
+
+    def _accept_word(self, *words: str) -> bool:
+        if self._at_word(*words):
+            self._advance()
+            return True
+        return False
+
+    def _expect_word(self, word: str) -> None:
+        if not self._accept_word(word):
+            raise self._error(f"expected {word}, found {self._cur}")
+
+    def _at_op(self, *ops: str) -> bool:
+        return self._cur.type is TokenType.OP and self._cur.value in ops
+
+    def _accept_op(self, *ops: str) -> bool:
+        if self._at_op(*ops):
+            self._advance()
+            return True
+        return False
+
+    def _expect_op(self, op: str) -> None:
+        if not self._accept_op(op):
+            raise self._error(f"expected {op!r}, found {self._cur}")
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse(self) -> CqlQuery:
+        query = self._select()
+        self._accept_op(";")
+        if self._cur.type is not TokenType.EOF:
+            raise self._error("unexpected trailing input")
+        return query
+
+    def _select(self) -> CqlQuery:
+        self._expect_word("SELECT")
+        stream_op: Optional[str] = None
+        select: list[tuple[_Expr, Optional[str]]] = []
+        if self._at_word("RSTREAM", "ISTREAM", "DSTREAM"):
+            stream_op = self._advance().upper
+            self._expect_op("(")
+            select.append(self._select_item())
+            while self._accept_op(","):
+                select.append(self._select_item())
+            self._expect_op(")")
+        else:
+            select.append(self._select_item())
+            while self._accept_op(","):
+                select.append(self._select_item())
+
+        self._expect_word("FROM")
+        from_refs = [self._stream_ref()]
+        while self._accept_op(","):
+            from_refs.append(self._stream_ref())
+
+        where = None
+        if self._accept_word("WHERE"):
+            where = self._expr()
+        return CqlQuery(stream_op, select, from_refs, where)
+
+    def _select_item(self) -> tuple[_Expr, Optional[str]]:
+        expr = self._expr()
+        alias = None
+        if self._accept_word("AS"):
+            alias = self._advance().value
+        elif self._cur.type is TokenType.IDENT:
+            alias = self._advance().value
+        return expr, alias
+
+    def _stream_ref(self) -> _StreamRef:
+        if self._cur.type not in (TokenType.IDENT, TokenType.KEYWORD):
+            raise self._error("expected stream name")
+        name = self._advance().value
+        window = self._window_spec()
+        alias = None
+        if self._cur.type is TokenType.IDENT and not self._at_word("WHERE"):
+            alias = self._advance().value
+        return _StreamRef(name, window, alias)
+
+    def _window_spec(self) -> _Window:
+        if not self._accept_op("["):
+            # CQL defaults an unwindowed stream to [RANGE UNBOUNDED]
+            return _Window("unbounded")
+        if self._accept_word("NOW"):
+            self._expect_op("]")
+            return _Window("now")
+        if self._accept_word("ROWS"):
+            count = int(self._advance().value)
+            self._expect_op("]")
+            return _Window("rows", rows=count)
+        self._expect_word("RANGE")
+        if self._accept_word("UNBOUNDED"):
+            self._expect_op("]")
+            return _Window("unbounded")
+        range_ = self._duration()
+        slide = None
+        if self._accept_word("SLIDE"):
+            slide = self._duration()
+        self._expect_op("]")
+        return _Window("range", range_=range_, slide=slide)
+
+    def _duration(self) -> int:
+        token = self._advance()
+        if token.type is not TokenType.NUMBER:
+            raise self._error("expected a number in window specification")
+        amount = float(token.value)
+        unit_token = self._advance()
+        unit = unit_token.upper.rstrip("S")
+        if unit not in _UNITS:
+            raise self._error(f"unknown time unit {unit_token.value!r}")
+        return int(amount * _UNITS[unit])
+
+    # -- expressions ---------------------------------------------------------
+
+    def _expr(self) -> _Expr:
+        return self._or()
+
+    def _or(self) -> _Expr:
+        left = self._and()
+        while self._accept_word("OR"):
+            left = _Binary("OR", left, self._and())
+        return left
+
+    def _and(self) -> _Expr:
+        left = self._comparison()
+        while self._accept_word("AND"):
+            left = _Binary("AND", left, self._comparison())
+        return left
+
+    def _comparison(self) -> _Expr:
+        left = self._additive()
+        if self._cur.type is TokenType.OP and self._cur.value in (
+            "=", "<>", "!=", "<", "<=", ">", ">=",
+        ):
+            op = self._advance().value
+            op = "<>" if op == "!=" else op
+            return _Binary(op, left, self._additive())
+        return left
+
+    def _additive(self) -> _Expr:
+        left = self._multiplicative()
+        while self._at_op("+", "-"):
+            op = self._advance().value
+            left = _Binary(op, left, self._multiplicative())
+        return left
+
+    def _multiplicative(self) -> _Expr:
+        left = self._primary()
+        while self._at_op("*", "/"):
+            op = self._advance().value
+            left = _Binary(op, left, self._primary())
+        return left
+
+    def _primary(self) -> _Expr:
+        token = self._cur
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return _Literal(value)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return _Literal(token.value)
+        if self._accept_op("("):
+            if self._at_word("SELECT"):
+                inner = self._select()
+                self._expect_op(")")
+                return _Subquery(inner)
+            expr = self._expr()
+            self._expect_op(")")
+            return expr
+        if token.type in (TokenType.IDENT, TokenType.KEYWORD):
+            word = self._advance()
+            if word.upper in _AGGREGATES and self._at_op("("):
+                self._advance()
+                if self._accept_op("*"):
+                    self._expect_op(")")
+                    return _Aggregate("COUNT", None)
+                arg = self._primary()
+                if not isinstance(arg, _ColumnRef):
+                    raise self._error(
+                        f"{word.value} expects a column reference"
+                    )
+                self._expect_op(")")
+                return _Aggregate(word.upper, arg)
+            parts = [word.value]
+            while self._accept_op("."):
+                parts.append(self._advance().value)
+            return _ColumnRef(tuple(parts))
+        raise self._error(f"unexpected {token} in CQL expression")

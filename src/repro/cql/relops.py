@@ -1,0 +1,85 @@
+"""CQL relation-to-relation operators.
+
+These are ordinary relational operators applied to instantaneous
+relations; CQL reuses SQL semantics for this class of operators, and so
+do we — small composable functions over :class:`Relation`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from ..core.relation import Relation
+from ..core.schema import Column, Schema
+
+__all__ = ["select", "project", "cross_join", "theta_join", "aggregate", "scalar"]
+
+
+def select(rel: Relation, predicate: Callable[[tuple], bool]) -> Relation:
+    """σ: keep rows satisfying the predicate."""
+    return Relation(rel.schema, [r for r in rel.tuples if predicate(r)])
+
+
+def project(
+    rel: Relation,
+    schema: Schema,
+    fn: Callable[[tuple], tuple],
+) -> Relation:
+    """π: map each row through ``fn`` into ``schema``."""
+    return Relation(schema, [fn(r) for r in rel.tuples])
+
+
+def cross_join(left: Relation, right: Relation) -> Relation:
+    """×: every pair of rows, concatenated."""
+    schema = left.schema.concat(right.schema)
+    rows = [l + r for l in left.tuples for r in right.tuples]
+    return Relation(schema, rows)
+
+
+def theta_join(
+    left: Relation,
+    right: Relation,
+    predicate: Callable[[tuple], bool],
+) -> Relation:
+    """⋈θ: cross join filtered by a predicate over the combined row."""
+    schema = left.schema.concat(right.schema)
+    rows = [
+        l + r for l in left.tuples for r in right.tuples if predicate(l + r)
+    ]
+    return Relation(schema, rows)
+
+
+def aggregate(
+    rel: Relation,
+    group_indices: Sequence[int],
+    agg_fns: Sequence[tuple[str, Callable[[list], Any]]],
+) -> Relation:
+    """γ: group by the given columns and apply list-level aggregates.
+
+    ``agg_fns`` is a list of ``(output_name, fn)`` where ``fn`` maps the
+    group's rows to a value (e.g. ``lambda rows: max(r[1] for r in rows)``).
+    """
+    groups: dict[tuple, list[tuple]] = {}
+    for row in rel.tuples:
+        key = tuple(row[i] for i in group_indices)
+        groups.setdefault(key, []).append(row)
+    cols = [rel.schema.columns[i].degraded() for i in group_indices]
+    from ..core.schema import SqlType
+
+    cols.extend(Column(name, SqlType.FLOAT) for name, _ in agg_fns)
+    rows = [
+        key + tuple(fn(members) for _, fn in agg_fns)
+        for key, members in groups.items()
+    ]
+    return Relation(Schema(cols), rows)
+
+
+def scalar(rel: Relation, fn: Callable[[list[tuple]], Any]) -> Optional[Any]:
+    """Evaluate a scalar over the whole relation (e.g. MAX of a column).
+
+    Returns ``None`` on an empty relation, like a SQL scalar subquery.
+    """
+    rows = rel.tuples
+    if not rows:
+        return None
+    return fn(rows)

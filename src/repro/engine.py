@@ -1,0 +1,270 @@
+"""The public engine facade.
+
+:class:`StreamEngine` owns a catalog of time-varying relations (streams
+and tables), a function registry, and the plan/execute pipeline::
+
+    engine = StreamEngine()
+    engine.register_stream("Bid", bid_tvr)
+    query = engine.query("SELECT ... EMIT STREAM AFTER WATERMARK")
+    query.table(at="8:21")      # Listing 12 style point-in-time view
+    query.stream(until="8:21")  # Listing 13 style changelog view
+
+Both renderings come from one execution of the query as a time-varying
+relation — the paper's stream/table duality made literal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from .core.emit import EmitSpec
+from .core.errors import ValidationError
+from .core.relation import Relation
+from .core.schema import Schema, SqlType
+from .core.times import MAX_TIMESTAMP, Timestamp, t
+from .core.tvr import TimeVaryingRelation
+from .exec.executor import Dataflow, RunResult
+from .exec.materialize import (
+    DeltaChange,
+    StreamChange,
+    delta_view,
+    stream_schema,
+    stream_view,
+    table_view,
+)
+from .plan.logical import SortNode
+from .plan.optimizer import optimize
+from .plan.planner import Catalog, Planner, QueryPlan
+from .sql.functions import FunctionRegistry, default_registry
+
+__all__ = ["StreamEngine", "PreparedQuery"]
+
+
+def _as_ptime(value: Timestamp | str) -> Timestamp:
+    """Accept either a millisecond timestamp or an ``"8:21"`` string."""
+    if isinstance(value, str):
+        return t(value)
+    return value
+
+
+class StreamEngine:
+    """A streaming SQL engine over time-varying relations."""
+
+    def __init__(self) -> None:
+        self._catalog = Catalog()
+        self._registry = default_registry()
+        self._sources: dict[str, TimeVaryingRelation] = {}
+
+    # -- catalog ------------------------------------------------------------
+
+    def register_stream(self, name: str, tvr: TimeVaryingRelation) -> None:
+        """Register an unbounded stream (a TVR with watermark events)."""
+        self._catalog.register(name, tvr.schema, bounded=False)
+        self._sources[name.lower()] = tvr
+
+    def register_table(
+        self,
+        name: str,
+        schema_or_tvr: Schema | TimeVaryingRelation,
+        rows: Iterable[Sequence[Any]] = (),
+    ) -> None:
+        """Register a bounded table.
+
+        Accepts either a schema plus rows, or an existing TVR — e.g. a
+        recorded stream to be reprocessed "as a table", which the paper
+        highlights as a key property of the unified model.
+        """
+        if isinstance(schema_or_tvr, TimeVaryingRelation):
+            tvr = schema_or_tvr
+        else:
+            tvr = TimeVaryingRelation.from_table(schema_or_tvr, rows)
+        self._catalog.register(name, tvr.schema, bounded=True)
+        self._sources[name.lower()] = tvr
+
+    def register_view(self, name: str, sql: str) -> None:
+        """Register a named view: a query expanded wherever referenced.
+
+        Views map a query pointwise over their input TVRs (Section 6.1),
+        so a view over a stream is itself a stream-ready relation:
+        query it with any EMIT mode, join it, window it.
+        """
+        from .sql.parser import parse
+
+        self._catalog.register_view(name, parse(sql))
+
+    def source(self, name: str) -> TimeVaryingRelation:
+        """The registered TVR behind ``name``."""
+        return self._sources[name.lower()]
+
+    # -- functions ------------------------------------------------------------
+
+    def register_function(
+        self,
+        name: str,
+        impl: Callable[..., Any],
+        return_type: SqlType | Callable[[list[SqlType]], SqlType],
+        min_args: int,
+        max_args: int | None = None,
+    ) -> None:
+        """Register a user-defined scalar function (e.g. NEXMark's DOLTOEUR)."""
+        self._registry.register_scalar(name, impl, return_type, min_args, max_args)
+
+    @property
+    def functions(self) -> FunctionRegistry:
+        return self._registry
+
+    # -- queries ---------------------------------------------------------------
+
+    def query(self, sql: str, allowed_lateness: int = 0) -> "PreparedQuery":
+        """Parse, validate, plan, and optimize a SQL query.
+
+        ``allowed_lateness`` (milliseconds) keeps per-group state alive
+        that long past the watermark so late rows update results instead
+        of being dropped — the configurable lateness Extension 2 notes
+        real deployments need.
+        """
+        planner = Planner(self._catalog, self._registry)
+        plan = optimize(planner.plan_sql(sql))
+        return PreparedQuery(self, plan, allowed_lateness=allowed_lateness)
+
+    def explain(self, sql: str, verbose: bool = False) -> str:
+        """The optimized logical plan of ``sql``, as text."""
+        return self.query(sql).explain(verbose=verbose)
+
+
+class PreparedQuery:
+    """A planned query, ready to materialize as a table or a stream."""
+
+    def __init__(
+        self,
+        engine: StreamEngine,
+        plan: QueryPlan,
+        allowed_lateness: int = 0,
+    ):
+        self._engine = engine
+        self.plan = plan
+        self.allowed_lateness = allowed_lateness
+        self._cached: Optional[RunResult] = None
+        self._cached_fingerprint: Optional[tuple] = None
+
+    # -- metadata ------------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self.plan.schema
+
+    @property
+    def emit(self) -> EmitSpec:
+        return self.plan.emit
+
+    def explain(self, verbose: bool = False) -> str:
+        return self.plan.explain(verbose=verbose)
+
+    def stats(self) -> dict:
+        """Execution statistics for the current sources.
+
+        Bundles the run's counters with the per-operator state report —
+        Section 5's call to relate physical state back to the query.
+        """
+        result = self.run()
+        dataflow = self.dataflow()
+        dataflow.run()
+        report = dataflow.state_report()
+        return {
+            "changes": len(result.changes),
+            "late_dropped": result.late_dropped,
+            "expired_rows": result.expired_rows,
+            "peak_state_rows": result.peak_state_rows,
+            "final_state_rows": report.total_rows,
+            "watermark_steps": len(result.watermarks.as_pairs()),
+            "state_report": report,
+        }
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Execute the dataflow over all currently registered events.
+
+        The run is cached and transparently refreshed when any source
+        has grown since the last execution.
+        """
+        fingerprint = tuple(
+            (name, tvr.last_ptime, len(tvr.events()))
+            for name, tvr in sorted(self._engine._sources.items())
+        )
+        if self._cached is None or fingerprint != self._cached_fingerprint:
+            dataflow = Dataflow(
+                self.plan, self._engine._sources, self.allowed_lateness
+            )
+            self._cached = dataflow.run()
+            self._cached_fingerprint = fingerprint
+        return self._cached
+
+    def dataflow(self) -> Dataflow:
+        """A fresh, un-run dataflow (for incremental feeding / benchmarks)."""
+        return Dataflow(self.plan, self._engine._sources, self.allowed_lateness)
+
+    # -- renderings --------------------------------------------------------------
+
+    def table(self, at: Timestamp | str = MAX_TIMESTAMP) -> Relation:
+        """The result as a point-in-time relation at processing time ``at``."""
+        result = self.run()
+        sort_keys, limit = self._sort_spec()
+        return table_view(
+            result,
+            self.plan.emit,
+            self.plan.root.completion_indices,
+            self.plan.root.emit_key_indices,
+            at=_as_ptime(at),
+            sort_keys=sort_keys,
+            limit=limit,
+        )
+
+    def stream(self, until: Timestamp | str = MAX_TIMESTAMP) -> list[StreamChange]:
+        """The result as a changelog stream with undo/ptime/ver metadata."""
+        if isinstance(self.plan.root, SortNode):
+            raise ValidationError(
+                "ORDER BY / LIMIT define a table ordering and cannot be "
+                "rendered as a stream; drop them or use .table()"
+            )
+        result = self.run()
+        return stream_view(
+            result,
+            self.plan.emit,
+            self.plan.root.completion_indices,
+            self.plan.root.emit_key_indices,
+            until=_as_ptime(until),
+        )
+
+    def stream_deltas(
+        self, until: Timestamp | str = MAX_TIMESTAMP
+    ) -> list[DeltaChange]:
+        """The changelog as per-aggregate numeric deltas (Section 6.5.1).
+
+        Available for grouped queries whose non-key outputs are numeric;
+        each update carries only the difference against the group's
+        previous version instead of a retract/insert pair.
+        """
+        result = self.run()
+        return delta_view(
+            result,
+            self.plan.emit,
+            self.plan.root.completion_indices,
+            self.plan.root.emit_key_indices,
+            until=_as_ptime(until),
+        )
+
+    def stream_table(self, until: Timestamp | str = MAX_TIMESTAMP) -> Relation:
+        """The stream rendering as a printable relation (Listing 9 style)."""
+        changes = self.stream(until)
+        return Relation(
+            stream_schema(self.schema), [c.as_tuple() for c in changes]
+        )
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _sort_spec(self) -> tuple[Sequence[tuple[int, bool]], Optional[int]]:
+        root = self.plan.root
+        if isinstance(root, SortNode):
+            return root.keys, root.limit
+        return (), None

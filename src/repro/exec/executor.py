@@ -1,0 +1,334 @@
+"""Push-based dataflow execution over time-varying relations.
+
+:class:`Dataflow` compiles a :class:`~repro.plan.planner.QueryPlan`,
+binds its scans to registered source TVRs, and replays the sources'
+stream events in processing-time order through the operator tree.  The
+result is the root's changelog plus its watermark track — i.e. the
+output *as a time-varying relation*, from which the materializers in
+:mod:`repro.exec.materialize` derive every table/stream rendering the
+paper describes.
+
+Determinism: events are processed in (ptime, source registration
+order, arrival order) order, and a source consumed by several scans
+(e.g. ``Bid`` appearing twice in NEXMark Q7) delivers to the scans in
+plan (left-to-right) order.  This makes changelog outputs — including
+the intra-instant ordering visible in Listing 9 — reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.changelog import Change
+from ..core.errors import ExecutionError
+from ..core.relation import Relation
+from ..core.schema import Schema
+from ..core.times import MAX_TIMESTAMP, MIN_TIMESTAMP, Timestamp
+from ..core.tvr import RowEvent, StreamEvent, TimeVaryingRelation, WatermarkEvent
+from ..core.watermark import WatermarkTrack
+from ..plan.planner import QueryPlan
+from .compile import CompiledPlan, compile_plan
+from .operators.aggregate import AggregateOperator
+from .operators.base import Operator
+from .operators.join import JoinOperator
+from .operators.session import SessionOperator
+from .operators.stateless import ScanOperator
+
+__all__ = ["Dataflow", "RunResult"]
+
+
+@dataclass
+class RunResult:
+    """The output TVR of a dataflow run, plus runtime statistics."""
+
+    schema: Schema
+    changes: list[Change]
+    watermarks: WatermarkTrack
+    last_ptime: Timestamp
+    late_dropped: int = 0
+    expired_rows: int = 0
+    peak_state_rows: int = 0
+
+    def snapshot(self, at: Timestamp = MAX_TIMESTAMP) -> Relation:
+        """Table rendering of the result at processing time ``at``."""
+        from ..core.changelog import Changelog
+
+        log = Changelog()
+        for change in self.changes:
+            if change.ptime <= at:
+                log.append(change)
+            else:
+                break
+        return log.snapshot_at(self.schema, at)
+
+
+class Dataflow:
+    """A compiled, source-bound, runnable query."""
+
+    def __init__(
+        self,
+        plan: QueryPlan,
+        sources: dict[str, TimeVaryingRelation],
+        allowed_lateness: int = 0,
+    ):
+        self.plan = plan
+        self._compiled: CompiledPlan = compile_plan(
+            plan.root, allowed_lateness=allowed_lateness
+        )
+        self._sources: dict[str, TimeVaryingRelation] = {
+            name.lower(): tvr for name, tvr in sources.items()
+        }
+        # scan leaves grouped by source, in plan order
+        self._leaves_by_source: dict[str, list[ScanOperator]] = {}
+        for leaf in self._compiled.leaves:
+            key = leaf.source_name.lower()
+            self._leaves_by_source.setdefault(key, []).append(leaf)
+            if not key.startswith("$values") and key not in self._sources:
+                raise ExecutionError(f"no source registered for {leaf.source_name!r}")
+        self._root_changes: list[Change] = []
+        self._root_wms = WatermarkTrack()
+        self._last_ptime: Timestamp = MIN_TIMESTAMP
+        self._peak_state = 0
+        self._opened = False
+        # processing-time timer service: (deadline, seq, operator)
+        self._timers: list[tuple[Timestamp, int, Operator]] = []
+        self._timer_seq = 0
+        for op in self._compiled.operators:
+            op.bind_timers(self._schedule_timer)
+
+    # -- public API -----------------------------------------------------------
+
+    @property
+    def operators(self) -> list[Operator]:
+        return list(self._compiled.operators)
+
+    def total_state_rows(self) -> int:
+        """Rows currently retained across all operator state."""
+        return sum(op.state_size() for op in self._compiled.operators)
+
+    def state_report(self):
+        """Per-operator state breakdown (the Section 5 feedback lesson)."""
+        from .state import collect_state
+
+        return collect_state(self)
+
+    # -- checkpoint / recovery ---------------------------------------------------
+
+    def checkpoint(self) -> bytes:
+        """A consistent snapshot of the whole dataflow, as bytes.
+
+        This is the capability Appendix B.2.1 describes for Flink:
+        "Flink periodically writes a consistent checkpoint of the
+        application state … For recovery, the application is restarted
+        and all operators are initialized with the state of the last
+        completed checkpoint."  Feed the remaining source events to the
+        restored dataflow and the results are identical to an
+        uninterrupted run (see ``tests/test_checkpoint.py``).
+
+        Call between events (the incremental ``process`` API), not from
+        inside a callback.
+        """
+        import pickle
+
+        op_index = {id(op): i for i, op in enumerate(self._compiled.operators)}
+        payload = {
+            "op_states": [
+                op.state_snapshot() for op in self._compiled.operators
+            ],
+            "root_changes": list(self._root_changes),
+            "root_wm_pairs": self._root_wms.as_pairs(),
+            "last_ptime": self._last_ptime,
+            "peak_state": self._peak_state,
+            "opened": self._opened,
+            "timers": [
+                (when, seq, op_index[id(op)])
+                for when, seq, op in self._timers
+            ],
+            "timer_seq": self._timer_seq,
+        }
+        return pickle.dumps(payload)
+
+    def restore(self, checkpoint: bytes) -> None:
+        """Restore a checkpoint taken from a dataflow of the same plan."""
+        import pickle
+
+        payload = pickle.loads(checkpoint)
+        operators = self._compiled.operators
+        if len(payload["op_states"]) != len(operators):
+            raise ExecutionError(
+                "checkpoint does not match this dataflow's plan"
+            )
+        for op, snapshot in zip(operators, payload["op_states"]):
+            op.state_restore(snapshot)
+        self._root_changes = list(payload["root_changes"])
+        self._root_wms = WatermarkTrack()
+        for ptime, value in payload["root_wm_pairs"]:
+            self._root_wms.advance(ptime, value)
+        self._last_ptime = payload["last_ptime"]
+        self._peak_state = payload["peak_state"]
+        self._opened = payload["opened"]
+        self._timers = [
+            (when, seq, operators[i]) for when, seq, i in payload["timers"]
+        ]
+        heapq.heapify(self._timers)
+        self._timer_seq = payload["timer_seq"]
+
+    def run(self, until: Optional[Timestamp] = None) -> RunResult:
+        """Replay all source events (up to ``until``) and collect the result.
+
+        After the last event, pending processing-time timers (e.g.
+        tail-of-stream expirations) are drained so the returned
+        changelog covers the relation's full known future evolution;
+        the materializers then truncate to the instant being queried.
+        """
+        self._open()
+        for event, source in self._merged_events(until):
+            self.process(event, source)
+        self._fire_timers(until if until is not None else MAX_TIMESTAMP)
+        return self.result()
+
+    def process(self, event: StreamEvent, source: str) -> None:
+        """Feed one source event through the dataflow (incremental API)."""
+        self._open()
+        if event.ptime < self._last_ptime:
+            raise ExecutionError("events must be fed in processing-time order")
+        self._fire_timers(event.ptime)
+        self._last_ptime = max(self._last_ptime, event.ptime)
+        leaves = self._leaves_by_source.get(source.lower(), [])
+        if isinstance(event, RowEvent):
+            for leaf in leaves:
+                self._push_changes(leaf, 0, [event.change])
+        else:
+            for leaf in leaves:
+                self._push_watermark(leaf, 0, event.value, event.ptime)
+        state = self.total_state_rows()
+        if state > self._peak_state:
+            self._peak_state = state
+
+    def finish(self, until: Optional[Timestamp] = None) -> RunResult:
+        """Drain pending processing-time timers and return the result.
+
+        The incremental counterpart of the drain ``run()`` performs
+        after its last event — use it when driving ``process`` by hand
+        and the query has timer-driven operators (tail-of-stream
+        views).
+        """
+        self._fire_timers(until if until is not None else MAX_TIMESTAMP)
+        return self.result()
+
+    def result(self) -> RunResult:
+        """The result accumulated so far."""
+        return RunResult(
+            schema=self.plan.schema,
+            changes=list(self._root_changes),
+            watermarks=self._root_wms,
+            last_ptime=self._last_ptime,
+            late_dropped=sum(
+                op.late_dropped
+                for op in self._compiled.operators
+                if isinstance(op, (AggregateOperator, SessionOperator))
+            ),
+            expired_rows=sum(
+                op.expired_rows
+                for op in self._compiled.operators
+                if isinstance(op, JoinOperator)
+            ),
+            peak_state_rows=self._peak_state,
+        )
+
+    # -- internals ---------------------------------------------------------------
+
+    def _open(self) -> None:
+        if self._opened:
+            return
+        self._opened = True
+        # Open every operator first (children before parents), then
+        # propagate initial rows (e.g. the global aggregate's
+        # empty-input row) so parents are open when they arrive.
+        pending = [(op, op.on_open()) for op in self._compiled.operators]
+        for op, initial in pending:
+            if initial:
+                self._emit_up(op, initial)
+        # Inline VALUES relations are delivered as a bounded prelude.
+        for leaf in self._compiled.leaves:
+            rows = self._compiled.values_rows.get(id(leaf))
+            if rows is None:
+                continue
+            from ..core.changelog import ChangeKind
+
+            self._push_changes(
+                leaf,
+                0,
+                [Change(ChangeKind.INSERT, row, MIN_TIMESTAMP) for row in rows],
+            )
+            self._push_watermark(leaf, 0, MAX_TIMESTAMP, MIN_TIMESTAMP)
+
+    def _merged_events(
+        self, until: Optional[Timestamp]
+    ) -> list[tuple[StreamEvent, str]]:
+        """All source events merged in deterministic processing-time order."""
+        tagged: list[tuple[Timestamp, int, int, StreamEvent, str]] = []
+        for source_idx, (name, tvr) in enumerate(self._sources.items()):
+            for event_idx, event in enumerate(tvr.events()):
+                if until is not None and event.ptime > until:
+                    break
+                tagged.append((event.ptime, source_idx, event_idx, event, name))
+        tagged.sort(key=lambda item: (item[0], item[1], item[2]))
+        return [(event, name) for _, _, _, event, name in tagged]
+
+    def _push_changes(self, op: Operator, port: int, changes: list[Change]) -> None:
+        """Deliver changes into ``op`` and propagate its output upward."""
+        produced: list[Change] = []
+        for change in changes:
+            produced.extend(op.on_change(port, change))
+        if not produced:
+            return
+        self._emit_up(op, produced)
+
+    def _emit_up(self, op: Operator, changes: list[Change]) -> None:
+        parent_entry = self._compiled.parents.get(id(op))
+        if parent_entry is None:
+            self._collect_root(changes)
+            return
+        parent, port = parent_entry
+        self._push_changes(parent, port, changes)
+
+    def _push_watermark(
+        self, op: Operator, port: int, value: Timestamp, ptime: Timestamp
+    ) -> None:
+        changes, out_wm = op.on_watermark(port, value, ptime)
+        if changes:
+            self._emit_up(op, changes)
+        if out_wm is None:
+            return
+        parent_entry = self._compiled.parents.get(id(op))
+        if parent_entry is None:
+            self._root_wms.advance(ptime, out_wm)
+            return
+        parent, parent_port = parent_entry
+        self._push_watermark(parent, parent_port, out_wm, ptime)
+
+    def _collect_root(self, changes: list[Change]) -> None:
+        self._root_changes.extend(changes)
+
+    # -- timer service -------------------------------------------------------------
+
+    def _schedule_timer(self, when: Timestamp, op: Operator) -> None:
+        heapq.heappush(self._timers, (when, self._timer_seq, op))
+        self._timer_seq += 1
+
+    def _fire_timers(self, up_to: Timestamp) -> None:
+        """Fire pending timers with deadline <= ``up_to``, in order.
+
+        A timer due exactly at an event's instant fires *before* the
+        event: a row whose visibility ends at t is no longer visible at
+        t.
+        """
+        while self._timers and self._timers[0][0] <= up_to:
+            when, _, op = heapq.heappop(self._timers)
+            changes = op.on_timer(when)
+            self._last_ptime = max(self._last_ptime, when)
+            if changes:
+                self._emit_up(op, changes)

@@ -1,0 +1,420 @@
+"""Materialization control: rendering a result TVR per its EMIT clause.
+
+This module implements Extensions 4-7 of the paper.  The dataflow
+produces the result as a raw changelog plus a watermark track; the
+functions here derive from it:
+
+* :func:`stream_view` — the ``EMIT STREAM`` rendering: a relation with
+  the three metadata columns ``undo`` (retraction marker), ``ptime``
+  (processing-time offset of the change) and ``ver`` (revision index
+  within the row's event-time grouping), exactly as in Listing 9.
+* :func:`table_view` — the point-in-time snapshot, optionally filtered
+  to complete rows (``EMIT AFTER WATERMARK``, Listings 10-12) or
+  coalesced per period (``EMIT AFTER DELAY``, Listing 14).
+
+The three delay transforms compose with either rendering because each
+produces just another changelog — a TVR in its own right, which is the
+paper's central point.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..core.changelog import Change, ChangeKind, diff_bags
+from ..core.emit import EmitSpec
+from ..core.errors import ExecutionError
+from ..core.relation import Relation
+from ..core.schema import Column, Schema, SqlType
+from ..core.times import MAX_TIMESTAMP, MIN_TIMESTAMP, Duration, Timestamp
+from ..core.watermark import WatermarkTrack
+from .executor import RunResult
+
+__all__ = [
+    "StreamChange",
+    "DeltaChange",
+    "stream_schema",
+    "stream_view",
+    "delta_view",
+    "table_view",
+    "apply_emit_delays",
+]
+
+
+@dataclass(frozen=True)
+class StreamChange:
+    """One row of an ``EMIT STREAM`` result."""
+
+    values: tuple
+    undo: bool
+    ptime: Timestamp
+    ver: int
+
+    def as_tuple(self) -> tuple:
+        return self.values + ("undo" if self.undo else "", self.ptime, self.ver)
+
+
+def stream_schema(schema: Schema) -> Schema:
+    """The result schema extended with undo/ptime/ver metadata columns."""
+    return schema.degraded().with_columns(
+        [
+            Column("undo", SqlType.STRING),
+            Column("ptime", SqlType.TIMESTAMP),
+            Column("ver", SqlType.INT),
+        ]
+    )
+
+
+# ---------------------------------------------------------------------------
+# delay transforms: changelog -> changelog
+# ---------------------------------------------------------------------------
+
+
+def _complete(
+    values: tuple, completion: Optional[tuple[int, ...]], wm: Timestamp
+) -> bool:
+    """Whether a row is complete under watermark ``wm`` (Extension 5).
+
+    With no completion columns, completeness requires a fully consumed
+    input (the watermark at +inf) — e.g. a recorded table.
+    """
+    if completion is None:
+        return wm >= MAX_TIMESTAMP
+    return all(values[i] <= wm for i in completion)
+
+
+def _after_watermark(
+    changes: Sequence[Change],
+    watermarks: WatermarkTrack,
+    completion: Optional[tuple[int, ...]],
+) -> list[Change]:
+    """Suppress speculative rows; emit each row once its input completes.
+
+    Rows that appear and are retracted again before their grouping is
+    complete never surface; a surviving row is emitted at the
+    processing time the watermark passed its completion timestamps
+    (Listing 13's ``ptime`` semantics).
+    """
+    timeline = _merge_timeline(changes, watermarks)
+    live: Counter = Counter()
+    emitted: Counter = Counter()
+    out: list[Change] = []
+    wm = MIN_TIMESTAMP
+    for ptime, kind, payload in timeline:
+        if kind == "wm":
+            wm = payload
+            for values in list(live):
+                pending = live[values] - emitted.get(values, 0)
+                if pending > 0 and _complete(values, completion, wm):
+                    out.extend(
+                        Change(ChangeKind.INSERT, values, ptime)
+                        for _ in range(pending)
+                    )
+                    emitted[values] += pending
+            continue
+        change: Change = payload
+        values = change.values
+        if change.is_insert:
+            live[values] += 1
+            if _complete(values, completion, wm):
+                out.append(Change(ChangeKind.INSERT, values, ptime))
+                emitted[values] += 1
+        else:
+            live[values] -= 1
+            if live[values] == 0:
+                del live[values]
+            if emitted.get(values, 0) > 0:
+                out.append(Change(ChangeKind.RETRACT, values, ptime))
+                emitted[values] -= 1
+    return out
+
+
+def _after_delay(
+    changes: Sequence[Change],
+    delay: Duration,
+    emit_keys: tuple[int, ...],
+    until: Timestamp,
+    watermarks: Optional[WatermarkTrack] = None,
+    completion: Optional[tuple[int, ...]] = None,
+) -> list[Change]:
+    """Coalesce updates per aggregate with period ``delay`` (Extension 6).
+
+    A change to an aggregate arms a timer ``delay`` later (if none is
+    pending); when the timer fires, the difference between the
+    aggregate's last materialized rows and its current rows is emitted.
+    When ``watermarks``/``completion`` are supplied, completeness also
+    triggers materialization — Extension 7's combined form, the
+    early/on-time/late pattern.
+    """
+    key_of = lambda values: tuple(values[i] for i in emit_keys)  # noqa: E731
+    current: dict[tuple, Counter] = {}
+    materialized: dict[tuple, Counter] = {}
+    timers: list[tuple[Timestamp, int, tuple]] = []  # (deadline, seq, key)
+    pending: set[tuple] = set()
+    finalized: set[tuple] = set()
+    seq = 0
+    out: list[Change] = []
+
+    def fire(key: tuple, at: Timestamp) -> None:
+        before = materialized.get(key, Counter())
+        after = current.get(key, Counter())
+        out.extend(diff_bags(before, after, at))
+        materialized[key] = Counter(after)
+        pending.discard(key)
+
+    def fire_due(now: Timestamp, inclusive: bool) -> None:
+        while timers and (
+            timers[0][0] < now or (inclusive and timers[0][0] == now)
+        ):
+            deadline, _, key = heapq.heappop(timers)
+            if key in pending:
+                fire(key, deadline)
+
+    timeline = _merge_timeline(changes, watermarks) if watermarks else [
+        (c.ptime, "change", c) for c in changes
+    ]
+    # Process the timeline one instant at a time: a timer due at instant
+    # p fires only after ALL of p's changes are applied (Listing 14: the
+    # 8:18 bid is part of the 8:18 firing), while timers due earlier
+    # fire at their own deadline first.
+    i = 0
+    while i < len(timeline):
+        ptime = timeline[i][0]
+        fire_due(ptime, inclusive=False)
+        while i < len(timeline) and timeline[i][0] == ptime:
+            _, kind, payload = timeline[i]
+            i += 1
+            if kind == "wm":
+                # Extension 7: completeness materializes on time.
+                wm = payload
+                if completion is None:
+                    continue
+                for key, bag in list(current.items()):
+                    if key in finalized or key not in pending:
+                        continue
+                    rows = list(bag)
+                    if rows and all(
+                        _complete(values, completion, wm) for values in rows
+                    ):
+                        fire(key, ptime)
+                        finalized.add(key)
+                continue
+            change: Change = payload
+            key = key_of(change.values)
+            bag = current.setdefault(key, Counter())
+            bag[change.values] += change.delta
+            if bag[change.values] == 0:
+                del bag[change.values]
+            if key not in pending and bag != materialized.get(key, Counter()):
+                pending.add(key)
+                heapq.heappush(timers, (change.ptime + delay, seq, key))
+                seq += 1
+        fire_due(ptime, inclusive=True)
+    # Drain remaining timers up to the horizon.
+    fire_due(until, inclusive=True)
+    return out
+
+
+def _merge_timeline(
+    changes: Sequence[Change], watermarks: Optional[WatermarkTrack]
+) -> list[tuple[Timestamp, str, object]]:
+    """Interleave changes and watermark steps in processing-time order.
+
+    At equal instants, changes come first: a watermark observed at
+    processing time *p* covers everything that arrived at *p*.
+    """
+    timeline: list[tuple[Timestamp, int, str, object]] = []
+    for i, change in enumerate(changes):
+        timeline.append((change.ptime, 0, "change", change))
+    if watermarks is not None:
+        for i, (ptime, value) in enumerate(watermarks.as_pairs()):
+            timeline.append((ptime, 1, "wm", value))
+    timeline.sort(key=lambda item: (item[0], item[1]))
+    return [(pt, kind, payload) for pt, _, kind, payload in timeline]
+
+
+def apply_emit_delays(
+    result: RunResult,
+    emit: EmitSpec,
+    completion: Optional[tuple[int, ...]],
+    emit_keys: tuple[int, ...],
+    until: Timestamp,
+) -> list[Change]:
+    """The result changelog with the EMIT clause's delays applied.
+
+    Both delay transforms are prefix-stable — an output entry stamped at
+    processing time *p* depends only on input events at or before *p* —
+    so querying "as of ``until``" is just the transformed changelog cut
+    at ``until``.
+    """
+    if emit.delay is not None:
+        transformed = _after_delay(
+            result.changes,
+            emit.delay,
+            emit_keys,
+            MAX_TIMESTAMP,
+            watermarks=result.watermarks if emit.after_watermark else None,
+            completion=completion if emit.after_watermark else None,
+        )
+    elif emit.after_watermark:
+        transformed = _after_watermark(result.changes, result.watermarks, completion)
+    else:
+        transformed = list(result.changes)
+    return [c for c in transformed if c.ptime <= until]
+
+
+# ---------------------------------------------------------------------------
+# renderings
+# ---------------------------------------------------------------------------
+
+
+def stream_view(
+    result: RunResult,
+    emit: EmitSpec,
+    completion: Optional[tuple[int, ...]],
+    emit_keys: tuple[int, ...],
+    until: Timestamp = MAX_TIMESTAMP,
+) -> list[StreamChange]:
+    """Render the changelog with undo/ptime/ver metadata (Extension 4).
+
+    ``ver`` is a revision counter per event-time grouping: every change
+    (insert or retraction) to rows of the same group increments it,
+    reproducing Listing 9's numbering.
+    """
+    changes = apply_emit_delays(result, emit, completion, emit_keys, until)
+    versions: dict[tuple, int] = {}
+    out: list[StreamChange] = []
+    for change in changes:
+        key = tuple(change.values[i] for i in emit_keys)
+        ver = versions.get(key, 0)
+        versions[key] = ver + 1
+        out.append(
+            StreamChange(
+                values=change.values,
+                undo=change.is_retract,
+                ptime=change.ptime,
+                ver=ver,
+            )
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class DeltaChange:
+    """One row of a delta-encoded changelog (Section 6.5.1's
+    "deltas rather than aggregates" option).
+
+    ``key`` identifies the aggregate; ``deltas`` holds, per non-key
+    column, the numeric difference against the key's previous version
+    (the first version's delta is its full value).
+    """
+
+    key: tuple
+    deltas: tuple
+    ptime: Timestamp
+
+
+def delta_view(
+    result: RunResult,
+    emit: EmitSpec,
+    completion: Optional[tuple[int, ...]],
+    emit_keys: tuple[int, ...],
+    until: Timestamp = MAX_TIMESTAMP,
+) -> list[DeltaChange]:
+    """Render the changelog as per-aggregate numeric deltas.
+
+    This is the encoding the paper sketches for invertible aggregates:
+    instead of RETRACT(old)/INSERT(new) pairs, each update carries only
+    the difference.  Requires every non-key output column to be numeric
+    and each key to hold at most one live row (true for aggregate
+    outputs keyed by their group).
+    """
+    if not emit_keys:
+        raise ExecutionError(
+            "delta rendering needs aggregate emit keys (a grouped query)"
+        )
+    value_indices = [
+        i for i in range(len(result.schema)) if i not in set(emit_keys)
+    ]
+    for i in value_indices:
+        if not result.schema.columns[i].type.is_numeric:
+            raise ExecutionError(
+                f"delta rendering requires numeric columns; "
+                f"{result.schema.columns[i].name!r} is not"
+            )
+    changes = apply_emit_delays(result, emit, completion, emit_keys, until)
+    current: dict[tuple, tuple] = {}
+    # batch per (ptime, key): a retract+insert pair is one update
+    out: list[DeltaChange] = []
+    pending: dict[tuple, list[Change]] = {}
+
+    def flush(ptime: Timestamp) -> None:
+        for key, batch in pending.items():
+            old = current.get(key)
+            new = old
+            for change in batch:
+                if change.is_retract:
+                    new = None
+                else:
+                    new = tuple(change.values[i] for i in value_indices)
+            if new == old:
+                continue
+            if new is None:
+                deltas = tuple(-(v or 0) for v in old)
+                del current[key]
+            elif old is None:
+                deltas = new
+                current[key] = new
+            else:
+                deltas = tuple(
+                    (b or 0) - (a or 0) for a, b in zip(old, new)
+                )
+                current[key] = new
+            out.append(DeltaChange(key, deltas, ptime))
+        pending.clear()
+
+    last_ptime: Optional[Timestamp] = None
+    for change in changes:
+        if last_ptime is not None and change.ptime != last_ptime:
+            flush(last_ptime)
+        last_ptime = change.ptime
+        key = tuple(change.values[i] for i in emit_keys)
+        pending.setdefault(key, []).append(change)
+    if last_ptime is not None:
+        flush(last_ptime)
+    return out
+
+
+def table_view(
+    result: RunResult,
+    emit: EmitSpec,
+    completion: Optional[tuple[int, ...]],
+    emit_keys: tuple[int, ...],
+    at: Timestamp = MAX_TIMESTAMP,
+    sort_keys: Sequence[tuple[int, bool]] = (),
+    limit: Optional[int] = None,
+) -> Relation:
+    """Render the point-in-time snapshot at processing time ``at``."""
+    changes = apply_emit_delays(result, emit, completion, emit_keys, at)
+    bag: Counter = Counter()
+    for change in changes:
+        bag[change.values] += change.delta
+        if bag[change.values] == 0:
+            del bag[change.values]
+    if any(count < 0 for count in bag.values()):
+        raise ExecutionError("result changelog retracted a missing row")
+    rows: list[tuple] = []
+    for values, count in bag.items():
+        rows.extend([values] * count)
+    if sort_keys:
+        for index, ascending in reversed(list(sort_keys)):
+            rows.sort(
+                key=lambda row: (row[index] is None, row[index]),
+                reverse=not ascending,
+            )
+    if limit is not None:
+        rows = rows[:limit]
+    return Relation(result.schema, rows)

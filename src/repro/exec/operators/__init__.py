@@ -1,0 +1,43 @@
+"""Physical operators over changelogs."""
+
+from .aggregate import AggregateOperator
+from .base import Operator
+from .join import JoinOperator, TimeBound
+from .match import MatchRecognizeOperator
+from .outer_join import LeftJoinOperator, OuterJoinOperator
+from .over import OverOperator
+from .semi_join import SemiJoinOperator
+from .session import SessionOperator
+from .stateless import (
+    FilterOperator,
+    ProjectOperator,
+    ScanOperator,
+    SortOperator,
+    UnionOperator,
+)
+from .temporal import TemporalFilterOperator
+from .temporal_join import TemporalJoinOperator
+from .window import HopOperator, TumbleOperator, hop_windows
+
+__all__ = [
+    "Operator",
+    "ScanOperator",
+    "FilterOperator",
+    "ProjectOperator",
+    "UnionOperator",
+    "SortOperator",
+    "TumbleOperator",
+    "HopOperator",
+    "hop_windows",
+    "SessionOperator",
+    "AggregateOperator",
+    "JoinOperator",
+    "TimeBound",
+    "OuterJoinOperator",
+    "LeftJoinOperator",
+    "SemiJoinOperator",
+    "TemporalFilterOperator",
+    "TemporalJoinOperator",
+    "MatchRecognizeOperator",
+    "OverOperator",
+]

@@ -1,0 +1,133 @@
+"""Physical operator protocol.
+
+Operators process *changelogs*: every data message is a
+:class:`~repro.core.changelog.Change` (an insert or retract of one row
+occurrence), mirroring how Flink's retraction streams drive its SQL
+runtime (Appendix B.2.3).  Watermarks flow as separate control
+messages.
+
+The contract:
+
+* ``on_open`` runs once before any input and may emit initial rows
+  (e.g. the empty-input row of a global aggregate).
+* ``on_change(port, change)`` consumes one change on an input port and
+  returns the resulting output changes, in order.
+* ``on_watermark(port, value, ptime)`` records an input watermark
+  advance and returns ``(changes, output_watermark)`` — the changes the
+  advance triggered plus the operator's new output watermark (``None``
+  if unchanged).  Output watermarks must be monotonic; multi-input
+  operators merge by minimum (the hold-back rule of Section 5).
+* ``state_size()`` reports retained row count, powering the paper's
+  "reasoning about the size of query state" lesson and the state
+  benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ...core.changelog import Change
+from ...core.schema import Schema
+from ...core.times import MIN_TIMESTAMP, Timestamp
+from ...core.watermark import merge_watermarks
+
+__all__ = ["Operator"]
+
+
+class Operator:
+    """Base class for physical operators."""
+
+    def __init__(self, schema: Schema, arity: int):
+        self.schema = schema
+        self.arity = arity
+        self._input_wms: list[Timestamp] = [MIN_TIMESTAMP] * arity
+        self._output_wm: Timestamp = MIN_TIMESTAMP
+        self._timer_sink: Optional[Callable[[Timestamp, "Operator"], None]] = None
+
+    # -- processing-time timers -----------------------------------------------
+
+    def bind_timers(self, sink: Callable[[Timestamp, "Operator"], None]) -> None:
+        """Connect this operator to the executor's timer service."""
+        self._timer_sink = sink
+
+    def register_timer(self, when: Timestamp) -> None:
+        """Request an ``on_timer`` callback at processing time ``when``.
+
+        Timers power operators whose output changes with the mere
+        passage of processing time — the time-progressing expressions of
+        Section 8 — rather than with new input.
+        """
+        if self._timer_sink is not None:
+            self._timer_sink(when, self)
+
+    def on_timer(self, when: Timestamp) -> list[Change]:
+        """Handle a timer firing; returns emitted changes."""
+        return []
+
+    # -- data path ----------------------------------------------------------
+
+    def on_open(self) -> list[Change]:
+        """Emit any initial output (before the first input arrives)."""
+        return []
+
+    def on_change(self, port: int, change: Change) -> list[Change]:
+        raise NotImplementedError
+
+    # -- watermark path -------------------------------------------------------
+
+    def on_watermark(
+        self, port: int, value: Timestamp, ptime: Timestamp
+    ) -> tuple[list[Change], Optional[Timestamp]]:
+        """Record an input watermark; default merges inputs by minimum."""
+        self._input_wms[port] = value
+        merged = merge_watermarks(self._input_wms)
+        changes = self._on_watermark_advanced(merged, ptime)
+        if merged > self._output_wm:
+            self._output_wm = merged
+            return changes, merged
+        return changes, None
+
+    def _on_watermark_advanced(
+        self, merged: Timestamp, ptime: Timestamp
+    ) -> list[Change]:
+        """Hook for watermark-triggered work (state GC, session closes)."""
+        return []
+
+    @property
+    def input_watermark(self) -> Timestamp:
+        """The merged watermark over all input ports."""
+        return merge_watermarks(self._input_wms)
+
+    @property
+    def output_watermark(self) -> Timestamp:
+        return self._output_wm
+
+    # -- checkpointing ------------------------------------------------------------
+
+    def state_snapshot(self) -> dict:
+        """Picklable snapshot of this operator's state.
+
+        The base snapshot covers the watermark bookkeeping; stateful
+        subclasses extend it.  Together with the executor's own
+        bookkeeping this gives consistent stop-and-resume, the
+        checkpoint/recovery capability Appendix B.2.1 describes for
+        Flink.
+        """
+        return {
+            "input_wms": list(self._input_wms),
+            "output_wm": self._output_wm,
+        }
+
+    def state_restore(self, snapshot: dict) -> None:
+        """Restore state captured by :meth:`state_snapshot`."""
+        self._input_wms = list(snapshot["input_wms"])
+        self._output_wm = snapshot["output_wm"]
+
+    # -- introspection ---------------------------------------------------------
+
+    def state_size(self) -> int:
+        """Number of row occurrences retained in operator state."""
+        return 0
+
+    def name(self) -> str:
+        return type(self).__name__

@@ -1,0 +1,93 @@
+"""Windowing TVF operators: Tumble and Hop (Extension 3).
+
+Both are *stateless* relational transforms: they map each input row to
+one (Tumble) or ``size/slide`` (Hop) output rows carrying the window's
+``wstart``/``wend`` as ordinary event time columns.  This is the
+paper's fix for ``GROUP BY HOP(...)``: the row multiplication happens
+in a table-valued function, so the grouping above it is a plain
+relational GROUP BY.
+
+Session windows (a future-work item in Section 8 that we implement) are
+stateful and live in :mod:`.session`.
+"""
+
+from __future__ import annotations
+
+from ...core.changelog import Change
+from ...core.errors import ExecutionError
+from ...core.schema import Schema
+from ...core.times import Duration, align_to_window
+from .base import Operator
+
+__all__ = ["TumbleOperator", "HopOperator", "hop_windows"]
+
+
+class TumbleOperator(Operator):
+    """Assigns each row to the fixed window containing its timestamp."""
+
+    def __init__(
+        self, schema: Schema, timecol: int, size: Duration, offset: Duration = 0
+    ):
+        super().__init__(schema, arity=1)
+        self._timecol = timecol
+        self._size = size
+        self._offset = offset
+
+    def on_change(self, port: int, change: Change) -> list[Change]:
+        ts = change.values[self._timecol]
+        if ts is None:
+            raise ExecutionError("NULL event timestamp in Tumble input")
+        wstart = align_to_window(ts, self._size, self._offset)
+        values = (wstart, wstart + self._size) + change.values
+        return [Change(change.kind, values, change.ptime)]
+
+
+def hop_windows(
+    ts: int, size: Duration, slide: Duration, offset: Duration = 0
+) -> list[tuple[int, int]]:
+    """All (wstart, wend) hop windows containing ``ts``.
+
+    Windows start every ``slide`` and are ``size`` wide.  With
+    ``slide < size`` windows overlap (each row lands in
+    ``ceil(size/slide)``-ish windows); with ``slide > size`` there are
+    gaps and a row may fall in no window at all.
+    """
+    windows: list[tuple[int, int]] = []
+    # Earliest window that could contain ts starts at ts - size
+    # (exclusive); walk starts aligned to the slide grid.
+    first_start = align_to_window(ts - size, slide, offset) + slide
+    start = first_start
+    while start <= ts:
+        end = start + size
+        if ts < end:
+            windows.append((start, end))
+        start += slide
+    return windows
+
+
+class HopOperator(Operator):
+    """Assigns each row to every sliding window that contains it."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        timecol: int,
+        size: Duration,
+        slide: Duration,
+        offset: Duration = 0,
+    ):
+        super().__init__(schema, arity=1)
+        self._timecol = timecol
+        self._size = size
+        self._slide = slide
+        self._offset = offset
+
+    def on_change(self, port: int, change: Change) -> list[Change]:
+        ts = change.values[self._timecol]
+        if ts is None:
+            raise ExecutionError("NULL event timestamp in Hop input")
+        out = []
+        for wstart, wend in hop_windows(ts, self._size, self._slide, self._offset):
+            values = (wstart, wend) + change.values
+            out.append(Change(change.kind, values, change.ptime))
+        return out

@@ -1,0 +1,101 @@
+"""State introspection: relating physical state back to the query.
+
+Section 5 of the paper: "we need to consider … how to give the user
+feedback about the state being consumed, relating the physical
+computation back to their query."  A :class:`StateReport` does exactly
+that — a per-operator breakdown of retained rows, late drops, and
+expiries, rendered next to the operator names a user can recognize
+from ``EXPLAIN``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from .operators.aggregate import AggregateOperator
+from .operators.base import Operator
+from .operators.join import JoinOperator
+from .operators.match import MatchRecognizeOperator
+from .operators.over import OverOperator
+from .operators.session import SessionOperator
+from .operators.temporal import TemporalFilterOperator
+
+if TYPE_CHECKING:
+    from .executor import Dataflow
+
+__all__ = ["OperatorState", "StateReport", "collect_state"]
+
+
+@dataclass(frozen=True)
+class OperatorState:
+    """State snapshot of one physical operator."""
+
+    name: str
+    retained_rows: int
+    late_dropped: int = 0
+    expired_rows: int = 0
+
+    def __str__(self) -> str:
+        extras = []
+        if self.late_dropped:
+            extras.append(f"late_dropped={self.late_dropped}")
+        if self.expired_rows:
+            extras.append(f"expired={self.expired_rows}")
+        suffix = f" ({', '.join(extras)})" if extras else ""
+        return f"{self.name}: {self.retained_rows} rows{suffix}"
+
+
+@dataclass(frozen=True)
+class StateReport:
+    """State snapshot of a whole dataflow."""
+
+    operators: tuple[OperatorState, ...]
+
+    @property
+    def total_rows(self) -> int:
+        return sum(op.retained_rows for op in self.operators)
+
+    @property
+    def total_late_dropped(self) -> int:
+        return sum(op.late_dropped for op in self.operators)
+
+    @property
+    def total_expired(self) -> int:
+        return sum(op.expired_rows for op in self.operators)
+
+    def __str__(self) -> str:
+        lines = [f"total retained rows: {self.total_rows}"]
+        lines.extend(f"  {op}" for op in self.operators if op.retained_rows
+                     or op.late_dropped or op.expired_rows)
+        return "\n".join(lines)
+
+
+def _late_dropped(op: Operator) -> int:
+    if isinstance(
+        op,
+        (AggregateOperator, SessionOperator, MatchRecognizeOperator, OverOperator),
+    ):
+        return op.late_dropped
+    return 0
+
+
+def _expired(op: Operator) -> int:
+    if isinstance(op, (JoinOperator, TemporalFilterOperator)):
+        return op.expired_rows
+    return 0
+
+
+def collect_state(dataflow: "Dataflow") -> StateReport:
+    """Snapshot every operator's retained state in plan order."""
+    return StateReport(
+        tuple(
+            OperatorState(
+                name=op.name(),
+                retained_rows=op.state_size(),
+                late_dropped=_late_dropped(op),
+                expired_rows=_expired(op),
+            )
+            for op in dataflow.operators
+        )
+    )

@@ -1,0 +1,190 @@
+"""Reading and writing TVRs in the paper's dataset notation.
+
+Section 4 presents its example stream as a two-column script of
+processing times and events::
+
+    8:07  WM -> 8:05
+    8:08  INSERT (8:07, $2, A)
+
+This module parses and re-emits that notation (linearized, one event
+per line), with an optional leading ``schema:`` declaration so a script
+file is self-contained::
+
+    schema: bidtime TIMESTAMP EVENT TIME, price INT, item STRING
+    8:07  WM -> 8:05
+    8:08  INSERT (8:07, $2, A)
+    8:13  RETRACT (8:07, $2, A)
+
+Values are parsed per the schema's column types; ``$`` prefixes on
+numbers (the paper's price notation) are accepted and ignored.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from .core.errors import ReproError
+from .core.schema import Column, Schema, SqlType
+from .core.times import fmt_time, t
+from .core.tvr import RowEvent, TimeVaryingRelation, WatermarkEvent
+
+__all__ = ["parse_script", "format_script", "parse_schema_line"]
+
+_TYPE_NAMES = {
+    "INT": SqlType.INT,
+    "INTEGER": SqlType.INT,
+    "BIGINT": SqlType.INT,
+    "FLOAT": SqlType.FLOAT,
+    "DOUBLE": SqlType.FLOAT,
+    "STRING": SqlType.STRING,
+    "VARCHAR": SqlType.STRING,
+    "BOOL": SqlType.BOOL,
+    "BOOLEAN": SqlType.BOOL,
+    "TIMESTAMP": SqlType.TIMESTAMP,
+}
+
+_WM_RE = re.compile(r"^(?P<ptime>\S+)\s+WM\s*->\s*(?P<value>\S+)$")
+_ROW_RE = re.compile(
+    r"^(?P<ptime>\S+)\s+(?P<kind>INSERT|RETRACT)\s*\((?P<values>.*)\)$"
+)
+
+
+class ScriptError(ReproError):
+    """A dataset script could not be parsed."""
+
+
+def parse_schema_line(line: str) -> Schema:
+    """Parse ``schema: name TYPE [EVENT TIME], ...`` into a Schema."""
+    body = line.split(":", 1)[1]
+    columns = []
+    for spec in body.split(","):
+        words = spec.split()
+        if len(words) < 2:
+            raise ScriptError(f"bad column spec {spec.strip()!r}")
+        name, type_name = words[0], words[1].upper()
+        sql_type = _TYPE_NAMES.get(type_name)
+        if sql_type is None:
+            raise ScriptError(f"unknown type {words[1]!r} in schema line")
+        event_time = [w.upper() for w in words[2:]] in (
+            ["EVENT", "TIME"],
+            ["*EVENT", "TIME*"],
+        )
+        if words[2:] and not event_time:
+            raise ScriptError(f"unexpected tokens after type in {spec.strip()!r}")
+        columns.append(Column(name, sql_type, event_time=event_time))
+    return Schema(columns)
+
+
+def _parse_value(text: str, sql_type: SqlType):
+    text = text.strip()
+    if text.upper() == "NULL":
+        return None
+    if text.startswith("$"):
+        text = text[1:]
+    if sql_type is SqlType.TIMESTAMP:
+        return t(text)
+    if sql_type is SqlType.INT:
+        return int(text)
+    if sql_type is SqlType.FLOAT:
+        return float(text)
+    if sql_type is SqlType.BOOL:
+        return text.upper() in ("TRUE", "T", "1")
+    # string: allow optional quotes
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in "'\"":
+        return text[1:-1]
+    return text
+
+
+def _parse_time(text: str) -> int:
+    try:
+        return t(text)
+    except ValueError:
+        try:
+            return int(text)
+        except ValueError:
+            raise ScriptError(f"cannot parse time {text!r}") from None
+
+
+def parse_script(text: str, schema: Optional[Schema] = None) -> TimeVaryingRelation:
+    """Parse a dataset script into a TVR.
+
+    If ``schema`` is not given, the script must start with a
+    ``schema:`` line.
+    """
+    tvr: Optional[TimeVaryingRelation] = None
+    if schema is not None:
+        tvr = TimeVaryingRelation(schema)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.lower().startswith("schema:"):
+            if tvr is not None:
+                raise ScriptError(f"line {lineno}: schema declared twice")
+            schema = parse_schema_line(line)
+            tvr = TimeVaryingRelation(schema)
+            continue
+        if tvr is None or schema is None:
+            raise ScriptError(
+                f"line {lineno}: no schema (pass one or add a 'schema:' line)"
+            )
+        wm_match = _WM_RE.match(line)
+        if wm_match:
+            tvr.advance_watermark(
+                _parse_time(wm_match.group("ptime")),
+                _parse_time(wm_match.group("value")),
+            )
+            continue
+        row_match = _ROW_RE.match(line)
+        if row_match:
+            parts = [p for p in row_match.group("values").split(",")]
+            if len(parts) != len(schema):
+                raise ScriptError(
+                    f"line {lineno}: expected {len(schema)} values, got "
+                    f"{len(parts)}"
+                )
+            values = tuple(
+                _parse_value(part, col.type)
+                for part, col in zip(parts, schema.columns)
+            )
+            ptime = _parse_time(row_match.group("ptime"))
+            if row_match.group("kind") == "INSERT":
+                tvr.insert(ptime, values)
+            else:
+                tvr.retract(ptime, values)
+            continue
+        raise ScriptError(f"line {lineno}: cannot parse {line!r}")
+    if tvr is None:
+        raise ScriptError("empty script and no schema given")
+    return tvr
+
+
+def format_script(tvr: TimeVaryingRelation, include_schema: bool = True) -> str:
+    """Render a TVR back into the script notation (round-trips)."""
+    lines: list[str] = []
+    if include_schema:
+        cols = ", ".join(
+            f"{c.name} {c.type}{' EVENT TIME' if c.event_time else ''}"
+            for c in tvr.schema.columns
+        )
+        lines.append(f"schema: {cols}")
+    for event in tvr.events():
+        ptime = fmt_time(event.ptime)
+        if isinstance(event, WatermarkEvent):
+            lines.append(f"{ptime}  WM -> {fmt_time(event.value)}")
+            continue
+        assert isinstance(event, RowEvent)
+        rendered = []
+        for col, value in zip(tvr.schema.columns, event.change.values):
+            if value is None:
+                rendered.append("NULL")
+            elif col.type is SqlType.TIMESTAMP:
+                rendered.append(fmt_time(value))
+            elif col.type is SqlType.STRING:
+                rendered.append(f"'{value}'")
+            else:
+                rendered.append(str(value))
+        kind = "INSERT" if event.is_insert else "RETRACT"
+        lines.append(f"{ptime}  {kind} ({', '.join(rendered)})")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,13 @@
+"""NEXMark: the benchmark workload the paper's examples are drawn from."""
+
+from . import model, queries
+from .generator import NexmarkConfig, NexmarkStreams, generate, paper_bid_stream
+
+__all__ = [
+    "model",
+    "queries",
+    "NexmarkConfig",
+    "NexmarkStreams",
+    "generate",
+    "paper_bid_stream",
+]

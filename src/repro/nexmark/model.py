@@ -1,0 +1,101 @@
+"""NEXMark data model (Tucker et al.): an online auction platform.
+
+Three streams — Person, Auction, Bid — plus a static Category table,
+exactly the model Section 4 of the paper describes.  Every stream
+carries a watermarked event time column named ``dateTime`` (``bidtime``
+on Bid, matching the paper's Query 7 column naming).
+"""
+
+from __future__ import annotations
+
+from ..core.schema import (
+    Schema,
+    int_col,
+    string_col,
+    timestamp_col,
+)
+
+__all__ = [
+    "PERSON_SCHEMA",
+    "AUCTION_SCHEMA",
+    "BID_SCHEMA",
+    "PAPER_BID_SCHEMA",
+    "CATEGORY_SCHEMA",
+    "CATEGORIES",
+    "US_STATES",
+    "CITIES",
+    "FIRST_NAMES",
+    "LAST_NAMES",
+]
+
+PERSON_SCHEMA = Schema(
+    [
+        int_col("id"),
+        string_col("name"),
+        string_col("email"),
+        string_col("city"),
+        string_col("state"),
+        timestamp_col("dateTime", event_time=True),
+    ]
+)
+
+AUCTION_SCHEMA = Schema(
+    [
+        int_col("id"),
+        string_col("itemName"),
+        int_col("initialBid"),
+        int_col("reserve"),
+        timestamp_col("dateTime", event_time=True),
+        timestamp_col("expires"),
+        int_col("seller"),
+        int_col("category"),
+    ]
+)
+
+BID_SCHEMA = Schema(
+    [
+        int_col("auction"),
+        int_col("bidder"),
+        int_col("price"),
+        timestamp_col("bidtime", event_time=True),
+    ]
+)
+
+#: The three-column Bid variant used in the paper's Section 4 walkthrough.
+PAPER_BID_SCHEMA = Schema(
+    [
+        timestamp_col("bidtime", event_time=True),
+        int_col("price"),
+        string_col("item"),
+    ]
+)
+
+CATEGORY_SCHEMA = Schema([int_col("id"), string_col("name")])
+
+#: The static Category table contents.
+CATEGORIES: list[tuple[int, str]] = [
+    (10, "Collectibles"),
+    (11, "Electronics"),
+    (12, "Books"),
+    (13, "Fashion"),
+    (14, "Home"),
+    (15, "Garden"),
+    (16, "Toys"),
+    (17, "Music"),
+    (18, "Sports"),
+    (19, "Art"),
+]
+
+US_STATES = ["OR", "ID", "CA", "WA", "NV", "AZ", "UT", "NY", "TX", "MA"]
+CITIES = [
+    "Portland", "Boise", "San Francisco", "Seattle", "Reno",
+    "Phoenix", "Salt Lake City", "New York", "Austin", "Boston",
+]
+FIRST_NAMES = [
+    "Ada", "Ben", "Carol", "Dan", "Eve", "Frank", "Grace", "Hugo",
+    "Iris", "Jack", "Kay", "Liam", "Maya", "Noel", "Opal", "Pete",
+]
+LAST_NAMES = [
+    "Abrams", "Baker", "Chen", "Diaz", "Evans", "Fox", "Gupta",
+    "Hansen", "Ito", "Jones", "Klein", "Lopez", "Moore", "Nakamura",
+]

@@ -1,0 +1,39 @@
+"""Query planning: row expressions, logical operators, planner, optimizer.
+
+Import :mod:`repro.plan.planner` / :mod:`repro.plan.optimizer` directly
+where needed; this package namespace re-exports the logical algebra.
+"""
+
+from . import rex
+from .logical import (
+    AggCall,
+    AggregateNode,
+    FilterNode,
+    JoinKind,
+    JoinNode,
+    LogicalNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+    UnionNode,
+    ValuesNode,
+    WindowKind,
+    WindowNode,
+)
+
+__all__ = [
+    "rex",
+    "LogicalNode",
+    "ScanNode",
+    "FilterNode",
+    "ProjectNode",
+    "WindowKind",
+    "WindowNode",
+    "AggCall",
+    "AggregateNode",
+    "JoinKind",
+    "JoinNode",
+    "UnionNode",
+    "SortNode",
+    "ValuesNode",
+]

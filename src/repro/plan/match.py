@@ -1,0 +1,227 @@
+"""Planning for MATCH_RECOGNIZE (SQL:2016 row pattern matching).
+
+Section 6.1 of the paper highlights MATCH_RECOGNIZE as the SQL:2016
+feature that, combined with event time semantics, unlocks complex event
+processing in streaming SQL.  This module plans the supported subset:
+
+* ``PARTITION BY`` columns, ``ORDER BY`` a watermark-aligned event time
+  column (which is what makes deterministic matching over out-of-order
+  input possible — rows are sequenced by event time as the watermark
+  stabilizes them);
+* concatenation patterns of symbols with greedy ``? * +`` quantifiers;
+* ``DEFINE`` predicates over the current row (a symbol qualifier on a
+  column, e.g. ``UP.price``, refers to the row being classified);
+* ``MEASURES`` over the matched rows: ``SYM.col`` (last row of SYM),
+  ``FIRST/LAST(SYM.col)``, ``COUNT/SUM/MIN/MAX/AVG(SYM.col)``, and
+  arithmetic over those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from ..core.errors import PlanError, ValidationError
+from ..core.schema import Column, Schema, SqlType
+from ..sql import ast
+from .logical import LogicalNode
+
+__all__ = ["MatchMeasure", "MatchRecognizeNode", "translate_measure"]
+
+#: a compiled measure: symbol->rows mapping to a value
+MeasureFn = Callable[[dict[str, list[tuple]]], Any]
+
+
+@dataclass(frozen=True)
+class MatchMeasure:
+    """One compiled MEASURES entry."""
+
+    name: str
+    type: SqlType
+    evaluate: MeasureFn
+
+
+class MatchRecognizeNode(LogicalNode):
+    """Logical row-pattern-matching operator.
+
+    Output schema: the partition columns followed by the measures.
+    Matches are only ever *appended* (each is emitted once its rows are
+    watermark-stable), so the output is an insert-only TVR; no row is
+    individually "complete" in the Extension-5 sense before the input
+    ends, hence ``completion_indices`` is ``None``.
+    """
+
+    def __init__(
+        self,
+        input: LogicalNode,
+        partition_indices: Sequence[int],
+        order_index: int,
+        measures: Sequence[MatchMeasure],
+        pattern: Sequence[tuple[str, str]],
+        defines: dict[str, Callable[[tuple], Any]],
+        after_match: str = "PAST LAST ROW",
+    ):
+        order_col = input.schema.columns[order_index]
+        if not order_col.event_time:
+            raise PlanError(
+                "MATCH_RECOGNIZE ORDER BY must be a watermarked event "
+                f"time column; {order_col.name!r} is not (out-of-order "
+                "input could not be sequenced deterministically)"
+            )
+        symbols = {sym for sym, _ in pattern}
+        for sym in defines:
+            if sym not in symbols:
+                raise PlanError(f"DEFINE for {sym} not present in PATTERN")
+        self.input = input
+        self.partition_indices = tuple(partition_indices)
+        self.order_index = order_index
+        self.measures = tuple(measures)
+        self.pattern = tuple(pattern)
+        self.defines = dict(defines)
+        self.after_match = after_match
+        self.inputs = (input,)
+        cols = [
+            input.schema.columns[i].degraded() for i in self.partition_indices
+        ]
+        cols.extend(Column(m.name, m.type) for m in measures)
+        self.schema = Schema(cols)
+        self.bounded = input.bounded
+        self.completion_indices = None
+        self.emit_key_indices = ()
+
+    def with_inputs(self, inputs: Sequence[LogicalNode]) -> "MatchRecognizeNode":
+        (child,) = inputs
+        return MatchRecognizeNode(
+            child,
+            self.partition_indices,
+            self.order_index,
+            self.measures,
+            self.pattern,
+            self.defines,
+            self.after_match,
+        )
+
+    def _describe(self) -> str:
+        pattern = " ".join(f"{s}{q}" for s, q in self.pattern)
+        return f"MatchRecognize(pattern=({pattern}))"
+
+
+_AGG_FNS = {"FIRST", "LAST", "COUNT", "SUM", "MIN", "MAX", "AVG"}
+
+
+def translate_measure(
+    expr: ast.Expr,
+    schema: Schema,
+    symbols: set[str],
+    sql: Optional[str] = None,
+) -> tuple[MeasureFn, SqlType]:
+    """Compile a MEASURES expression to a function of the symbol map."""
+
+    def error(message: str, node: ast.Node) -> ValidationError:
+        return ValidationError(message, sql, node.pos)
+
+    def symbol_column(ref: ast.ColumnRef) -> tuple[str, int]:
+        if len(ref.parts) != 2:
+            raise error(
+                f"measure column {ref} must be qualified by a pattern "
+                f"symbol (e.g. A.price)",
+                ref,
+            )
+        symbol, column = ref.parts
+        if symbol.upper() not in symbols:
+            raise error(f"{symbol!r} is not a pattern symbol", ref)
+        return symbol.upper(), schema.index_of(column)
+
+    def recurse(node: ast.Expr) -> tuple[MeasureFn, SqlType]:
+        if isinstance(node, ast.Literal):
+            value = node.value
+            lit_type = {
+                bool: SqlType.BOOL,
+                int: SqlType.INT,
+                float: SqlType.FLOAT,
+                str: SqlType.STRING,
+                type(None): SqlType.NULL,
+            }[type(value)]
+            return (lambda match: value), lit_type
+        if isinstance(node, ast.IntervalLiteral):
+            millis = node.millis
+            return (lambda match: millis), SqlType.INTERVAL
+        if isinstance(node, ast.ColumnRef):
+            symbol, index = symbol_column(node)
+            col_type = schema.columns[index].type
+
+            def last_of(match: dict[str, list[tuple]]) -> Any:
+                rows = match.get(symbol)
+                return rows[-1][index] if rows else None
+
+            return last_of, col_type
+        if isinstance(node, ast.FunctionCall) and node.name in _AGG_FNS:
+            if len(node.args) != 1 or not isinstance(node.args[0], ast.ColumnRef):
+                raise error(
+                    f"{node.name} in MEASURES takes one symbol-qualified "
+                    f"column",
+                    node,
+                )
+            symbol, index = symbol_column(node.args[0])
+            col_type = schema.columns[index].type
+            fn_name = node.name
+
+            def agg(match: dict[str, list[tuple]]) -> Any:
+                rows = match.get(symbol, [])
+                values = [r[index] for r in rows if r[index] is not None]
+                if fn_name == "COUNT":
+                    return len(values)
+                if not values:
+                    return None
+                if fn_name == "FIRST":
+                    return rows[0][index]
+                if fn_name == "LAST":
+                    return rows[-1][index]
+                if fn_name == "SUM":
+                    return sum(values)
+                if fn_name == "MIN":
+                    return min(values)
+                if fn_name == "MAX":
+                    return max(values)
+                return sum(values) / len(values)  # AVG
+
+            out_type = {
+                "COUNT": SqlType.INT,
+                "AVG": SqlType.FLOAT,
+            }.get(fn_name, col_type)
+            return agg, out_type
+        if isinstance(node, ast.BinaryOp) and node.op in ("+", "-", "*", "/", "%"):
+            left_fn, left_type = recurse(node.left)
+            right_fn, right_type = recurse(node.right)
+            op = node.op
+
+            def arith(match: dict[str, list[tuple]]) -> Any:
+                a = left_fn(match)
+                b = right_fn(match)
+                if a is None or b is None:
+                    return None
+                if op == "+":
+                    return a + b
+                if op == "-":
+                    return a - b
+                if op == "*":
+                    return a * b
+                if op == "/":
+                    return a / b if b else None
+                return a % b
+
+            result_type = (
+                SqlType.FLOAT
+                if SqlType.FLOAT in (left_type, right_type) or op == "/"
+                else left_type
+            )
+            if left_type is SqlType.TIMESTAMP and right_type is SqlType.TIMESTAMP:
+                result_type = SqlType.INTERVAL
+            elif SqlType.TIMESTAMP in (left_type, right_type):
+                result_type = SqlType.TIMESTAMP
+            return arith, result_type
+        raise error(
+            f"unsupported MEASURES expression {type(node).__name__}", node
+        )
+
+    return recurse(expr)

@@ -1,0 +1,175 @@
+r"""An interactive streaming-SQL shell.
+
+Beam SQL ships an interactive shell (Appendix B.3.1); this is ours.
+Backslash commands manage the catalog and the query instant, and any
+other input is buffered until a ``;`` and executed as SQL::
+
+    repro> \load Bid examples/data/paper_bids.script
+    repro> \at 8:13
+    repro> SELECT * FROM Bid;
+    repro> SELECT ... EMIT STREAM;        -- renders the changelog
+
+Run it with ``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, TextIO
+
+from .core.errors import ReproError
+from .core.times import MAX_TIMESTAMP, fmt_time, t
+from .engine import StreamEngine
+from .io import parse_script
+
+__all__ = ["Shell"]
+
+_HELP = """\
+Commands:
+  \\help               show this help
+  \\tables             list registered relations
+  \\schema NAME        show a relation's schema
+  \\load NAME PATH     register a stream from a dataset script file
+  \\save NAME PATH     write a registered relation as a dataset script
+  \\at TIME            set the table-view instant (e.g. \\at 8:13)
+  \\until TIME         set the stream-view horizon
+  \\explain SQL;       show the optimized plan
+  \\state SQL;         run a query and show per-operator state
+  \\view NAME SQL;     register a view (expanded wherever referenced)
+  \\quit               exit
+Anything else is SQL, terminated by ';'.  Add EMIT STREAM to see the
+changelog rendering instead of a table."""
+
+
+class Shell:
+    """A line-oriented shell around a :class:`StreamEngine`.
+
+    ``feed`` consumes one input line and returns the output to display
+    (or ``None`` while buffering a multi-line statement), which makes
+    the shell fully testable without a terminal.
+    """
+
+    def __init__(self, engine: Optional[StreamEngine] = None):
+        self.engine = engine or StreamEngine()
+        self.at: int | None = None
+        self.until: int | None = None
+        self.done = False
+        self._buffer: list[str] = []
+
+    # -- driving ---------------------------------------------------------------
+
+    def feed(self, line: str) -> Optional[str]:
+        """Process one line of input; returns printable output or None."""
+        stripped = line.strip()
+        if not self._buffer and stripped.startswith("\\"):
+            return self._command(stripped)
+        if not stripped and not self._buffer:
+            return None
+        self._buffer.append(line)
+        if stripped.endswith(";"):
+            statement = "\n".join(self._buffer)
+            self._buffer = []
+            return self._run_sql(statement)
+        return None
+
+    @property
+    def prompt(self) -> str:
+        return "   ...> " if self._buffer else "repro> "
+
+    def run(self, stdin: TextIO = sys.stdin, stdout: TextIO = sys.stdout) -> None:
+        """Interactive loop until EOF or ``\\quit``."""
+        stdout.write("repro streaming SQL shell — \\help for help\n")
+        while not self.done:
+            stdout.write(self.prompt)
+            stdout.flush()
+            line = stdin.readline()
+            if not line:
+                break
+            output = self.feed(line)
+            if output:
+                stdout.write(output + "\n")
+
+    # -- commands ---------------------------------------------------------------
+
+    def _command(self, line: str) -> str:
+        parts = line.split()
+        name = parts[0].lower()
+        args = parts[1:]
+        try:
+            if name in ("\\q", "\\quit", "\\exit"):
+                self.done = True
+                return "bye"
+            if name in ("\\h", "\\help"):
+                return _HELP
+            if name == "\\tables":
+                names = self.engine._catalog.names()
+                return "\n".join(names) if names else "(no relations registered)"
+            if name == "\\schema":
+                if len(args) != 1:
+                    return "usage: \\schema NAME"
+                return str(self.engine.source(args[0]).schema)
+            if name == "\\load":
+                if len(args) != 2:
+                    return "usage: \\load NAME PATH"
+                with open(args[1]) as handle:
+                    tvr = parse_script(handle.read())
+                self.engine.register_stream(args[0], tvr)
+                return (
+                    f"registered stream {args[0]} "
+                    f"({len(tvr.events())} events)"
+                )
+            if name == "\\at":
+                if not args:
+                    self.at = None
+                    return "table instant reset to latest"
+                self.at = _parse_instant(args[0])
+                return f"table views will render as of {fmt_time(self.at)}"
+            if name == "\\until":
+                if not args:
+                    self.until = None
+                    return "stream horizon reset to latest"
+                self.until = _parse_instant(args[0])
+                return f"stream views will render until {fmt_time(self.until)}"
+            if name == "\\explain":
+                sql = line.split(None, 1)[1].rstrip(";")
+                return self.engine.explain(sql)
+            if name == "\\save":
+                if len(args) != 2:
+                    return "usage: \\save NAME PATH"
+                from .io import format_script
+
+                tvr = self.engine.source(args[0])
+                with open(args[1], "w") as handle:
+                    handle.write(format_script(tvr))
+                return f"wrote {args[0]} ({len(tvr.events())} events) to {args[1]}"
+            if name == "\\view":
+                rest = line.split(None, 2)
+                if len(rest) < 3:
+                    return "usage: \\view NAME SELECT ...;"
+                self.engine.register_view(rest[1], rest[2].rstrip(";"))
+                return f"registered view {rest[1]}"
+            if name == "\\state":
+                sql = line.split(None, 1)[1].rstrip(";")
+                dataflow = self.engine.query(sql).dataflow()
+                dataflow.run()
+                return str(dataflow.state_report())
+            return f"unknown command {name} (\\help for help)"
+        except (ReproError, OSError, KeyError, ValueError) as exc:
+            return f"error: {exc}"
+
+    def _run_sql(self, sql: str) -> str:
+        try:
+            query = self.engine.query(sql)
+            if query.emit.stream:
+                until = self.until if self.until is not None else MAX_TIMESTAMP
+                return query.stream_table(until=until).to_table()
+            at = self.at if self.at is not None else MAX_TIMESTAMP
+            return query.table(at=at).to_table()
+        except ReproError as exc:
+            return f"error: {exc}"
+
+
+def _parse_instant(text: str) -> int:
+    if ":" in text:
+        return t(text)
+    return int(text)

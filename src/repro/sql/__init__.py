@@ -1,0 +1,21 @@
+"""SQL front end: lexer, parser, AST, functions, name resolution."""
+
+from . import ast
+from .functions import FunctionRegistry, default_registry
+from .lexer import Token, TokenType, tokenize
+from .parser import parse, parse_expression
+from .validator import ExprTranslator, Scope, ScopeEntry
+
+__all__ = [
+    "ast",
+    "tokenize",
+    "Token",
+    "TokenType",
+    "parse",
+    "parse_expression",
+    "FunctionRegistry",
+    "default_registry",
+    "Scope",
+    "ScopeEntry",
+    "ExprTranslator",
+]

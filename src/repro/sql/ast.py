@@ -1,0 +1,385 @@
+"""Abstract syntax tree for the SQL dialect.
+
+Nodes are plain frozen dataclasses produced by :mod:`repro.sql.parser`
+and consumed by :mod:`repro.plan.planner`.  Each node keeps the source
+position of the token that introduced it so the planner can raise
+position-annotated :class:`~repro.core.errors.ValidationError`.
+
+The extensions beyond textbook SQL mirror the paper exactly:
+
+* :class:`TableArg` / :class:`Descriptor` — the ``TABLE(Bid)`` and
+  ``DESCRIPTOR(bidtime)`` argument markers of SQL:2016 polymorphic
+  table functions.
+* :class:`TvfCall` — a table-valued function (``Tumble``, ``Hop``,
+  ``Session``) in the ``FROM`` clause, with ``name => value`` arguments.
+* the ``emit`` field on :class:`Select` — Extensions 4-7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+from ..core.emit import EmitSpec
+
+__all__ = [
+    "Expr", "Literal", "IntervalLiteral", "ColumnRef", "Star", "UnaryOp",
+    "BinaryOp", "FunctionCall", "Case", "Cast", "Between", "InList",
+    "InSubquery", "Exists",
+    "IsNull", "Descriptor", "TableArg", "NamedArg", "ScalarSubquery",
+    "CurrentTime", "OverCall",
+    "PatternElement", "MatchRecognize", "ValuesRef",
+    "FromItem", "TableRef", "SubqueryRef", "TvfCall", "JoinClause",
+    "SelectItem", "OrderItem", "Select", "Union_", "Statement",
+]
+
+
+@dataclass(frozen=True)
+class Node:
+    """Common base: every AST node records a source position.
+
+    The position is excluded from equality so that structurally equal
+    expressions compare equal — the planner matches select-list
+    expressions against ``GROUP BY`` expressions this way.
+    """
+
+    pos: int = field(default=-1, kw_only=True, compare=False)
+
+
+# --------------------------------------------------------------------
+# expressions
+# --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal(Node):
+    """A numeric, string, boolean, or NULL literal."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class IntervalLiteral(Node):
+    """``INTERVAL '10' MINUTE`` — resolved to milliseconds at parse time."""
+
+    millis: int
+    text: str = ""
+
+
+@dataclass(frozen=True)
+class ColumnRef(Node):
+    """A possibly-qualified column reference like ``Bid.price``."""
+
+    parts: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return ".".join(self.parts)
+
+
+@dataclass(frozen=True)
+class Star(Node):
+    """``*`` or ``alias.*`` in a select list."""
+
+    qualifier: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class UnaryOp(Node):
+    """``NOT x`` or ``-x``."""
+
+    op: str
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class BinaryOp(Node):
+    """A binary operator application; ``op`` is the normalized symbol."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class FunctionCall(Node):
+    """A scalar or aggregate function call."""
+
+    name: str
+    args: tuple["Expr", ...]
+    distinct: bool = False
+    is_star: bool = False  # COUNT(*)
+
+
+@dataclass(frozen=True)
+class Case(Node):
+    """``CASE WHEN c THEN v ... [ELSE e] END`` (searched form)."""
+
+    whens: tuple[tuple["Expr", "Expr"], ...]
+    else_: Optional["Expr"]
+
+
+@dataclass(frozen=True)
+class Cast(Node):
+    """``CAST(expr AS TYPE)``."""
+
+    operand: "Expr"
+    type_name: str
+
+
+@dataclass(frozen=True)
+class Between(Node):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    operand: "Expr"
+    low: "Expr"
+    high: "Expr"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList(Node):
+    """``expr [NOT] IN (v1, v2, ...)``."""
+
+    operand: "Expr"
+    items: tuple["Expr", ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InSubquery(Node):
+    """``expr [NOT] IN (SELECT ...)`` — planned as a semi/anti join."""
+
+    operand: "Expr"
+    query: "Select"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Exists(Node):
+    """``[NOT] EXISTS (SELECT ...)`` — an uncorrelated emptiness test."""
+
+    query: "Select"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNull(Node):
+    """``expr IS [NOT] NULL``."""
+
+    operand: "Expr"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Descriptor(Node):
+    """``DESCRIPTOR(col)`` — names an event time column for a TVF."""
+
+    column: str
+
+
+@dataclass(frozen=True)
+class TableArg(Node):
+    """``TABLE(name)`` — passes a relation into a TVF."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class NamedArg(Node):
+    """``name => value`` in a TVF invocation."""
+
+    name: str
+    value: "Expr"
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(Node):
+    """A parenthesized SELECT used as a scalar expression."""
+
+    query: "Select"
+
+
+@dataclass(frozen=True)
+class OverCall(Node):
+    """``agg(x) OVER (PARTITION BY … ORDER BY et [ROWS …])``.
+
+    Appendix B.2.3 lists "OVER windows with an ORDER BY clause on an
+    event time attribute" among the operators that exploit watermarks:
+    rows are sequenced per partition by event time, each emitted once
+    stable with its running aggregate.  ``rows_preceding`` is the frame
+    (``None`` = UNBOUNDED PRECEDING); the frame always ends at CURRENT
+    ROW.
+    """
+
+    func: "FunctionCall"
+    partition_by: tuple["ColumnRef", ...]
+    order_by: "ColumnRef"
+    rows_preceding: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class CurrentTime(Node):
+    """``CURRENT_TIME`` — a time-progressing expression (Section 8).
+
+    Standard SQL fixes CURRENT_TIME at query execution; the paper's
+    future-work extension (which we implement) lets it progress, so a
+    predicate like ``bidtime > CURRENT_TIME - INTERVAL '1' HOUR``
+    defines a continuously moving tail-of-stream view.
+    """
+
+
+Expr = Union[
+    Literal, IntervalLiteral, ColumnRef, Star, UnaryOp, BinaryOp,
+    FunctionCall, Case, Cast, Between, InList, InSubquery, Exists, IsNull,
+    Descriptor, TableArg, NamedArg, ScalarSubquery, CurrentTime, OverCall,
+]
+
+
+# --------------------------------------------------------------------
+# FROM items
+# --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TableRef(Node):
+    """A base table or stream reference with an optional alias."""
+
+    name: str
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SubqueryRef(Node):
+    """A derived table: ``(SELECT ...) alias``."""
+
+    query: "Select"
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ValuesRef(Node):
+    """An inline constant relation: ``(VALUES (1, 'a'), (2, 'b')) t``."""
+
+    rows: tuple[tuple[Expr, ...], ...]
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class TvfCall(Node):
+    """A windowing TVF in the FROM clause: ``Tumble(data => ..., ...)``."""
+
+    name: str
+    args: tuple[Expr, ...]
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class PatternElement(Node):
+    """One element of a MATCH_RECOGNIZE row pattern: symbol + quantifier.
+
+    ``quantifier`` is one of ``""`` (exactly one), ``"?"``, ``"*"``,
+    ``"+"`` — all greedy, as in SQL:2016.
+    """
+
+    symbol: str
+    quantifier: str = ""
+
+
+@dataclass(frozen=True)
+class MatchRecognize(Node):
+    """``<table> MATCH_RECOGNIZE (...)`` — row pattern matching.
+
+    SQL:2016's complex-event-processing clause, which Section 6.1 of the
+    paper singles out as "highly relevant to streaming SQL" when
+    combined with event time semantics.  The supported subset:
+    PARTITION BY, ORDER BY an event time column, MEASURES with
+    FIRST/LAST/COUNT/SUM/MIN/MAX/AVG over pattern symbols, ONE ROW PER
+    MATCH, AFTER MATCH SKIP PAST LAST ROW / TO NEXT ROW, and
+    concatenation patterns with ``? * +`` quantifiers.
+    """
+
+    input: "TableRef"
+    partition_by: tuple[ColumnRef, ...]
+    order_by: ColumnRef
+    measures: tuple[tuple[Expr, str], ...]
+    pattern: tuple[PatternElement, ...]
+    defines: tuple[tuple[str, Expr], ...]
+    after_match: str = "PAST LAST ROW"
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class JoinClause(Node):
+    """An explicit ``JOIN`` with join kind and optional ``ON``.
+
+    ``as_of`` carries the correlated temporal-table access of Section 8:
+    ``JOIN Rates FOR SYSTEM_TIME AS OF o.ordertime r ON ...`` joins each
+    left row against the right-side *version* valid at the left row's
+    own timestamp (instead of the fixed-literal AS OF standard SQL
+    allows today).
+    """
+
+    left: "FromItem"
+    right: "FromItem"
+    kind: str  # INNER, LEFT, RIGHT, FULL, CROSS
+    condition: Optional[Expr]
+    as_of: Optional[Expr] = None
+
+
+FromItem = Union[
+    TableRef, SubqueryRef, TvfCall, JoinClause, MatchRecognize, ValuesRef
+]
+
+
+# --------------------------------------------------------------------
+# query structure
+# --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem(Node):
+    """One select-list entry: an expression with an optional alias."""
+
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class OrderItem(Node):
+    """One ``ORDER BY`` key."""
+
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class Select(Node):
+    """A SELECT statement (or subquery)."""
+
+    items: tuple[SelectItem, ...]
+    from_items: tuple[FromItem, ...] = ()
+    where: Optional[Expr] = None
+    group_by: tuple[Expr, ...] = ()
+    having: Optional[Expr] = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    distinct: bool = False
+    emit: Optional[EmitSpec] = None
+
+
+@dataclass(frozen=True)
+class Union_(Node):
+    """``query UNION|INTERSECT|EXCEPT [ALL] query``.
+
+    ``op`` is "UNION", "INTERSECT", or "EXCEPT"; EMIT may apply at the
+    top level only.
+    """
+
+    left: "Statement"
+    right: "Statement"
+    all: bool = False
+    emit: Optional[EmitSpec] = None
+    op: str = "UNION"
+
+
+Statement = Union[Select, Union_]

@@ -1,0 +1,169 @@
+"""Hand-written SQL tokenizer.
+
+Produces a flat list of :class:`Token` for the parser.  The dialect is
+standard SQL plus the paper's extensions, which need three lexical
+additions over a textbook SQL lexer: the named-argument arrow ``=>``
+(used by the windowing table-valued functions), and the ``EMIT`` family
+of keywords.  Keywords are recognized case-insensitively; identifiers
+keep their original spelling (matching is case-insensitive throughout
+the engine).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..core.errors import LexError
+
+__all__ = ["TokenType", "Token", "tokenize", "KEYWORDS"]
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OP = "operator"
+    EOF = "eof"
+
+
+#: Reserved words of the dialect.  Words not in this set lex as
+#: identifiers even when they appear in SQL:2016 (we reserve only what
+#: the grammar needs, so NEXMark column names like ``category`` work).
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER",
+        "ASC", "DESC", "LIMIT", "AS", "AND", "OR", "NOT",
+        "IN", "IS", "NULL", "TRUE", "FALSE", "BETWEEN", "LIKE", "CASE",
+        "WHEN", "THEN", "ELSE", "END", "CAST", "JOIN", "INNER", "LEFT",
+        "RIGHT", "FULL", "OUTER", "CROSS", "ON", "UNION", "ALL",
+        "DISTINCT", "INTERVAL", "TABLE", "DESCRIPTOR", "EMIT", "STREAM",
+        "INTERSECT", "EXCEPT",
+        "AFTER", "WATERMARK", "DELAY", "EXISTS", "VALUES", "MOD",
+        "FOR", "SYSTEM_TIME", "OF", "MATCH_RECOGNIZE", "OVER",
+    }
+)
+
+_SIMPLE_OPS = {
+    "(", ")", ",", ".", ";", "+", "-", "*", "/", "%", "=", "?",
+    "[", "]",  # CQL window specifications: Bid [RANGE 10 MINUTE]
+}
+
+_WORD_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_$"
+)
+_WORD_CONT = _WORD_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its position in the source text."""
+
+    type: TokenType
+    value: str
+    pos: int
+
+    @property
+    def upper(self) -> str:
+        return self.value.upper()
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.upper in words
+
+    def __str__(self) -> str:
+        if self.type is TokenType.EOF:
+            return "end of input"
+        return repr(self.value)
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql``, raising :class:`LexError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if ch == "-" and sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if ch == "/" and sql.startswith("/*", i):
+            end = sql.find("*/", i + 2)
+            if end == -1:
+                raise LexError("unterminated block comment", sql, i)
+            i = end + 2
+            continue
+        if ch in _WORD_START:
+            start = i
+            while i < n and sql[i] in _WORD_CONT:
+                i += 1
+            word = sql[start:i]
+            kind = TokenType.KEYWORD if word.upper() in KEYWORDS else TokenType.IDENT
+            tokens.append(Token(kind, word, start))
+            continue
+        if ch in _DIGITS or (ch == "." and i + 1 < n and sql[i + 1] in _DIGITS):
+            start = i
+            seen_dot = False
+            seen_exp = False
+            while i < n:
+                c = sql[i]
+                if c in _DIGITS:
+                    i += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    i += 1
+                elif c in "eE" and not seen_exp and i + 1 < n and (
+                    sql[i + 1] in _DIGITS
+                    or (sql[i + 1] in "+-" and i + 2 < n and sql[i + 2] in _DIGITS)
+                ):
+                    seen_exp = True
+                    i += 2 if sql[i + 1] in "+-" else 1
+                else:
+                    break
+            tokens.append(Token(TokenType.NUMBER, sql[start:i], start))
+            continue
+        if ch == "'":
+            start = i
+            i += 1
+            parts: list[str] = []
+            while True:
+                if i >= n:
+                    raise LexError("unterminated string literal", sql, start)
+                if sql[i] == "'":
+                    if i + 1 < n and sql[i + 1] == "'":  # escaped quote
+                        parts.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                parts.append(sql[i])
+                i += 1
+            tokens.append(Token(TokenType.STRING, "".join(parts), start))
+            continue
+        if ch == '"':
+            start = i
+            end = sql.find('"', i + 1)
+            if end == -1:
+                raise LexError("unterminated quoted identifier", sql, start)
+            tokens.append(Token(TokenType.IDENT, sql[i + 1 : end], start))
+            i = end + 1
+            continue
+        # multi-character operators, longest match first
+        for op in ("=>", "<>", "!=", "<=", ">=", "||"):
+            if sql.startswith(op, i):
+                tokens.append(Token(TokenType.OP, op, i))
+                i += len(op)
+                break
+        else:
+            if ch in _SIMPLE_OPS or ch in "<>":
+                tokens.append(Token(TokenType.OP, ch, i))
+                i += 1
+            else:
+                raise LexError(f"unexpected character {ch!r}", sql, i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens

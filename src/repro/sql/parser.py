@@ -1,0 +1,771 @@
+"""Recursive-descent parser for the streaming SQL dialect.
+
+Grammar (informally)::
+
+    statement   := select { UNION [ALL] select } [emit] [";"]
+    select      := SELECT [DISTINCT] items [FROM from_list] [WHERE expr]
+                   [GROUP BY exprs] [HAVING expr] [ORDER BY keys]
+                   [LIMIT n] [emit]
+    from_list   := join_chain { "," join_chain }
+    join_chain  := from_primary { join_kind JOIN from_primary [ON expr] }
+    from_primary:= table [alias] | "(" select ")" [alias]
+                 | ident "(" tvf_args ")" [alias]
+    emit        := EMIT [STREAM] [after {AND after}]
+    after       := AFTER WATERMARK | AFTER DELAY interval
+
+Expressions use conventional precedence:
+``OR < AND < NOT < comparison/IS/IN/BETWEEN/LIKE < +,-,|| < *,/,% < unary``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.emit import EmitSpec
+from ..core.errors import ParseError
+from ..core.times import (
+    MILLIS_PER_DAY,
+    MILLIS_PER_HOUR,
+    MILLIS_PER_MINUTE,
+    MILLIS_PER_SECOND,
+)
+from . import ast
+from .lexer import Token, TokenType, tokenize
+
+__all__ = ["parse", "parse_expression"]
+
+_INTERVAL_UNITS = {
+    "MILLISECOND": 1,
+    "MILLISECONDS": 1,
+    "SECOND": MILLIS_PER_SECOND,
+    "SECONDS": MILLIS_PER_SECOND,
+    "MINUTE": MILLIS_PER_MINUTE,
+    "MINUTES": MILLIS_PER_MINUTE,
+    "HOUR": MILLIS_PER_HOUR,
+    "HOURS": MILLIS_PER_HOUR,
+    "DAY": MILLIS_PER_DAY,
+    "DAYS": MILLIS_PER_DAY,
+}
+
+_COMPARISON_OPS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+
+
+def parse(sql: str) -> ast.Statement:
+    """Parse one SQL statement, raising :class:`ParseError` on failure."""
+    return _Parser(sql).parse_statement()
+
+
+def parse_expression(sql: str) -> ast.Expr:
+    """Parse a standalone expression (used by tests and the REPL)."""
+    parser = _Parser(sql)
+    expr = parser._expr()
+    parser._expect_eof()
+    return expr
+
+
+class _Parser:
+    def __init__(self, sql: str):
+        self._sql = sql
+        self._tokens = tokenize(sql)
+        self._i = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._i]
+
+    def _peek(self, ahead: int = 1) -> Token:
+        j = min(self._i + ahead, len(self._tokens) - 1)
+        return self._tokens[j]
+
+    def _advance(self) -> Token:
+        token = self._cur
+        if token.type is not TokenType.EOF:
+            self._i += 1
+        return token
+
+    def _error(self, message: str, token: Token | None = None) -> ParseError:
+        token = token or self._cur
+        return ParseError(message, self._sql, token.pos)
+
+    def _at_keyword(self, *words: str) -> bool:
+        return self._cur.is_keyword(*words)
+
+    def _accept_keyword(self, *words: str) -> bool:
+        if self._at_keyword(*words):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, word: str) -> Token:
+        if not self._at_keyword(word):
+            raise self._error(f"expected {word}, found {self._cur}")
+        return self._advance()
+
+    def _at_op(self, *ops: str) -> bool:
+        return self._cur.type is TokenType.OP and self._cur.value in ops
+
+    def _accept_op(self, *ops: str) -> bool:
+        if self._at_op(*ops):
+            self._advance()
+            return True
+        return False
+
+    def _expect_op(self, op: str) -> Token:
+        if not self._at_op(op):
+            raise self._error(f"expected {op!r}, found {self._cur}")
+        return self._advance()
+
+    def _expect_ident(self, what: str = "identifier") -> Token:
+        if self._cur.type is not TokenType.IDENT:
+            raise self._error(f"expected {what}, found {self._cur}")
+        return self._advance()
+
+    def _expect_eof(self) -> None:
+        if self._cur.type is not TokenType.EOF:
+            raise self._error(f"unexpected trailing input: {self._cur}")
+
+    # -- statements -------------------------------------------------------
+
+    def parse_statement(self) -> ast.Statement:
+        stmt: ast.Statement = self._union_term()
+        while self._at_keyword("UNION", "INTERSECT", "EXCEPT"):
+            op_token = self._advance()
+            is_all = self._accept_keyword("ALL")
+            right = self._union_term()
+            # A trailing EMIT binds to the whole set operation, not its
+            # last arm, so hoist it (EMIT is top-level only).
+            hoisted = right.emit
+            if hoisted is not None:
+                right = _with_emit(right, None)
+            stmt = ast.Union_(
+                stmt,
+                right,
+                all=is_all,
+                emit=hoisted,
+                op=op_token.upper,
+                pos=op_token.pos,
+            )
+        emit = self._emit_clause()
+        if emit is not None:
+            if isinstance(stmt, ast.Select):
+                if stmt.emit is not None:
+                    raise self._error("duplicate EMIT clause")
+                stmt = _with_emit(stmt, emit)
+            else:
+                stmt = ast.Union_(
+                    stmt.left,
+                    stmt.right,
+                    all=stmt.all,
+                    emit=emit,
+                    op=stmt.op,
+                    pos=stmt.pos,
+                )
+        self._accept_op(";")
+        self._expect_eof()
+        return stmt
+
+    def _union_term(self) -> ast.Select:
+        if self._accept_op("("):
+            inner = self._select()
+            self._expect_op(")")
+            return inner
+        return self._select()
+
+    def _select(self) -> ast.Select:
+        pos = self._expect_keyword("SELECT").pos
+        distinct = False
+        if self._accept_keyword("DISTINCT"):
+            distinct = True
+        else:
+            self._accept_keyword("ALL")
+        items = [self._select_item()]
+        while self._accept_op(","):
+            items.append(self._select_item())
+
+        from_items: list[ast.FromItem] = []
+        if self._accept_keyword("FROM"):
+            from_items.append(self._join_chain())
+            while self._accept_op(","):
+                from_items.append(self._join_chain())
+
+        where = self._expr() if self._accept_keyword("WHERE") else None
+
+        group_by: list[ast.Expr] = []
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by.append(self._expr())
+            while self._accept_op(","):
+                group_by.append(self._expr())
+
+        having = self._expr() if self._accept_keyword("HAVING") else None
+
+        order_by: list[ast.OrderItem] = []
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by.append(self._order_item())
+            while self._accept_op(","):
+                order_by.append(self._order_item())
+
+        limit: Optional[int] = None
+        if self._accept_keyword("LIMIT"):
+            token = self._advance()
+            if token.type is not TokenType.NUMBER or "." in token.value:
+                raise self._error("LIMIT expects an integer", token)
+            limit = int(token.value)
+
+        emit = self._emit_clause()
+        return ast.Select(
+            items=tuple(items),
+            from_items=tuple(from_items),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            distinct=distinct,
+            emit=emit,
+            pos=pos,
+        )
+
+    def _select_item(self) -> ast.SelectItem:
+        pos = self._cur.pos
+        # `*` and `alias.*`
+        if self._at_op("*"):
+            self._advance()
+            return ast.SelectItem(ast.Star(pos=pos), pos=pos)
+        if (
+            self._cur.type is TokenType.IDENT
+            and self._peek().type is TokenType.OP
+            and self._peek().value == "."
+            and self._peek(2).type is TokenType.OP
+            and self._peek(2).value == "*"
+        ):
+            qualifier = self._advance().value
+            self._advance()  # .
+            self._advance()  # *
+            return ast.SelectItem(ast.Star(qualifier=qualifier, pos=pos), pos=pos)
+        expr = self._expr()
+        alias: Optional[str] = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_ident("alias").value
+        elif self._cur.type is TokenType.IDENT:
+            alias = self._advance().value
+        return ast.SelectItem(expr, alias, pos=pos)
+
+    def _order_item(self) -> ast.OrderItem:
+        pos = self._cur.pos
+        expr = self._expr()
+        ascending = True
+        if self._accept_keyword("DESC"):
+            ascending = False
+        else:
+            self._accept_keyword("ASC")
+        return ast.OrderItem(expr, ascending, pos=pos)
+
+    # -- FROM clause ------------------------------------------------------
+
+    def _join_chain(self) -> ast.FromItem:
+        left = self._from_primary()
+        while True:
+            kind: Optional[str] = None
+            pos = self._cur.pos
+            if self._accept_keyword("CROSS"):
+                kind = "CROSS"
+            elif self._accept_keyword("INNER"):
+                kind = "INNER"
+            elif self._at_keyword("LEFT", "RIGHT", "FULL"):
+                kind = self._advance().upper
+                self._accept_keyword("OUTER")
+            elif self._at_keyword("JOIN"):
+                kind = "INNER"
+            if kind is None:
+                return left
+            self._expect_keyword("JOIN")
+            right = self._from_primary()
+            # `FOR SYSTEM_TIME AS OF <expr>`: a correlated temporal join.
+            as_of: Optional[ast.Expr] = None
+            if self._accept_keyword("FOR"):
+                self._expect_keyword("SYSTEM_TIME")
+                self._expect_keyword("AS")
+                self._expect_keyword("OF")
+                as_of = self._expr()
+                # the version-table alias follows the AS OF clause
+                alias = self._from_alias()
+                if alias is not None:
+                    if isinstance(right, ast.TableRef):
+                        right = ast.TableRef(right.name, alias, pos=right.pos)
+                    else:
+                        raise self._error(
+                            "FOR SYSTEM_TIME AS OF requires a plain table"
+                        )
+            condition: Optional[ast.Expr] = None
+            if kind != "CROSS":
+                self._expect_keyword("ON")
+                condition = self._expr()
+            left = ast.JoinClause(left, right, kind, condition, as_of=as_of, pos=pos)
+
+    def _from_primary(self) -> ast.FromItem:
+        pos = self._cur.pos
+        if self._accept_op("("):
+            if self._at_keyword("VALUES"):
+                self._advance()
+                rows = [self._values_row()]
+                while self._accept_op(","):
+                    rows.append(self._values_row())
+                self._expect_op(")")
+                alias = self._from_alias()
+                return ast.ValuesRef(tuple(rows), alias, pos=pos)
+            query = self._select()
+            self._expect_op(")")
+            alias = self._from_alias()
+            return ast.SubqueryRef(query, alias, pos=pos)
+        name_token = self._expect_ident("table name")
+        if self._at_keyword("MATCH_RECOGNIZE"):
+            return self._match_recognize(
+                ast.TableRef(name_token.value, pos=name_token.pos)
+            )
+        # A TVF call looks like `Name ( ... )`.
+        if self._at_op("("):
+            self._advance()
+            args: list[ast.Expr] = []
+            if not self._at_op(")"):
+                args.append(self._tvf_arg())
+                while self._accept_op(","):
+                    args.append(self._tvf_arg())
+            self._expect_op(")")
+            alias = self._from_alias()
+            return ast.TvfCall(name_token.value, tuple(args), alias, pos=pos)
+        alias = self._from_alias()
+        return ast.TableRef(name_token.value, alias, pos=pos)
+
+    def _values_row(self) -> tuple[ast.Expr, ...]:
+        self._expect_op("(")
+        exprs = [self._expr()]
+        while self._accept_op(","):
+            exprs.append(self._expr())
+        self._expect_op(")")
+        return tuple(exprs)
+
+    def _from_alias(self) -> Optional[str]:
+        if self._accept_keyword("AS"):
+            return self._expect_ident("alias").value
+        if self._cur.type is TokenType.IDENT:
+            return self._advance().value
+        return None
+
+    def _tvf_arg(self) -> ast.Expr:
+        # `name => value` named argument
+        if (
+            self._cur.type is TokenType.IDENT
+            and self._peek().type is TokenType.OP
+            and self._peek().value == "=>"
+        ):
+            pos = self._cur.pos
+            name = self._advance().value
+            self._advance()  # =>
+            return ast.NamedArg(name, self._expr(), pos=pos)
+        return self._expr()
+
+    # -- OVER windows ----------------------------------------------------------
+
+    def _over_clause(self, call: ast.FunctionCall) -> ast.OverCall:
+        pos = self._expect_keyword("OVER").pos
+        self._expect_op("(")
+        partition_by: list[ast.ColumnRef] = []
+        if self._accept_word("PARTITION"):
+            self._expect_keyword("BY")
+            partition_by.append(self._column_ref())
+            while self._accept_op(","):
+                partition_by.append(self._column_ref())
+        self._expect_keyword("ORDER")
+        self._expect_keyword("BY")
+        order_by = self._column_ref()
+        rows_preceding: Optional[int] = None
+        if self._accept_word("ROWS"):
+            self._expect_keyword("BETWEEN")
+            if self._accept_word("UNBOUNDED"):
+                self._expect_word("PRECEDING")
+            else:
+                count_token = self._advance()
+                if count_token.type is not TokenType.NUMBER:
+                    raise self._error("expected a row count", count_token)
+                rows_preceding = int(count_token.value)
+                self._expect_word("PRECEDING")
+            self._expect_keyword("AND")
+            self._expect_word("CURRENT")
+            self._expect_word("ROW")
+        self._expect_op(")")
+        return ast.OverCall(
+            call, tuple(partition_by), order_by, rows_preceding, pos=pos
+        )
+
+    # -- MATCH_RECOGNIZE -----------------------------------------------------
+
+    def _at_word(self, word: str) -> bool:
+        """Soft keyword: match an IDENT or KEYWORD by its text."""
+        return (
+            self._cur.type in (TokenType.IDENT, TokenType.KEYWORD)
+            and self._cur.upper == word
+        )
+
+    def _accept_word(self, word: str) -> bool:
+        if self._at_word(word):
+            self._advance()
+            return True
+        return False
+
+    def _expect_word(self, word: str) -> None:
+        if not self._accept_word(word):
+            raise self._error(f"expected {word}, found {self._cur}")
+
+    def _column_ref(self) -> ast.ColumnRef:
+        expr = self._ident_expr()
+        if not isinstance(expr, ast.ColumnRef):
+            raise self._error("expected a column reference")
+        return expr
+
+    def _match_recognize(self, input_ref: ast.TableRef) -> ast.MatchRecognize:
+        pos = self._expect_keyword("MATCH_RECOGNIZE").pos
+        self._expect_op("(")
+
+        partition_by: list[ast.ColumnRef] = []
+        if self._accept_word("PARTITION"):
+            self._expect_keyword("BY")
+            partition_by.append(self._column_ref())
+            while self._accept_op(","):
+                partition_by.append(self._column_ref())
+
+        self._expect_keyword("ORDER")
+        self._expect_keyword("BY")
+        order_by = self._column_ref()
+
+        self._expect_word("MEASURES")
+        measures: list[tuple[ast.Expr, str]] = []
+        while True:
+            expr = self._expr()
+            self._expect_keyword("AS")
+            alias = self._expect_ident("measure name").value
+            measures.append((expr, alias))
+            if not self._accept_op(","):
+                break
+
+        if self._accept_word("ONE"):
+            self._expect_word("ROW")
+            self._expect_word("PER")
+            self._expect_word("MATCH")
+
+        after_match = "PAST LAST ROW"
+        if self._accept_keyword("AFTER"):
+            self._expect_word("MATCH")
+            self._expect_word("SKIP")
+            if self._accept_word("PAST"):
+                self._expect_word("LAST")
+                self._expect_word("ROW")
+            else:
+                self._expect_word("TO")
+                self._expect_word("NEXT")
+                self._expect_word("ROW")
+                after_match = "TO NEXT ROW"
+
+        self._expect_word("PATTERN")
+        self._expect_op("(")
+        pattern: list[ast.PatternElement] = []
+        while not self._at_op(")"):
+            symbol = self._expect_ident("pattern symbol")
+            quantifier = ""
+            if self._at_op("?", "*", "+"):
+                quantifier = self._advance().value
+            pattern.append(
+                ast.PatternElement(symbol.value, quantifier, pos=symbol.pos)
+            )
+        self._expect_op(")")
+        if not pattern:
+            raise self._error("PATTERN must contain at least one symbol")
+
+        self._expect_word("DEFINE")
+        defines: list[tuple[str, ast.Expr]] = []
+        while True:
+            symbol = self._expect_ident("pattern symbol").value
+            self._expect_keyword("AS")
+            defines.append((symbol, self._expr()))
+            if not self._accept_op(","):
+                break
+
+        self._expect_op(")")
+        alias = self._from_alias()
+        return ast.MatchRecognize(
+            input=input_ref,
+            partition_by=tuple(partition_by),
+            order_by=order_by,
+            measures=tuple(measures),
+            pattern=tuple(pattern),
+            defines=tuple(defines),
+            after_match=after_match,
+            alias=alias,
+            pos=pos,
+        )
+
+    # -- EMIT clause --------------------------------------------------------
+
+    def _emit_clause(self) -> Optional[EmitSpec]:
+        if not self._accept_keyword("EMIT"):
+            return None
+        stream = self._accept_keyword("STREAM")
+        after_watermark = False
+        delay: Optional[int] = None
+        saw_after = False
+        while self._accept_keyword("AFTER"):
+            saw_after = True
+            if self._accept_keyword("WATERMARK"):
+                after_watermark = True
+            elif self._accept_keyword("DELAY"):
+                if not self._at_keyword("INTERVAL"):
+                    raise self._error("AFTER DELAY expects an INTERVAL literal")
+                delay = self._interval_literal().millis
+            else:
+                raise self._error("expected WATERMARK or DELAY after AFTER")
+            if not self._accept_keyword("AND"):
+                break
+        if not stream and not saw_after:
+            raise self._error("EMIT requires STREAM and/or AFTER clauses")
+        return EmitSpec(stream=stream, after_watermark=after_watermark, delay=delay)
+
+    # -- expressions ----------------------------------------------------------
+
+    def _expr(self) -> ast.Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> ast.Expr:
+        left = self._and_expr()
+        while self._at_keyword("OR"):
+            pos = self._advance().pos
+            left = ast.BinaryOp("OR", left, self._and_expr(), pos=pos)
+        return left
+
+    def _and_expr(self) -> ast.Expr:
+        left = self._not_expr()
+        while self._at_keyword("AND"):
+            pos = self._advance().pos
+            left = ast.BinaryOp("AND", left, self._not_expr(), pos=pos)
+        return left
+
+    def _not_expr(self) -> ast.Expr:
+        if self._at_keyword("NOT"):
+            pos = self._advance().pos
+            return ast.UnaryOp("NOT", self._not_expr(), pos=pos)
+        return self._comparison()
+
+    def _comparison(self) -> ast.Expr:
+        left = self._additive()
+        if self._cur.type is TokenType.OP and self._cur.value in _COMPARISON_OPS:
+            token = self._advance()
+            op = "<>" if token.value == "!=" else token.value
+            return ast.BinaryOp(op, left, self._additive(), pos=token.pos)
+        if self._at_keyword("IS"):
+            pos = self._advance().pos
+            negated = self._accept_keyword("NOT")
+            self._expect_keyword("NULL")
+            return ast.IsNull(left, negated, pos=pos)
+        negated = False
+        if self._at_keyword("NOT") and self._peek().is_keyword("IN", "BETWEEN", "LIKE"):
+            self._advance()
+            negated = True
+        if self._at_keyword("BETWEEN"):
+            pos = self._advance().pos
+            low = self._additive()
+            self._expect_keyword("AND")
+            high = self._additive()
+            return ast.Between(left, low, high, negated, pos=pos)
+        if self._at_keyword("IN"):
+            pos = self._advance().pos
+            self._expect_op("(")
+            if self._at_keyword("SELECT"):
+                query = self._select()
+                self._expect_op(")")
+                return ast.InSubquery(left, query, negated, pos=pos)
+            items = [self._expr()]
+            while self._accept_op(","):
+                items.append(self._expr())
+            self._expect_op(")")
+            return ast.InList(left, tuple(items), negated, pos=pos)
+        if self._at_keyword("LIKE"):
+            pos = self._advance().pos
+            pattern = self._additive()
+            expr: ast.Expr = ast.BinaryOp("LIKE", left, pattern, pos=pos)
+            if negated:
+                expr = ast.UnaryOp("NOT", expr, pos=pos)
+            return expr
+        if negated:
+            raise self._error("expected IN, BETWEEN, or LIKE after NOT")
+        return left
+
+    def _additive(self) -> ast.Expr:
+        left = self._multiplicative()
+        while self._at_op("+", "-", "||"):
+            token = self._advance()
+            left = ast.BinaryOp(token.value, left, self._multiplicative(), pos=token.pos)
+        return left
+
+    def _multiplicative(self) -> ast.Expr:
+        left = self._unary()
+        while self._at_op("*", "/", "%") or self._at_keyword("MOD"):
+            token = self._advance()
+            op = "%" if token.upper == "MOD" else token.value
+            left = ast.BinaryOp(op, left, self._unary(), pos=token.pos)
+        return left
+
+    def _unary(self) -> ast.Expr:
+        if self._at_op("-"):
+            pos = self._advance().pos
+            return ast.UnaryOp("-", self._unary(), pos=pos)
+        if self._at_op("+"):
+            self._advance()
+            return self._unary()
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        token = self._cur
+        pos = token.pos
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            text = token.value
+            value = float(text) if ("." in text or "e" in text or "E" in text) else int(text)
+            return ast.Literal(value, pos=pos)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.Literal(token.value, pos=pos)
+        if self._accept_keyword("TRUE"):
+            return ast.Literal(True, pos=pos)
+        if self._accept_keyword("FALSE"):
+            return ast.Literal(False, pos=pos)
+        if self._accept_keyword("NULL"):
+            return ast.Literal(None, pos=pos)
+        if self._at_keyword("INTERVAL"):
+            return self._interval_literal()
+        if self._at_keyword("CASE"):
+            return self._case_expr()
+        if self._accept_keyword("CAST"):
+            self._expect_op("(")
+            operand = self._expr()
+            self._expect_keyword("AS")
+            type_name = self._advance().value.upper()
+            self._expect_op(")")
+            return ast.Cast(operand, type_name, pos=pos)
+        if self._accept_keyword("EXISTS"):
+            self._expect_op("(")
+            query = self._select()
+            self._expect_op(")")
+            return ast.Exists(query, pos=pos)
+        if self._accept_keyword("TABLE"):
+            self._expect_op("(")
+            name = self._expect_ident("table name").value
+            self._expect_op(")")
+            return ast.TableArg(name, pos=pos)
+        if self._accept_keyword("DESCRIPTOR"):
+            self._expect_op("(")
+            column = self._expect_ident("column name").value
+            self._expect_op(")")
+            return ast.Descriptor(column, pos=pos)
+        if self._accept_op("("):
+            if self._at_keyword("SELECT"):
+                query = self._select()
+                self._expect_op(")")
+                return ast.ScalarSubquery(query, pos=pos)
+            expr = self._expr()
+            self._expect_op(")")
+            return expr
+        if token.type is TokenType.IDENT:
+            return self._ident_expr()
+        raise self._error(f"unexpected {token} in expression")
+
+    def _ident_expr(self) -> ast.Expr:
+        token = self._advance()
+        pos = token.pos
+        if token.upper in ("CURRENT_TIME", "CURRENT_TIMESTAMP") and not self._at_op("("):
+            return ast.CurrentTime(pos=pos)
+        # function call?
+        if self._at_op("(") and token.type is TokenType.IDENT:
+            self._advance()
+            distinct = self._accept_keyword("DISTINCT")
+            if self._at_op("*"):
+                self._advance()
+                self._expect_op(")")
+                star_call = ast.FunctionCall(
+                    token.value.upper(), (), is_star=True, pos=pos
+                )
+                if self._at_keyword("OVER"):
+                    return self._over_clause(star_call)
+                return star_call
+            args: list[ast.Expr] = []
+            if not self._at_op(")"):
+                args.append(self._expr())
+                while self._accept_op(","):
+                    args.append(self._expr())
+            self._expect_op(")")
+            call = ast.FunctionCall(
+                token.value.upper(), tuple(args), distinct=distinct, pos=pos
+            )
+            if self._at_keyword("OVER"):
+                return self._over_clause(call)
+            return call
+        # qualified column reference
+        parts = [token.value]
+        while self._at_op(".") and self._peek().type is TokenType.IDENT:
+            self._advance()
+            parts.append(self._advance().value)
+        return ast.ColumnRef(tuple(parts), pos=pos)
+
+    def _interval_literal(self) -> ast.IntervalLiteral:
+        pos = self._expect_keyword("INTERVAL").pos
+        token = self._advance()
+        if token.type is TokenType.STRING:
+            text = token.value
+        elif token.type is TokenType.NUMBER:
+            text = token.value
+        else:
+            raise self._error("INTERVAL expects a quoted or numeric value", token)
+        try:
+            amount = float(text)
+        except ValueError:
+            raise self._error(f"bad INTERVAL value {text!r}", token) from None
+        unit_token = self._advance()
+        unit = unit_token.value.upper()
+        if unit not in _INTERVAL_UNITS:
+            raise self._error(f"unknown INTERVAL unit {unit_token.value!r}", unit_token)
+        total = int(amount * _INTERVAL_UNITS[unit])
+        return ast.IntervalLiteral(total, text=f"INTERVAL '{text}' {unit}", pos=pos)
+
+    def _case_expr(self) -> ast.Case:
+        pos = self._expect_keyword("CASE").pos
+        whens: list[tuple[ast.Expr, ast.Expr]] = []
+        base: Optional[ast.Expr] = None
+        if not self._at_keyword("WHEN"):
+            base = self._expr()  # simple CASE: CASE x WHEN v THEN ...
+        while self._accept_keyword("WHEN"):
+            cond = self._expr()
+            if base is not None:
+                cond = ast.BinaryOp("=", base, cond, pos=pos)
+            self._expect_keyword("THEN")
+            whens.append((cond, self._expr()))
+        if not whens:
+            raise self._error("CASE requires at least one WHEN")
+        else_ = self._expr() if self._accept_keyword("ELSE") else None
+        self._expect_keyword("END")
+        return ast.Case(tuple(whens), else_, pos=pos)
+
+
+def _with_emit(select: ast.Select, emit: Optional[EmitSpec]) -> ast.Select:
+    return ast.Select(
+        items=select.items,
+        from_items=select.from_items,
+        where=select.where,
+        group_by=select.group_by,
+        having=select.having,
+        order_by=select.order_by,
+        limit=select.limit,
+        distinct=select.distinct,
+        emit=emit,
+        pos=select.pos,
+    )

@@ -1,0 +1,43 @@
+"""Shared fixtures: the paper's example dataset and pre-built engines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import StreamEngine
+from repro.nexmark import NexmarkConfig, generate, paper_bid_stream
+from repro.nexmark.queries import q7_paper, register_udfs
+
+
+@pytest.fixture
+def bid_stream():
+    """The Section 4 example Bid stream (bidtime, price, item)."""
+    return paper_bid_stream()
+
+
+@pytest.fixture
+def engine(bid_stream):
+    """An engine with the paper's Bid stream registered."""
+    eng = StreamEngine()
+    eng.register_stream("Bid", bid_stream)
+    return eng
+
+
+@pytest.fixture
+def q7_sql():
+    """NEXMark Query 7 as written in Listing 2."""
+    return q7_paper()
+
+
+@pytest.fixture(scope="session")
+def nexmark_small():
+    """A small deterministic NEXMark workload shared across tests."""
+    return generate(NexmarkConfig(num_events=600, seed=7))
+
+
+@pytest.fixture
+def nexmark_engine(nexmark_small):
+    eng = StreamEngine()
+    nexmark_small.register_on(eng)
+    register_udfs(eng)
+    return eng

@@ -1,0 +1,66 @@
+"""Property-based tests for SortedMultiset against a list model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.containers import SortedMultiset
+
+
+class TestBasics:
+    def test_empty(self):
+        ms = SortedMultiset()
+        assert len(ms) == 0
+        assert not ms
+        with pytest.raises(KeyError):
+            ms.min()
+        with pytest.raises(KeyError):
+            ms.max()
+
+    def test_add_remove(self):
+        ms = SortedMultiset()
+        ms.add(3)
+        ms.add(1)
+        ms.add(3)
+        assert ms.min() == 1
+        assert ms.max() == 3
+        assert ms.count(3) == 2
+        ms.remove(3)
+        assert ms.count(3) == 1
+        assert 3 in ms
+        ms.remove(3)
+        assert 3 not in ms
+
+    def test_remove_missing(self):
+        ms = SortedMultiset()
+        with pytest.raises(KeyError):
+            ms.remove(42)
+        assert ms.discard(42) is False
+        ms.add(42)
+        assert ms.discard(42) is True
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["add", "remove"]), st.integers(-5, 5)),
+        max_size=200,
+    )
+)
+def test_matches_list_model(ops):
+    ms = SortedMultiset()
+    model: list[int] = []
+    for op, value in ops:
+        if op == "add":
+            ms.add(value)
+            model.append(value)
+        else:
+            if value in model:
+                ms.remove(value)
+                model.remove(value)
+            else:
+                assert ms.discard(value) is False
+        assert len(ms) == len(model)
+        assert list(ms) == sorted(model)
+        if model:
+            assert ms.min() == min(model)
+            assert ms.max() == max(model)

@@ -1,0 +1,183 @@
+"""Tests for the CQL baseline (the STREAM model)."""
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.core.relation import Relation
+from repro.core.schema import Schema, int_col, string_col, timestamp_col
+from repro.core.times import minutes, t
+from repro.core.tvr import TimeVaryingRelation
+from repro.cql import (
+    CqlStream,
+    dstream,
+    istream,
+    now_window,
+    range_window,
+    rows_window,
+    rstream,
+    select,
+    unbounded_window,
+)
+from repro.cql.relops import aggregate, cross_join, project, scalar, theta_join
+
+SCHEMA = Schema(
+    [timestamp_col("ts", event_time=True), int_col("v"), string_col("k")]
+)
+
+
+def make_stream(*elements):
+    plain = Schema([int_col("v")])
+    return CqlStream(plain, [(ts, (v,)) for ts, v in elements])
+
+
+class TestCqlStream:
+    def test_elements_sorted_by_timestamp(self):
+        stream = make_stream((5, 50), (1, 10), (3, 30))
+        assert [ts for ts, _ in stream] == [1, 3, 5]
+
+    def test_rows_until(self):
+        stream = make_stream((1, 10), (3, 30), (5, 50))
+        assert len(stream.rows_until(3)) == 2
+
+    def test_from_tvr_buffers_out_of_order(self):
+        """Heartbeat semantics: rows are delivered in event-time order."""
+        tvr = TimeVaryingRelation(SCHEMA)
+        tvr.insert(100, (t("8:07"), 1, "late-arriving-first"))
+        tvr.insert(200, (t("8:05"), 2, "early-event"))
+        tvr.advance_watermark(300, t("8:10"))
+        stream = CqlStream.from_tvr(tvr, "ts")
+        assert [ts for ts, _ in stream] == [t("8:05"), t("8:07")]
+
+    def test_from_tvr_drops_beyond_final_heartbeat(self):
+        tvr = TimeVaryingRelation(SCHEMA)
+        tvr.insert(100, (t("8:07"), 1, "a"))
+        tvr.insert(150, (t("8:30"), 2, "never-released"))
+        tvr.advance_watermark(300, t("8:10"))
+        stream = CqlStream.from_tvr(tvr, "ts")
+        assert len(stream) == 1
+
+    def test_from_tvr_time_column_becomes_metadata(self):
+        tvr = TimeVaryingRelation(SCHEMA)
+        tvr.insert(100, (t("8:07"), 1, "a"))
+        tvr.advance_watermark(200, t("9:00"))
+        stream = CqlStream.from_tvr(tvr, "ts")
+        assert stream.schema.column_names() == ["v", "k"]
+
+    def test_from_tvr_rejects_retractions(self):
+        tvr = TimeVaryingRelation(SCHEMA)
+        tvr.insert(100, (t("8:07"), 1, "a"))
+        tvr.retract(150, (t("8:07"), 1, "a"))
+        with pytest.raises(ValidationError, match="append-only"):
+            CqlStream.from_tvr(tvr, "ts")
+
+
+class TestWindows:
+    def test_range_tumbling(self):
+        stream = make_stream(
+            (t("8:02"), 1), (t("8:07"), 2), (t("8:12"), 3)
+        )
+        seq = range_window(stream, minutes(10), minutes(10))
+        assert seq.ticks == [t("8:10"), t("8:20")]
+        assert sorted(seq.at(t("8:10")).tuples) == [(1,), (2,)]
+        assert seq.at(t("8:20")).tuples == [(3,)]
+
+    def test_range_sliding(self):
+        stream = make_stream((t("8:02"), 1), (t("8:07"), 2))
+        seq = range_window(stream, minutes(10), minutes(5))
+        assert t("8:05") in seq.ticks
+        assert seq.at(t("8:05")).tuples == [(1,)]
+        assert len(seq.at(t("8:10"))) == 2
+
+    def test_rows_window(self):
+        stream = make_stream((1, 10), (2, 20), (3, 30))
+        seq = rows_window(stream, 2, slide=1)
+        assert seq.at(3).tuples == [(20,), (30,)]
+
+    def test_now_window(self):
+        stream = make_stream((1, 10), (2, 20))
+        seq = now_window(stream, slide=1)
+        assert seq.at(2).tuples == [(20,)]
+        assert seq.at(1).tuples == [(10,)]
+
+    def test_unbounded_window(self):
+        stream = make_stream((1, 10), (2, 20))
+        seq = unbounded_window(stream, slide=1)
+        assert len(seq.at(2)) == 2
+
+    def test_bad_parameters(self):
+        stream = make_stream((1, 10))
+        with pytest.raises(ValidationError):
+            range_window(stream, 0)
+        with pytest.raises(ValidationError):
+            rows_window(stream, 0, slide=1)
+
+
+class TestStreamOps:
+    def _seq(self):
+        # relation contents per tick: {1}, {1,2}, {2}
+        plain = Schema([int_col("v")])
+        contents = {1: [(1,)], 2: [(1,), (2,)], 3: [(2,)]}
+        from repro.cql.windows import RelationSequence
+
+        return RelationSequence(
+            plain, [1, 2, 3], lambda tick: Relation(plain, contents[tick])
+        )
+
+    def test_istream(self):
+        out = istream(self._seq())
+        assert list(out) == [(1, (1,)), (2, (2,))]
+
+    def test_dstream(self):
+        out = dstream(self._seq())
+        assert list(out) == [(3, (1,))]
+
+    def test_rstream(self):
+        out = rstream(self._seq())
+        assert list(out) == [
+            (1, (1,)), (2, (1,)), (2, (2,)), (3, (2,)),
+        ]
+
+    def test_istream_dstream_are_changelog_duals(self):
+        """Istream/Dstream together encode the TVR as a changelog."""
+        from collections import Counter
+
+        seq = self._seq()
+        bag = Counter()
+        adds = {ts: [] for ts in seq.ticks}
+        for ts, values in istream(seq):
+            adds[ts].append((values, 1))
+        for ts, values in dstream(seq):
+            adds[ts].append((values, -1))
+        for tick in seq.ticks:
+            for values, delta in adds[tick]:
+                bag[values] += delta
+            assert +bag == +Counter(seq.at(tick).tuples)
+
+
+class TestRelOps:
+    def test_select_project(self):
+        plain = Schema([int_col("v")])
+        rel = Relation(plain, [(1,), (5,)])
+        assert select(rel, lambda r: r[0] > 2).tuples == [(5,)]
+        doubled = project(rel, plain, lambda r: (r[0] * 2,))
+        assert doubled.tuples == [(2,), (10,)]
+
+    def test_joins(self):
+        a = Relation(Schema([int_col("x")]), [(1,), (2,)])
+        b = Relation(Schema([int_col("y")]), [(2,), (3,)])
+        assert len(cross_join(a, b)) == 4
+        matched = theta_join(a, b, lambda r: r[0] == r[1])
+        assert matched.tuples == [(2, 2)]
+
+    def test_aggregate(self):
+        rel = Relation(
+            Schema([string_col("k"), int_col("v")]),
+            [("a", 1), ("a", 3), ("b", 5)],
+        )
+        out = aggregate(rel, [0], [("total", lambda rows: sum(r[1] for r in rows))])
+        assert sorted(out.tuples) == [("a", 4), ("b", 5)]
+
+    def test_scalar(self):
+        rel = Relation(Schema([int_col("v")]), [(4,), (9,)])
+        assert scalar(rel, lambda rows: max(r[0] for r in rows)) == 9
+        assert scalar(Relation(Schema([int_col("v")])), max) is None

@@ -1,0 +1,143 @@
+"""Tests for the CQL text parser/evaluator (Listing 1's dialect)."""
+
+import pytest
+
+from repro.core.errors import ParseError, ValidationError
+from repro.core.schema import Schema, int_col, string_col
+from repro.core.times import minutes, t
+from repro.cql import CqlStream, parse_cql
+from repro.nexmark import paper_bid_stream
+
+LISTING_1 = """
+SELECT
+  Rstream(B.price, B.item)
+FROM
+  Bid [RANGE 10 MINUTE SLIDE 10 MINUTE] B
+WHERE
+  B.price =
+  (SELECT MAX(B1.price) FROM Bid
+   [RANGE 10 MINUTE SLIDE 10 MINUTE] B1);
+"""
+
+
+@pytest.fixture
+def bid_cql():
+    return CqlStream.from_tvr(
+        paper_bid_stream(), "bidtime", keep_time_column=True
+    )
+
+
+def simple_stream(*elements):
+    schema = Schema([int_col("v"), string_col("k")])
+    return CqlStream(schema, [(ts, values) for ts, values in elements])
+
+
+class TestListing1Text:
+    def test_executes_verbatim(self, bid_cql):
+        """The paper's CQL text runs as written on the CQL baseline."""
+        out = parse_cql(LISTING_1).evaluate({"bid": bid_cql})
+        assert [(ts, values) for ts, values in out] == [
+            (t("8:10"), (5, "D")),
+            (t("8:20"), (6, "F")),
+        ]
+
+    def test_matches_programmatic_q7(self, bid_cql):
+        from repro.nexmark.queries import q7_cql
+
+        text_rows = [
+            (ts, values[0], values[1])
+            for ts, values in parse_cql(LISTING_1).evaluate({"bid": bid_cql})
+        ]
+        api_rows = [
+            (ts, values[1], values[2]) for ts, values in q7_cql(paper_bid_stream())
+        ]
+        assert text_rows == api_rows
+
+
+class TestParsing:
+    def test_istream_dstream(self):
+        assert parse_cql("SELECT Istream(v) FROM S [NOW]").stream_op == "ISTREAM"
+        assert parse_cql("SELECT Dstream(v) FROM S [NOW]").stream_op == "DSTREAM"
+
+    def test_relation_query_has_no_stream_op(self):
+        query = parse_cql("SELECT v FROM S [ROWS 5]")
+        assert query.stream_op is None
+        assert query.from_refs[0].window.kind == "rows"
+
+    def test_unbounded_default(self):
+        query = parse_cql("SELECT v FROM S")
+        assert query.from_refs[0].window.kind == "unbounded"
+
+    def test_range_units(self):
+        query = parse_cql("SELECT v FROM S [RANGE 2 HOURS SLIDE 30 MINUTES]")
+        window = query.from_refs[0].window
+        assert window.range_ == minutes(120)
+        assert window.slide == minutes(30)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT FROM S",
+            "SELECT v FROM S [RANGE ten MINUTES]",
+            "SELECT v FROM S [RANGE 1 FORTNIGHT]",
+            "SELECT v FROM S trailing garbage here",
+        ],
+    )
+    def test_parse_errors(self, bad):
+        with pytest.raises(ParseError):
+            parse_cql(bad)
+
+
+class TestEvaluation:
+    def test_projection_and_filter(self):
+        stream = simple_stream(
+            (minutes(1), (5, "a")), (minutes(2), (9, "b"))
+        )
+        query = parse_cql(
+            "SELECT Rstream(v) FROM S [RANGE 10 MINUTES SLIDE 10 MINUTES] "
+            "WHERE v > 6"
+        )
+        out = query.evaluate({"s": stream})
+        assert [(ts, values) for ts, values in out] == [(minutes(10), (9,))]
+
+    def test_aggregate_select(self):
+        stream = simple_stream(
+            (minutes(1), (5, "a")), (minutes(2), (9, "b")),
+            (minutes(11), (7, "c")),
+        )
+        query = parse_cql(
+            "SELECT Rstream(MAX(v), COUNT(*)) FROM S "
+            "[RANGE 10 MINUTES SLIDE 10 MINUTES]"
+        )
+        out = list(query.evaluate({"s": stream}))
+        assert out == [
+            (minutes(10), (9, 2)),
+            (minutes(20), (7, 1)),
+        ]
+
+    def test_unknown_stream(self):
+        query = parse_cql("SELECT v FROM Ghost [NOW]")
+        with pytest.raises(ValidationError, match="unknown CQL stream"):
+            query.evaluate({})
+
+    def test_mismatched_slides_rejected(self):
+        stream = simple_stream((minutes(1), (5, "a")))
+        query = parse_cql(
+            "SELECT a.v FROM S [RANGE 10 MINUTES SLIDE 10 MINUTES] a, "
+            "S [RANGE 5 MINUTES SLIDE 5 MINUTES] b"
+        )
+        with pytest.raises(ValidationError, match="share ticks"):
+            query.evaluate({"s": stream})
+
+    def test_self_join_lock_step(self):
+        stream = simple_stream(
+            (minutes(1), (5, "a")), (minutes(2), (9, "b"))
+        )
+        query = parse_cql(
+            "SELECT Rstream(a.v, b.v) FROM "
+            "S [RANGE 10 MINUTES SLIDE 10 MINUTES] a, "
+            "S [RANGE 10 MINUTES SLIDE 10 MINUTES] b "
+            "WHERE a.v < b.v"
+        )
+        out = list(query.evaluate({"s": stream}))
+        assert out == [(minutes(10), (5, 9))]

@@ -1,0 +1,92 @@
+"""Tests for the delta-encoded changelog rendering (§6.5.1 option)."""
+
+import pytest
+
+from repro import StreamEngine
+from repro.core.errors import ExecutionError
+from repro.core.schema import Schema, int_col, string_col, timestamp_col
+from repro.core.times import t
+from repro.core.tvr import TimeVaryingRelation
+
+SCHEMA = Schema(
+    [timestamp_col("ts", event_time=True), int_col("v"), string_col("k")]
+)
+
+SUM_SQL = (
+    "SELECT TB.wend, SUM(TB.v) s, COUNT(*) c FROM Tumble("
+    "data => TABLE(S), timecol => DESCRIPTOR(ts), "
+    "dur => INTERVAL '10' MINUTES) TB GROUP BY TB.wend"
+)
+
+
+def make_engine(rows):
+    tvr = TimeVaryingRelation(SCHEMA)
+    for ptime, ts, v in rows:
+        tvr.insert(ptime, (ts, v, "x"))
+    tvr.advance_watermark(10_000_000_000, 10_000_000_000)
+    engine = StreamEngine()
+    engine.register_stream("S", tvr)
+    return engine
+
+
+class TestDeltaView:
+    def test_updates_become_differences(self):
+        engine = make_engine(
+            [(100, t("8:01"), 5), (200, t("8:02"), 7), (300, t("8:03"), -2)]
+        )
+        out = engine.query(SUM_SQL).stream_deltas()
+        assert [(d.key, d.deltas, d.ptime) for d in out] == [
+            ((t("8:10"),), (5, 1), 100),
+            ((t("8:10"),), (7, 1), 200),
+            ((t("8:10"),), (-2, 1), 300),
+        ]
+
+    def test_deltas_sum_to_final_state(self):
+        engine = make_engine(
+            [(100 + i, t("8:01") + (i % 3) * 600_000, i) for i in range(20)]
+        )
+        out = engine.query(SUM_SQL).stream_deltas()
+        totals: dict = {}
+        for delta in out:
+            s, c = totals.get(delta.key, (0, 0))
+            totals[delta.key] = (s + delta.deltas[0], c + delta.deltas[1])
+        final = {
+            (row[0],): (row[1], row[2])
+            for row in engine.query(SUM_SQL).table().tuples
+        }
+        assert totals == final
+
+    def test_delta_stream_is_half_the_retraction_stream(self):
+        engine = make_engine(
+            [(100 + i, t("8:01"), 1) for i in range(10)]
+        )
+        deltas = engine.query(SUM_SQL).stream_deltas()
+        retractions = engine.query(SUM_SQL + " EMIT STREAM").stream()
+        # n updates: retraction stream has 2n - 1 entries, deltas n
+        assert len(deltas) == 10
+        assert len(retractions) == 19
+
+    def test_non_numeric_column_rejected(self):
+        engine = make_engine([(100, t("8:01"), 5)])
+        sql = (
+            "SELECT TB.wend, MAX(TB.k) m FROM Tumble("
+            "data => TABLE(S), timecol => DESCRIPTOR(ts), "
+            "dur => INTERVAL '10' MINUTES) TB GROUP BY TB.wend"
+        )
+        with pytest.raises(ExecutionError, match="numeric"):
+            engine.query(sql).stream_deltas()
+
+    def test_ungrouped_query_rejected(self):
+        engine = make_engine([(100, t("8:01"), 5)])
+        with pytest.raises(ExecutionError, match="emit keys"):
+            engine.query("SELECT v FROM S").stream_deltas()
+
+    def test_composes_with_after_delay(self):
+        engine = make_engine(
+            [(100, t("8:01"), 5), (200, t("8:02"), 7)]
+        )
+        out = engine.query(
+            SUM_SQL + " EMIT AFTER DELAY INTERVAL '1' SECONDS"
+        ).stream_deltas()
+        # both updates coalesce into one delta at the timer firing
+        assert [(d.deltas, d.ptime) for d in out] == [((12, 2), 1100)]

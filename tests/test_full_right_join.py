@@ -1,0 +1,183 @@
+"""Tests for FULL and RIGHT OUTER JOINs."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import StreamEngine
+from repro.core.changelog import Change, ChangeKind
+from repro.core.schema import Schema, int_col, string_col, timestamp_col
+from repro.core.times import t
+from repro.exec.operators.outer_join import OuterJoinOperator
+
+LEFT = Schema([int_col("lk"), string_col("lv")])
+RIGHT = Schema([int_col("rk"), string_col("rv")])
+
+
+def ins(values, ptime=0):
+    return Change(ChangeKind.INSERT, tuple(values), ptime)
+
+
+def rm(values, ptime=0):
+    return Change(ChangeKind.RETRACT, tuple(values), ptime)
+
+
+@pytest.fixture
+def full_op():
+    return OuterJoinOperator(
+        LEFT.concat(RIGHT),
+        left_width=2,
+        right_width=2,
+        condition=lambda row: row[0] == row[2],
+        left_key=(0,),
+        right_key=(0,),
+        outer=(True, True),
+    )
+
+
+class TestFullJoinOperator:
+    def test_both_sides_null_extend(self, full_op):
+        (left_out,) = full_op.on_change(0, ins((1, "a")))
+        assert left_out.values == (1, "a", None, None)
+        (right_out,) = full_op.on_change(1, ins((2, "x")))
+        assert right_out.values == (None, None, 2, "x")
+
+    def test_match_withdraws_both_null_rows(self, full_op):
+        full_op.on_change(0, ins((1, "a")))
+        out = full_op.on_change(1, ins((1, "x")))
+        assert [(c.kind, c.values) for c in out] == [
+            (ChangeKind.RETRACT, (1, "a", None, None)),
+            (ChangeKind.INSERT, (1, "a", 1, "x")),
+        ]
+
+    def test_retraction_restores_null_rows_both_ways(self, full_op):
+        full_op.on_change(0, ins((1, "a")))
+        full_op.on_change(1, ins((1, "x")))
+        out = full_op.on_change(0, rm((1, "a")))
+        assert [(c.kind, c.values) for c in out] == [
+            (ChangeKind.RETRACT, (1, "a", 1, "x")),
+            (ChangeKind.INSERT, (None, None, 1, "x")),
+        ]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["L+", "L-", "R+", "R-"]),
+            st.integers(0, 2),
+            st.sampled_from(["a", "b"]),
+        ),
+        max_size=30,
+    )
+)
+def test_full_join_matches_batch(ops):
+    op = OuterJoinOperator(
+        LEFT.concat(RIGHT),
+        left_width=2,
+        right_width=2,
+        condition=lambda row: row[0] == row[2],
+        left_key=(0,),
+        right_key=(0,),
+        outer=(True, True),
+    )
+    left_bag: Counter = Counter()
+    right_bag: Counter = Counter()
+    folded: Counter = Counter()
+    for kind, key, value in ops:
+        row = (key, value)
+        if kind == "L+":
+            left_bag[row] += 1
+            changes = op.on_change(0, ins(row))
+        elif kind == "L-" and left_bag[row] > 0:
+            left_bag[row] -= 1
+            changes = op.on_change(0, rm(row))
+        elif kind == "R+":
+            right_bag[row] += 1
+            changes = op.on_change(1, ins(row))
+        elif kind == "R-" and right_bag[row] > 0:
+            right_bag[row] -= 1
+            changes = op.on_change(1, rm(row))
+        else:
+            continue
+        for change in changes:
+            folded[change.values] += change.delta
+            assert folded[change.values] >= 0
+
+    expected: Counter = Counter()
+    for lrow, lcount in left_bag.items():
+        if lcount <= 0:
+            continue
+        matches = [
+            (rrow, rcount)
+            for rrow, rcount in right_bag.items()
+            if rrow[0] == lrow[0] and rcount > 0
+        ]
+        if not matches:
+            expected[lrow + (None, None)] += lcount
+        else:
+            for rrow, rcount in matches:
+                expected[lrow + rrow] += lcount * rcount
+    for rrow, rcount in right_bag.items():
+        if rcount <= 0:
+            continue
+        if not any(
+            lrow[0] == rrow[0] and lcount > 0
+            for lrow, lcount in left_bag.items()
+        ):
+            expected[(None, None) + rrow] += rcount
+    assert +folded == +expected
+
+
+class TestThroughSql:
+    @pytest.fixture
+    def engine(self):
+        eng = StreamEngine()
+        a_schema = Schema(
+            [int_col("id"), string_col("name"),
+             timestamp_col("ts", event_time=True)]
+        )
+        b_schema = Schema(
+            [int_col("ref"), int_col("score"),
+             timestamp_col("bt", event_time=True)]
+        )
+        eng.register_table(
+            "A", a_schema, [(1, "one", t("8:00")), (2, "two", t("8:01"))]
+        )
+        eng.register_table(
+            "B", b_schema, [(2, 20, t("8:02")), (3, 30, t("8:03"))]
+        )
+        return eng
+
+    def test_full_join(self, engine):
+        rel = engine.query(
+            "SELECT A.name, B.score FROM A FULL JOIN B ON A.id = B.ref"
+        ).table()
+        assert sorted(rel.tuples, key=str) == sorted(
+            [("one", None), ("two", 20), (None, 30)], key=str
+        )
+
+    def test_right_join(self, engine):
+        rel = engine.query(
+            "SELECT A.name, B.score FROM A RIGHT JOIN B ON A.id = B.ref"
+        ).table()
+        assert sorted(rel.tuples, key=str) == sorted(
+            [("two", 20), (None, 30)], key=str
+        )
+
+    def test_right_join_column_order_restored(self, engine):
+        rel = engine.query(
+            "SELECT * FROM A RIGHT JOIN B ON A.id = B.ref"
+        ).table()
+        assert rel.schema.column_names()[:3] == ["id", "name", "ts"]
+
+    def test_right_equals_mirrored_left(self, engine):
+        right = engine.query(
+            "SELECT A.name, B.score FROM A RIGHT JOIN B ON A.id = B.ref"
+        ).table()
+        left = engine.query(
+            "SELECT A.name, B.score FROM B LEFT JOIN A ON A.id = B.ref"
+        ).table()
+        assert Counter(right.tuples) == Counter(left.tuples)

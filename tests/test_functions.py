@@ -1,0 +1,137 @@
+"""Tests for the function registry: scalars and aggregates."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import StreamEngine
+from repro.core.errors import ValidationError
+from repro.core.schema import Schema, SqlType, float_col, int_col, string_col
+from repro.sql.functions import default_registry
+
+REG = default_registry()
+
+
+def run_scalar(name, *args):
+    fn = REG.scalar(name)
+    return fn.impl(*args)
+
+
+class TestScalars:
+    def test_string_functions(self):
+        assert run_scalar("UPPER", "abc") == "ABC"
+        assert run_scalar("LOWER", "ABC") == "abc"
+        assert run_scalar("LENGTH", "hello") == 5
+        assert run_scalar("SUBSTRING", "hello", 2, 3) == "ell"
+        assert run_scalar("SUBSTRING", "hello", 3) == "llo"
+        assert run_scalar("CONCAT", "a", 1, "b") == "a1b"
+
+    def test_numeric_functions(self):
+        assert run_scalar("ABS", -4) == 4
+        assert run_scalar("FLOOR", 2.7) == 2
+        assert run_scalar("CEIL", 2.1) == 3
+        assert run_scalar("ROUND", 2.456, 1) == 2.5
+        assert run_scalar("POWER", 2, 10) == 1024
+        assert run_scalar("SQRT", 9) == 3
+        assert run_scalar("GREATEST", 1, 9, 4) == 9
+        assert run_scalar("LEAST", 1, 9, 4) == 1
+
+    def test_null_handling_functions(self):
+        assert run_scalar("COALESCE", None, None, 7) == 7
+        assert run_scalar("COALESCE", None) is None
+        assert run_scalar("NULLIF", 3, 3) is None
+        assert run_scalar("NULLIF", 3, 4) == 3
+
+    def test_arity_checking(self):
+        with pytest.raises(ValidationError, match="arguments"):
+            REG.scalar("ABS").check_arity(2)
+
+    def test_unknown_function(self):
+        with pytest.raises(ValidationError, match="unknown function"):
+            REG.scalar("FROBNICATE")
+
+    def test_registry_copy_is_independent(self):
+        clone = REG.copy()
+        clone.register_scalar("X", lambda: 1, SqlType.INT, 0)
+        assert clone.has_scalar("X")
+        assert not REG.has_scalar("X")
+
+
+class TestVarianceAggregates:
+    def _run(self, name, values):
+        agg = REG.aggregate(name)
+        acc = agg.create()
+        for v in values:
+            agg.add(acc, v)
+        return agg.result(acc)
+
+    def test_var_pop(self):
+        assert self._run("VAR_POP", [2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(4.0)
+
+    def test_stddev_pop(self):
+        assert self._run("STDDEV_POP", [2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(2.0)
+
+    def test_var_samp(self):
+        assert self._run("VAR_SAMP", [1, 2, 3]) == pytest.approx(1.0)
+
+    def test_samp_needs_two_values(self):
+        assert self._run("VAR_SAMP", [5]) is None
+        assert self._run("VAR_POP", [5]) == pytest.approx(0.0)
+        assert self._run("VAR_POP", []) is None
+
+    def test_nulls_ignored(self):
+        assert self._run("STDDEV_POP", [None, 2, None, 4]) == pytest.approx(1.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.integers(-100, 100), min_size=2, max_size=30),
+        st.data(),
+    )
+    def test_retraction_matches_recompute(self, values, data):
+        agg = REG.aggregate("VAR_POP")
+        acc = agg.create()
+        for v in values:
+            agg.add(acc, v)
+        survivors = list(values)
+        to_remove = data.draw(
+            st.lists(
+                st.sampled_from(values), max_size=len(values) - 1, unique=False
+            )
+        )
+        for v in to_remove:
+            if v in survivors:
+                survivors.remove(v)
+                agg.retract(acc, v)
+        result = agg.result(acc)
+        if len(survivors) == 0:
+            assert result is None
+        else:
+            mean = sum(survivors) / len(survivors)
+            expected = sum((x - mean) ** 2 for x in survivors) / len(survivors)
+            assert result == pytest.approx(expected, abs=1e-6)
+
+    def test_through_sql(self):
+        engine = StreamEngine()
+        engine.register_table(
+            "T",
+            Schema([string_col("k"), int_col("v")]),
+            [("a", 2), ("a", 4), ("a", 6), ("b", 5)],
+        )
+        rel = engine.query(
+            "SELECT k, STDDEV_POP(v) s, VAR_SAMP(v) vs FROM T GROUP BY k"
+        ).table().sorted(["k"])
+        a_row, b_row = rel.tuples
+        assert a_row[1] == pytest.approx(math.sqrt(8 / 3))
+        assert a_row[2] == pytest.approx(4.0)
+        assert b_row[1] == pytest.approx(0.0)
+        assert b_row[2] is None
+
+    def test_requires_numeric(self):
+        engine = StreamEngine()
+        engine.register_table(
+            "T", Schema([string_col("s")]), [("x",)]
+        )
+        with pytest.raises(ValidationError, match="numeric"):
+            engine.query("SELECT VAR_POP(s) FROM T")

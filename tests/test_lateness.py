@@ -1,0 +1,86 @@
+"""Tests for configurable allowed lateness (Extension 2's noted need)."""
+
+import pytest
+
+from repro import StreamEngine
+from repro.core.schema import Schema, int_col, timestamp_col
+from repro.core.times import minutes, seconds, t
+from repro.core.tvr import TimeVaryingRelation
+
+SCHEMA = Schema([timestamp_col("ts", event_time=True), int_col("v")])
+
+SQL = (
+    "SELECT TB.wend, COUNT(*) c FROM Tumble(data => TABLE(S), "
+    "timecol => DESCRIPTOR(ts), dur => INTERVAL '10' MINUTES) TB "
+    "GROUP BY TB.wend"
+)
+
+
+def make_engine():
+    tvr = TimeVaryingRelation(SCHEMA)
+    tvr.insert(100, (t("8:01"), 1))
+    tvr.advance_watermark(200, t("8:12"))  # first window complete
+    tvr.insert(300, (t("8:05"), 2))  # late by 7 minutes
+    tvr.advance_watermark(400, t("8:30"))
+    engine = StreamEngine()
+    engine.register_stream("S", tvr)
+    return engine
+
+
+class TestAllowedLateness:
+    def test_default_drops_late_rows(self):
+        engine = make_engine()
+        query = engine.query(SQL)
+        assert query.table().tuples == [(t("8:10"), 1)]
+        assert query.run().late_dropped == 1
+
+    def test_lateness_keeps_state_and_updates(self):
+        engine = make_engine()
+        query = engine.query(SQL, allowed_lateness=minutes(10))
+        assert query.table().tuples == [(t("8:10"), 2)]
+        assert query.run().late_dropped == 0
+
+    def test_late_firing_appears_in_changelog(self):
+        engine = make_engine()
+        out = engine.query(SQL + " EMIT STREAM", allowed_lateness=minutes(10)).stream()
+        # initial count, then the late correction (retract + insert)
+        assert [(c.values[1], c.undo, c.ptime) for c in out] == [
+            (1, False, 100),
+            (1, True, 300),
+            (2, False, 300),
+        ]
+
+    def test_insufficient_lateness_still_drops(self):
+        engine = make_engine()
+        # the row is 7 minutes past its window end; 2 minutes of slack
+        # does not save it (watermark 8:12 >= wend 8:10 + 2min)
+        query = engine.query(SQL, allowed_lateness=minutes(2))
+        assert query.table().tuples == [(t("8:10"), 1)]
+        assert query.run().late_dropped == 1
+
+    def test_late_pane_with_after_watermark(self):
+        """The early/on-time/late pattern: a late correction follows the
+        on-time row under EMIT AFTER WATERMARK."""
+        engine = make_engine()
+        out = engine.query(
+            SQL + " EMIT STREAM AFTER WATERMARK",
+            allowed_lateness=minutes(10),
+        ).stream()
+        values = [(c.values[1], c.undo) for c in out]
+        assert values == [(1, False), (1, True), (2, False)]
+
+    def test_lateness_extends_join_state(self):
+        """Windowed-join expiry stretches by the allowed lateness."""
+        from repro.nexmark import paper_bid_stream
+        from repro.nexmark.queries import q7_paper
+
+        engine = StreamEngine()
+        engine.register_stream("Bid", paper_bid_stream())
+        strict = engine.query(q7_paper()).dataflow()
+        strict.run()
+        lenient = engine.query(
+            q7_paper(), allowed_lateness=minutes(30)
+        ).dataflow()
+        lenient.run()
+        # same results, but the lenient run retains more join state
+        assert lenient.total_state_rows() >= strict.total_state_rows()

@@ -1,0 +1,122 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.core.errors import LexError
+from repro.sql.lexer import Token, TokenType, tokenize
+
+
+def kinds(sql):
+    return [(tok.type, tok.value) for tok in tokenize(sql)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        toks = tokenize("select FROM WhErE")
+        assert all(t.type is TokenType.KEYWORD for t in toks[:-1])
+        assert toks[0].upper == "SELECT"
+
+    def test_identifiers_keep_case(self):
+        (tok,) = tokenize("MaxBid")[:-1]
+        assert tok.type is TokenType.IDENT
+        assert tok.value == "MaxBid"
+
+    def test_eof_token(self):
+        toks = tokenize("x")
+        assert toks[-1].type is TokenType.EOF
+
+    def test_positions(self):
+        toks = tokenize("a  b")
+        assert toks[0].pos == 0
+        assert toks[1].pos == 3
+
+
+class TestNumbers:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("42", "42"), ("3.14", "3.14"), ("1e6", "1e6"), ("2.5E-3", "2.5E-3"),
+         (".5", ".5")],
+    )
+    def test_number_forms(self, text, expected):
+        (tok,) = tokenize(text)[:-1]
+        assert tok.type is TokenType.NUMBER
+        assert tok.value == expected
+
+    def test_second_dot_starts_new_number(self):
+        toks = tokenize("1.2.3")  # 1.2 then .3 (a number may start with .)
+        assert [t.value for t in toks[:-1]] == ["1.2", ".3"]
+
+
+class TestStrings:
+    def test_simple(self):
+        (tok,) = tokenize("'hello'")[:-1]
+        assert tok.type is TokenType.STRING
+        assert tok.value == "hello"
+
+    def test_escaped_quote(self):
+        (tok,) = tokenize("'it''s'")[:-1]
+        assert tok.value == "it's"
+
+    def test_unterminated(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_quoted_identifier(self):
+        (tok,) = tokenize('"select"')[:-1]
+        assert tok.type is TokenType.IDENT
+        assert tok.value == "select"
+
+
+class TestOperators:
+    def test_multi_char_ops(self):
+        values = [t.value for t in tokenize("a => b <> c <= d >= e != f || g")[:-1]]
+        assert "=>" in values and "<>" in values and "<=" in values
+        assert ">=" in values and "!=" in values and "||" in values
+
+    def test_single_char_ops(self):
+        values = [t.value for t in tokenize("( ) , . ; + - * / % = < >")[:-1]]
+        assert values == list("(),.;+-*/%=<>")
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize("a @ b")
+
+    def test_question_mark_is_a_token(self):
+        # used as the optional quantifier in MATCH_RECOGNIZE patterns
+        assert tokenize("A?")[1].value == "?"
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a -- comment\nb") == [
+            (TokenType.IDENT, "a"),
+            (TokenType.IDENT, "b"),
+        ]
+
+    def test_line_comment_at_eof(self):
+        assert kinds("a -- trailing") == [(TokenType.IDENT, "a")]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [
+            (TokenType.IDENT, "a"),
+            (TokenType.IDENT, "b"),
+        ]
+
+    def test_unterminated_block(self):
+        with pytest.raises(LexError, match="unterminated block"):
+            tokenize("a /* oops")
+
+    def test_minus_still_works(self):
+        assert kinds("a - b")[1] == (TokenType.OP, "-")
+
+
+class TestTokenHelpers:
+    def test_is_keyword(self):
+        tok = tokenize("SELECT")[0]
+        assert tok.is_keyword("SELECT")
+        assert tok.is_keyword("SELECT", "FROM")
+        assert not tok.is_keyword("FROM")
+
+    def test_str(self):
+        assert str(tokenize("x")[0]) == "'x'"
+        assert str(tokenize("")[0]) == "end of input"

@@ -1,0 +1,306 @@
+"""Tests for MATCH_RECOGNIZE (SQL:2016 row pattern matching, §6.1)."""
+
+import pytest
+
+from repro import StreamEngine
+from repro.core.errors import ExecutionError, ValidationError
+from repro.core.schema import Schema, int_col, string_col, timestamp_col
+from repro.core.times import MAX_TIMESTAMP, t
+from repro.core.tvr import TimeVaryingRelation
+
+SCHEMA = Schema(
+    [
+        string_col("ticker"),
+        timestamp_col("ts", event_time=True),
+        int_col("price"),
+    ]
+)
+
+# The classic V-shape query: a strictly falling run followed by a
+# strictly rising run.
+V_SHAPE = """
+SELECT *
+FROM Ticks MATCH_RECOGNIZE (
+  PARTITION BY ticker
+  ORDER BY ts
+  MEASURES
+    FIRST(DOWN.price) AS top,
+    LAST(DOWN.price)  AS bottom,
+    LAST(UP.price)    AS recovered,
+    COUNT(DOWN.price) AS fall_len
+  ONE ROW PER MATCH
+  AFTER MATCH SKIP PAST LAST ROW
+  PATTERN ( DOWN DOWN+ UP+ )
+  DEFINE
+    DOWN AS price < 100,
+    UP   AS price >= 100
+)
+"""
+
+
+def build(rows, wm=None, in_order_ptime=True):
+    """rows: (ticker, event_ts, price); arrival order = list order."""
+    tvr = TimeVaryingRelation(SCHEMA)
+    for i, (ticker, ts, price) in enumerate(rows):
+        tvr.insert(1000 + i, (ticker, ts, price))
+    tvr.advance_watermark(5000, wm if wm is not None else MAX_TIMESTAMP)
+    engine = StreamEngine()
+    engine.register_stream("Ticks", tvr)
+    return engine
+
+
+class TestBasicMatching:
+    def test_v_shape_found(self):
+        engine = build(
+            [
+                ("A", t("9:00"), 120),
+                ("A", t("9:01"), 90),
+                ("A", t("9:02"), 80),
+                ("A", t("9:03"), 105),
+                ("A", t("9:04"), 110),
+            ]
+        )
+        rel = engine.query(V_SHAPE).table()
+        assert rel.tuples == [("A", 90, 80, 110, 2)]
+
+    def test_no_match_when_pattern_absent(self):
+        engine = build([("A", t("9:00"), 120), ("A", t("9:01"), 130)])
+        assert engine.query(V_SHAPE).table().tuples == []
+
+    def test_partitions_are_independent(self):
+        engine = build(
+            [
+                ("A", t("9:00"), 90),
+                ("B", t("9:00"), 150),
+                ("A", t("9:01"), 80),
+                ("B", t("9:01"), 80),  # B has only one DOWN: no match
+                ("A", t("9:02"), 100),
+                ("B", t("9:02"), 120),
+            ]
+        )
+        rel = engine.query(V_SHAPE).table()
+        assert [r[0] for r in rel.tuples] == ["A"]
+
+    def test_multiple_matches_skip_past_last_row(self):
+        rows = []
+        base = t("9:00")
+        for cycle in range(3):
+            offset = cycle * 4
+            rows += [
+                ("A", base + (offset + 0) * 60_000, 90),
+                ("A", base + (offset + 1) * 60_000, 80),
+                ("A", base + (offset + 2) * 60_000, 100),
+                ("A", base + (offset + 3) * 60_000, 200),
+            ]
+        engine = build(rows)
+        rel = engine.query(V_SHAPE).table()
+        assert len(rel) == 3
+
+    def test_greedy_quantifier_takes_longest_run(self):
+        engine = build(
+            [
+                ("A", t("9:00"), 95),
+                ("A", t("9:01"), 90),
+                ("A", t("9:02"), 85),
+                ("A", t("9:03"), 80),
+                ("A", t("9:04"), 100),
+            ]
+        )
+        rel = engine.query(V_SHAPE).table()
+        assert rel.tuples == [("A", 95, 80, 100, 4)]
+
+    def test_optional_quantifier(self):
+        sql = """
+        SELECT * FROM Ticks MATCH_RECOGNIZE (
+          PARTITION BY ticker ORDER BY ts
+          MEASURES A.price AS a, COUNT(B.price) AS b_count, C.price AS c
+          PATTERN ( A B? C )
+          DEFINE A AS price = 1, B AS price = 2, C AS price = 3
+        )
+        """
+        engine = build(
+            [
+                ("X", t("9:00"), 1),
+                ("X", t("9:01"), 3),  # A C with B absent
+                ("Y", t("9:00"), 1),
+                ("Y", t("9:01"), 2),
+                ("Y", t("9:02"), 3),  # A B C
+            ]
+        )
+        rel = engine.query(sql).table().sorted(["ticker"])
+        assert rel.tuples == [("X", 1, 0, 3), ("Y", 1, 1, 3)]
+
+    def test_undefined_symbol_matches_any_row(self):
+        sql = """
+        SELECT * FROM Ticks MATCH_RECOGNIZE (
+          PARTITION BY ticker ORDER BY ts
+          MEASURES COUNT(ANYROW.price) AS n
+          PATTERN ( SPIKE ANYROW )
+          DEFINE SPIKE AS price > 100
+        )
+        """
+        engine = build(
+            [("A", t("9:00"), 150), ("A", t("9:01"), 7)]
+        )
+        assert engine.query(sql).table().tuples == [("A", 1)]
+
+    def test_skip_to_next_row_overlaps(self):
+        sql = """
+        SELECT * FROM Ticks MATCH_RECOGNIZE (
+          PARTITION BY ticker ORDER BY ts
+          MEASURES FIRST(HI.price) AS first_hi, COUNT(HI.price) AS n
+          AFTER MATCH SKIP TO NEXT ROW
+          PATTERN ( HI HI )
+          DEFINE HI AS price > 100
+        )
+        """
+        engine = build(
+            [
+                ("A", t("9:00"), 110),
+                ("A", t("9:01"), 120),
+                ("A", t("9:02"), 130),
+            ]
+        )
+        rel = engine.query(sql).table()
+        assert len(rel) == 2  # (110,120) and (120,130)
+
+
+class TestEventTimeSequencing:
+    def test_out_of_order_arrival_same_matches(self):
+        in_order = [
+            ("A", t("9:00"), 120),
+            ("A", t("9:01"), 90),
+            ("A", t("9:02"), 80),
+            ("A", t("9:03"), 105),
+        ]
+        shuffled = [in_order[2], in_order[0], in_order[3], in_order[1]]
+        rel_a = build(in_order).query(V_SHAPE).table()
+        rel_b = build(shuffled).query(V_SHAPE).table()
+        assert rel_a == rel_b
+
+    def test_matching_waits_for_watermark(self):
+        rows = [
+            ("A", t("9:00"), 120),
+            ("A", t("9:01"), 90),
+            ("A", t("9:02"), 80),
+            ("A", t("9:03"), 105),
+        ]
+        # watermark only reaches 9:02: the UP row is not yet stable and
+        # the falling run could still grow — nothing may be emitted
+        engine = build(rows, wm=t("9:02"))
+        assert engine.query(V_SHAPE).table().tuples == []
+
+    def test_boundary_match_deferred_until_complete(self):
+        # the greedy UP+ ends exactly at the watermark: a longer match
+        # could still arrive, so emission waits for completeness
+        rows = [
+            ("A", t("9:00"), 90),
+            ("A", t("9:01"), 80),
+            ("A", t("9:02"), 105),
+        ]
+        engine = build(rows, wm=t("9:02"))
+        assert engine.query(V_SHAPE).table().tuples == []
+        complete = build(rows)  # watermark at +inf
+        assert complete.query(V_SHAPE).table().tuples == [("A", 90, 80, 105, 2)]
+
+    def test_closed_pattern_emits_at_boundary(self):
+        """A pattern ending in a plain element cannot extend: it emits
+        as soon as its rows are stable, without waiting for input end."""
+        sql = """
+        SELECT * FROM Ticks MATCH_RECOGNIZE (
+          PARTITION BY ticker ORDER BY ts
+          MEASURES LAST(DOWN.price) AS bottom, UP.price AS up
+          PATTERN ( DOWN+ UP )
+          DEFINE DOWN AS price < 100, UP AS price >= 100
+        )
+        """
+        rows = [
+            ("A", t("9:00"), 90),
+            ("A", t("9:01"), 80),
+            ("A", t("9:02"), 105),
+        ]
+        engine = build(rows, wm=t("9:02"))  # stable but not complete
+        assert engine.query(sql).table().tuples == [("A", 80, 105)]
+
+    def test_pattern_state_is_garbage_collected(self):
+        rows = [("A", t("9:00") + i * 60_000, 200) for i in range(50)]
+        tvr = TimeVaryingRelation(SCHEMA)
+        for i, row in enumerate(rows):
+            tvr.insert(1000 + i, row)
+            if i % 10 == 9:
+                tvr.advance_watermark(1000 + i, row[1])
+        engine = StreamEngine()
+        engine.register_stream("Ticks", tvr)
+        dataflow = engine.query(V_SHAPE).dataflow()
+        dataflow.run()
+        # rows that can never start a match are discarded as the
+        # watermark passes them
+        assert dataflow.total_state_rows() < 15
+
+
+class TestValidation:
+    def test_order_by_must_be_event_time(self):
+        engine = build([])
+        with pytest.raises(ValidationError, match="event time"):
+            engine.query(
+                "SELECT * FROM Ticks MATCH_RECOGNIZE ("
+                "ORDER BY price MEASURES A.price AS p "
+                "PATTERN (A) DEFINE A AS price > 0)"
+            )
+
+    def test_define_symbol_must_be_in_pattern(self):
+        engine = build([])
+        with pytest.raises(ValidationError, match="not in PATTERN"):
+            engine.query(
+                "SELECT * FROM Ticks MATCH_RECOGNIZE ("
+                "ORDER BY ts MEASURES A.price AS p "
+                "PATTERN (A) DEFINE B AS price > 0)"
+            )
+
+    def test_measure_symbol_must_be_in_pattern(self):
+        engine = build([])
+        with pytest.raises(ValidationError, match="not a pattern symbol"):
+            engine.query(
+                "SELECT * FROM Ticks MATCH_RECOGNIZE ("
+                "ORDER BY ts MEASURES Z.price AS p "
+                "PATTERN (A) DEFINE A AS price > 0)"
+            )
+
+    def test_retraction_input_rejected(self):
+        tvr = TimeVaryingRelation(SCHEMA)
+        tvr.insert(1, ("A", t("9:00"), 1))
+        tvr.retract(2, ("A", t("9:00"), 1))
+        engine = StreamEngine()
+        engine.register_stream("Ticks", tvr)
+        sql = (
+            "SELECT * FROM Ticks MATCH_RECOGNIZE ("
+            "ORDER BY ts MEASURES A.price AS p "
+            "PATTERN (A) DEFINE A AS price > 0)"
+        )
+        with pytest.raises(ExecutionError, match="append-only"):
+            engine.query(sql).table()
+
+    def test_composable_with_outer_query(self):
+        engine = build(
+            [
+                ("A", t("9:00"), 120),
+                ("A", t("9:01"), 90),
+                ("A", t("9:02"), 80),
+                ("A", t("9:03"), 105),
+            ]
+        )
+        rel = engine.query(
+            "SELECT M.ticker, M.bottom * 2 AS doubled FROM "
+            + _inline_v()
+            + " M WHERE M.bottom < 90"
+        ).table()
+        assert rel.tuples == [("A", 160)]
+
+
+def _inline_v() -> str:
+    return """Ticks MATCH_RECOGNIZE (
+      PARTITION BY ticker ORDER BY ts
+      MEASURES LAST(DOWN.price) AS bottom
+      PATTERN ( DOWN DOWN+ UP+ )
+      DEFINE DOWN AS price < 100, UP AS price >= 100
+    )"""

@@ -1,0 +1,245 @@
+"""Tests for the EMIT materializers (Extensions 4-7) on synthetic TVRs."""
+
+import pytest
+
+from repro.core.changelog import Change, ChangeKind
+from repro.core.emit import EmitSpec
+from repro.core.schema import Schema, int_col, timestamp_col
+from repro.core.times import MAX_TIMESTAMP, minutes, t
+from repro.core.watermark import WatermarkTrack
+from repro.exec.executor import RunResult
+from repro.exec.materialize import (
+    StreamChange,
+    apply_emit_delays,
+    stream_schema,
+    stream_view,
+    table_view,
+)
+
+SCHEMA = Schema([timestamp_col("wend", event_time=True), int_col("v")])
+
+
+def ins(values, ptime):
+    return Change(ChangeKind.INSERT, tuple(values), ptime)
+
+
+def rm(values, ptime):
+    return Change(ChangeKind.RETRACT, tuple(values), ptime)
+
+
+def result(changes, wm_pairs=()):
+    track = WatermarkTrack()
+    for ptime, value in wm_pairs:
+        track.advance(ptime, value)
+    last = max(
+        [c.ptime for c in changes] + [pt for pt, _ in wm_pairs], default=0
+    )
+    return RunResult(
+        schema=SCHEMA, changes=list(changes), watermarks=track, last_ptime=last
+    )
+
+
+WEND = t("8:10")
+COMPLETION = (0,)
+EMIT_KEYS = (0,)
+
+
+class TestDefaultEmit:
+    def test_raw_changelog_passthrough(self):
+        res = result([ins((WEND, 1), 100), rm((WEND, 1), 200)])
+        out = apply_emit_delays(res, EmitSpec(), COMPLETION, EMIT_KEYS, MAX_TIMESTAMP)
+        assert out == res.changes
+
+    def test_until_truncates(self):
+        res = result([ins((WEND, 1), 100), rm((WEND, 1), 200)])
+        out = apply_emit_delays(res, EmitSpec(), COMPLETION, EMIT_KEYS, 150)
+        assert len(out) == 1
+
+
+class TestAfterWatermark:
+    def test_speculative_rows_suppressed(self):
+        # v=1 replaced by v=2 before the watermark passes: only v=2 emits
+        res = result(
+            [ins((WEND, 1), 100), rm((WEND, 1), 150), ins((WEND, 2), 150)],
+            wm_pairs=[(300, t("8:15"))],
+        )
+        spec = EmitSpec(after_watermark=True)
+        out = apply_emit_delays(res, spec, COMPLETION, EMIT_KEYS, MAX_TIMESTAMP)
+        assert [(c.values, c.ptime) for c in out] == [((WEND, 2), 300)]
+
+    def test_ptime_is_watermark_passing_instant(self):
+        res = result(
+            [ins((WEND, 1), 100)],
+            wm_pairs=[(200, t("8:05")), (400, t("8:30"))],
+        )
+        spec = EmitSpec(after_watermark=True)
+        (change,) = apply_emit_delays(res, spec, COMPLETION, EMIT_KEYS, MAX_TIMESTAMP)
+        assert change.ptime == 400
+
+    def test_row_arriving_after_completeness_emits_immediately(self):
+        res = result(
+            [ins((t("9:00"), 1), 500)],
+            wm_pairs=[(300, t("9:30"))],
+        )
+        spec = EmitSpec(after_watermark=True)
+        (change,) = apply_emit_delays(res, spec, COMPLETION, EMIT_KEYS, MAX_TIMESTAMP)
+        assert change.ptime == 500
+
+    def test_retract_of_emitted_row_propagates(self):
+        res = result(
+            [ins((WEND, 1), 100), rm((WEND, 1), 500)],
+            wm_pairs=[(300, t("8:30"))],
+        )
+        spec = EmitSpec(after_watermark=True)
+        out = apply_emit_delays(res, spec, COMPLETION, EMIT_KEYS, MAX_TIMESTAMP)
+        assert [c.kind for c in out] == [ChangeKind.INSERT, ChangeKind.RETRACT]
+
+    def test_no_completion_columns_requires_full_input(self):
+        res = result([ins((WEND, 1), 100)], wm_pairs=[(200, t("9:00"))])
+        spec = EmitSpec(after_watermark=True)
+        out = apply_emit_delays(res, spec, None, EMIT_KEYS, MAX_TIMESTAMP)
+        assert out == []  # watermark never reached +inf
+        res2 = result([ins((WEND, 1), 100)], wm_pairs=[(200, MAX_TIMESTAMP)])
+        out2 = apply_emit_delays(res2, spec, None, EMIT_KEYS, MAX_TIMESTAMP)
+        assert len(out2) == 1
+
+    def test_prefix_stability(self):
+        """A query at time T sees the same prefix as a later query."""
+        res = result(
+            [ins((WEND, 1), 100), ins((t("8:20"), 2), 250)],
+            wm_pairs=[(200, t("8:12")), (400, t("8:25"))],
+        )
+        spec = EmitSpec(after_watermark=True)
+        full = apply_emit_delays(res, spec, COMPLETION, EMIT_KEYS, MAX_TIMESTAMP)
+        early = apply_emit_delays(res, spec, COMPLETION, EMIT_KEYS, 300)
+        assert early == [c for c in full if c.ptime <= 300]
+
+
+class TestAfterDelay:
+    def test_coalesces_updates(self):
+        # three quick updates inside one delay window: one materialization
+        res = result(
+            [
+                ins((WEND, 1), 100),
+                rm((WEND, 1), 200),
+                ins((WEND, 2), 200),
+                rm((WEND, 2), 300),
+                ins((WEND, 3), 300),
+            ]
+        )
+        spec = EmitSpec(delay=minutes(10))
+        out = apply_emit_delays(res, spec, COMPLETION, EMIT_KEYS, MAX_TIMESTAMP)
+        assert [(c.kind, c.values) for c in out] == [
+            (ChangeKind.INSERT, (WEND, 3))
+        ]
+        assert out[0].ptime == 100 + minutes(10)
+
+    def test_timer_rearms_after_fire(self):
+        delay = 1000
+        res = result([ins((WEND, 1), 100), rm((WEND, 1), 5000), ins((WEND, 2), 5000)])
+        spec = EmitSpec(delay=delay)
+        out = apply_emit_delays(res, spec, COMPLETION, EMIT_KEYS, MAX_TIMESTAMP)
+        assert [(c.kind, c.values, c.ptime) for c in out] == [
+            (ChangeKind.INSERT, (WEND, 1), 1100),
+            (ChangeKind.RETRACT, (WEND, 1), 6000),
+            (ChangeKind.INSERT, (WEND, 2), 6000),
+        ]
+
+    def test_separate_keys_have_separate_timers(self):
+        other = t("9:00")
+        res = result([ins((WEND, 1), 100), ins((other, 9), 400)])
+        spec = EmitSpec(delay=1000)
+        out = apply_emit_delays(res, spec, COMPLETION, EMIT_KEYS, MAX_TIMESTAMP)
+        assert [(c.values[0], c.ptime) for c in out] == [
+            (WEND, 1100),
+            (other, 1400),
+        ]
+
+    def test_change_at_fire_instant_included(self):
+        """Listing 14: a change landing exactly at the deadline is included."""
+        res = result([ins((WEND, 1), 100), rm((WEND, 1), 1100), ins((WEND, 2), 1100)])
+        spec = EmitSpec(delay=1000)
+        out = apply_emit_delays(res, spec, COMPLETION, EMIT_KEYS, MAX_TIMESTAMP)
+        assert [(c.kind, c.values) for c in out] == [(ChangeKind.INSERT, (WEND, 2))]
+
+    def test_net_zero_change_fires_nothing(self):
+        res = result([ins((WEND, 1), 100), rm((WEND, 1), 200)])
+        spec = EmitSpec(delay=1000)
+        out = apply_emit_delays(res, spec, COMPLETION, EMIT_KEYS, MAX_TIMESTAMP)
+        assert out == []
+
+
+class TestCombined:
+    def test_early_then_on_time(self):
+        """Extension 7: periodic partials plus a final on-time row."""
+        res = result(
+            [
+                ins((WEND, 1), 100),
+                rm((WEND, 1), minutes(3)),
+                ins((WEND, 2), minutes(3)),
+            ],
+            wm_pairs=[(minutes(5), t("8:30"))],
+        )
+        spec = EmitSpec(delay=minutes(2), after_watermark=True)
+        out = apply_emit_delays(res, spec, COMPLETION, EMIT_KEYS, MAX_TIMESTAMP)
+        # early firing at 100+2min with v=1, then the on-time diff at wm
+        assert out[0].values == (WEND, 1)
+        assert out[0].ptime == 100 + minutes(2)
+        on_time = [c for c in out if c.ptime == minutes(5)]
+        assert (ChangeKind.INSERT, (WEND, 2)) in [
+            (c.kind, c.values) for c in on_time
+        ]
+
+
+class TestStreamView:
+    def test_metadata_columns(self):
+        res = result([ins((WEND, 1), 100), rm((WEND, 1), 200), ins((WEND, 2), 200)])
+        out = stream_view(res, EmitSpec(stream=True), COMPLETION, EMIT_KEYS)
+        assert [(c.undo, c.ver) for c in out] == [
+            (False, 0),
+            (True, 1),
+            (False, 2),
+        ]
+        assert out[0].as_tuple() == (WEND, 1, "", 100, 0)
+
+    def test_ver_counts_per_key(self):
+        other = t("9:00")
+        res = result(
+            [ins((WEND, 1), 100), ins((other, 5), 150), rm((WEND, 1), 200),
+             ins((WEND, 2), 200)]
+        )
+        out = stream_view(res, EmitSpec(stream=True), COMPLETION, EMIT_KEYS)
+        vers = [(c.values[0], c.ver) for c in out]
+        assert vers == [(WEND, 0), (other, 0), (WEND, 1), (WEND, 2)]
+
+    def test_stream_schema(self):
+        s = stream_schema(SCHEMA)
+        assert s.column_names() == ["wend", "v", "undo", "ptime", "ver"]
+        # metadata view drops event-time alignment
+        assert not s.columns[0].event_time
+
+
+class TestTableView:
+    def test_snapshot_and_sort_limit(self):
+        res = result(
+            [ins((WEND, 3), 100), ins((WEND, 1), 100), ins((WEND, 2), 100)]
+        )
+        rel = table_view(
+            res, EmitSpec(), COMPLETION, EMIT_KEYS,
+            sort_keys=[(1, False)], limit=2,
+        )
+        assert [row[1] for row in rel.tuples] == [3, 2]
+
+    def test_nulls_sort_last_ascending(self):
+        res = result([ins((WEND, None), 100), ins((WEND, 1), 100)])
+        rel = table_view(res, EmitSpec(), COMPLETION, EMIT_KEYS, sort_keys=[(1, True)])
+        assert [row[1] for row in rel.tuples] == [1, None]
+
+    def test_delay_table_shows_last_materialization(self):
+        res = result([ins((WEND, 1), 100), rm((WEND, 1), 150), ins((WEND, 2), 150)])
+        spec = EmitSpec(delay=1000)
+        # before any timer fires: empty
+        assert len(table_view(res, spec, COMPLETION, EMIT_KEYS, at=500)) == 0
+        # after the 100+1000 deadline: coalesced to v=2
+        rel = table_view(res, spec, COMPLETION, EMIT_KEYS, at=2000)
+        assert rel.tuples == [(WEND, 2)]

@@ -1,0 +1,196 @@
+"""Tests for the rule-based optimizer."""
+
+import pytest
+
+from repro.core.schema import Schema, SqlType, int_col, string_col, timestamp_col
+from repro.core.times import minutes
+from repro.plan.logical import FilterNode, JoinNode, ProjectNode, ScanNode
+from repro.plan.optimizer import (
+    and_all,
+    fold_constants,
+    optimize,
+    split_conjuncts,
+)
+from repro.plan.planner import Catalog, Planner
+from repro.plan.rex import RexCall, RexInput, RexLiteral
+from repro.sql.functions import default_registry
+
+BID = Schema(
+    [
+        timestamp_col("bidtime", event_time=True),
+        int_col("price"),
+        string_col("item"),
+    ]
+)
+PLAIN = Schema([int_col("a"), int_col("b"), string_col("s")])
+
+
+@pytest.fixture
+def planner():
+    catalog = Catalog()
+    catalog.register("Bid", BID, bounded=False)
+    catalog.register("T", PLAIN, bounded=True)
+    catalog.register("U", PLAIN, bounded=True)
+    return Planner(catalog, default_registry())
+
+
+def lit(v, type_=SqlType.INT):
+    return RexLiteral(v, type=type_)
+
+
+class TestConstantFolding:
+    def test_arithmetic_folds(self):
+        rex = RexCall("+", (lit(2), lit(3)), type=SqlType.INT)
+        assert fold_constants(rex) == lit(5)
+
+    def test_true_and_simplifies(self):
+        x = RexInput(0, type=SqlType.BOOL)
+        rex = RexCall("AND", (lit(True, SqlType.BOOL), x), type=SqlType.BOOL)
+        assert fold_constants(rex) == x
+
+    def test_false_and_short_circuits(self):
+        x = RexInput(0, type=SqlType.BOOL)
+        rex = RexCall("AND", (x, lit(False, SqlType.BOOL)), type=SqlType.BOOL)
+        assert fold_constants(rex) == lit(False, SqlType.BOOL)
+
+    def test_or_identities(self):
+        x = RexInput(0, type=SqlType.BOOL)
+        assert fold_constants(
+            RexCall("OR", (lit(False, SqlType.BOOL), x), type=SqlType.BOOL)
+        ) == x
+        assert fold_constants(
+            RexCall("OR", (x, lit(True, SqlType.BOOL)), type=SqlType.BOOL)
+        ) == lit(True, SqlType.BOOL)
+
+    def test_division_by_zero_not_folded(self):
+        rex = RexCall("/", (lit(1), lit(0)), type=SqlType.INT)
+        # folding must not raise at plan time; runtime handles it
+        assert fold_constants(rex) == rex
+
+
+class TestConjuncts:
+    def test_split_and_rebuild(self):
+        a = RexCall("=", (RexInput(0, type=SqlType.INT), lit(1)), type=SqlType.BOOL)
+        b = RexCall("=", (RexInput(1, type=SqlType.INT), lit(2)), type=SqlType.BOOL)
+        c = RexCall("=", (RexInput(2, type=SqlType.INT), lit(3)), type=SqlType.BOOL)
+        combined = and_all([a, b, c])
+        assert split_conjuncts(combined) == [a, b, c]
+
+    def test_empty_conjunction_is_true(self):
+        assert and_all([]) == lit(True, SqlType.BOOL)
+
+
+class TestPlanRules:
+    def test_always_true_filter_removed(self, planner):
+        plan = optimize(planner.plan_sql("SELECT a FROM T WHERE 1 = 1"))
+        assert isinstance(plan.root, ProjectNode)
+        assert isinstance(plan.root.input, ScanNode)
+
+    def test_filters_merged(self, planner):
+        plan = optimize(
+            planner.plan_sql(
+                "SELECT * FROM (SELECT a, b FROM T WHERE a > 1) x WHERE b > 2"
+            )
+        )
+        # both predicates end up in a single filter below one projection
+        text = plan.root.explain()
+        assert text.count("Filter") == 1
+
+    def test_projects_merged(self, planner):
+        plan = optimize(
+            planner.plan_sql("SELECT x.c + 1 FROM (SELECT a + 1 AS c FROM T) x")
+        )
+        assert isinstance(plan.root, ProjectNode)
+        assert isinstance(plan.root.input, ScanNode)
+
+    def test_cross_join_with_where_becomes_inner(self, planner):
+        plan = optimize(planner.plan_sql("SELECT 1 FROM T, U WHERE T.a = U.a"))
+        join = _find(plan.root, JoinNode)
+        assert join.condition is not None
+        assert join.hash_left == (0,)
+        assert join.hash_right == (0,)
+
+    def test_side_local_predicates_pushed(self, planner):
+        plan = optimize(
+            planner.plan_sql(
+                "SELECT 1 FROM T, U WHERE T.a = U.a AND T.b > 5 AND U.s = 'x'"
+            )
+        )
+        join = _find(plan.root, JoinNode)
+        assert isinstance(join.left, FilterNode)
+        assert isinstance(join.right, FilterNode)
+
+    def test_q7_time_bounds_derived(self, planner):
+        q7 = """
+        SELECT MaxBid.wstart, MaxBid.wend, Bid.bidtime, Bid.price, Bid.item
+        FROM Bid,
+          (SELECT MAX(TB.price) maxPrice, TB.wstart wstart, TB.wend wend
+           FROM Tumble(data => TABLE(Bid), timecol => DESCRIPTOR(bidtime),
+                       dur => INTERVAL '10' MINUTE) TB
+           GROUP BY TB.wend) MaxBid
+        WHERE Bid.price = MaxBid.maxPrice
+          AND Bid.bidtime >= MaxBid.wend - INTERVAL '10' MINUTE
+          AND Bid.bidtime < MaxBid.wend
+        """
+        plan = optimize(planner.plan_sql(q7))
+        join = _find(plan.root, JoinNode)
+        # hash keys: price = maxPrice
+        assert join.hash_left and join.hash_right
+        # a bid expires 10 minutes after its own timestamp
+        time_index, slack = join.expire_left
+        assert slack == minutes(10)
+        # the aggregate row expires when the watermark passes wend
+        time_index_r, slack_r = join.expire_right
+        assert slack_r == 0
+
+    def test_filter_pushed_below_window_tvf(self, planner):
+        plan = optimize(
+            planner.plan_sql(
+                "SELECT TB.wend, MAX(TB.price) m FROM Tumble("
+                "data => TABLE(Bid), timecol => DESCRIPTOR(bidtime), "
+                "dur => INTERVAL '10' MINUTE) TB "
+                "WHERE TB.price > 2 AND TB.wend > TB.bidtime "
+                "GROUP BY TB.wend"
+            )
+        )
+        # the price predicate lands below the Tumble; the wend predicate
+        # (referencing a window column) stays above it
+        text = plan.root.explain()
+        tumble_line = next(
+            i for i, l in enumerate(text.splitlines()) if "Tumble" in l
+        )
+        below = "\n".join(text.splitlines()[tumble_line:])
+        assert "Filter" in below
+
+    def test_window_pushdown_preserves_results(self, planner):
+        from repro import StreamEngine
+        from repro.nexmark import paper_bid_stream
+
+        engine = StreamEngine()
+        engine.register_stream("Bid", paper_bid_stream())
+        sql = (
+            "SELECT TB.wend, MAX(TB.price) m FROM Tumble("
+            "data => TABLE(Bid), timecol => DESCRIPTOR(bidtime), "
+            "dur => INTERVAL '10' MINUTES) TB "
+            "WHERE TB.price > 2 GROUP BY TB.wend"
+        )
+        rel = engine.query(sql).table().sorted(["wend"])
+        from repro.core.times import t
+
+        assert rel.tuples == [(t("8:10"), 5), (t("8:20"), 6)]
+
+    def test_optimized_plan_same_schema(self, planner):
+        sql = "SELECT a + 1 AS x FROM T WHERE a > 1 ORDER BY x"
+        raw = planner.plan_sql(sql)
+        opt = optimize(raw)
+        assert opt.schema.column_names() == raw.schema.column_names()
+
+
+def _find(node, cls):
+    if isinstance(node, cls):
+        return node
+    for child in node.inputs:
+        found = _find(child, cls)
+        if found is not None:
+            return found
+    return None

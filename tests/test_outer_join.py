@@ -1,0 +1,217 @@
+"""Tests for LEFT OUTER JOIN: operator-level and through SQL."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import StreamEngine
+from repro.core.changelog import Change, ChangeKind
+from repro.core.schema import Schema, int_col, string_col, timestamp_col
+from repro.core.times import t
+from repro.core.tvr import TimeVaryingRelation
+from repro.exec.operators.outer_join import LeftJoinOperator
+
+
+def ins(values, ptime=0):
+    return Change(ChangeKind.INSERT, tuple(values), ptime)
+
+
+def rm(values, ptime=0):
+    return Change(ChangeKind.RETRACT, tuple(values), ptime)
+
+
+LEFT = Schema([int_col("lk"), string_col("lv")])
+RIGHT = Schema([int_col("rk"), string_col("rv")])
+
+
+@pytest.fixture
+def op():
+    return LeftJoinOperator(
+        LEFT.concat(RIGHT),
+        left_width=2,
+        right_width=2,
+        condition=lambda row: row[0] == row[2],
+        left_key=(0,),
+        right_key=(0,),
+    )
+
+
+class TestOperator:
+    def test_unmatched_left_is_null_extended(self, op):
+        (out,) = op.on_change(0, ins((1, "a")))
+        assert out.values == (1, "a", None, None)
+        assert out.is_insert
+
+    def test_match_arrival_flips_null_row(self, op):
+        op.on_change(0, ins((1, "a")))
+        out = op.on_change(1, ins((1, "x")))
+        assert [(c.kind, c.values) for c in out] == [
+            (ChangeKind.RETRACT, (1, "a", None, None)),
+            (ChangeKind.INSERT, (1, "a", 1, "x")),
+        ]
+
+    def test_last_match_retraction_restores_null_row(self, op):
+        op.on_change(0, ins((1, "a")))
+        op.on_change(1, ins((1, "x")))
+        out = op.on_change(1, rm((1, "x")))
+        assert [(c.kind, c.values) for c in out] == [
+            (ChangeKind.RETRACT, (1, "a", 1, "x")),
+            (ChangeKind.INSERT, (1, "a", None, None)),
+        ]
+
+    def test_second_match_does_not_touch_null_row(self, op):
+        op.on_change(0, ins((1, "a")))
+        op.on_change(1, ins((1, "x")))
+        out = op.on_change(1, ins((1, "y")))
+        assert [(c.kind, c.values) for c in out] == [
+            (ChangeKind.INSERT, (1, "a", 1, "y")),
+        ]
+
+    def test_left_arriving_after_matches(self, op):
+        op.on_change(1, ins((1, "x")))
+        op.on_change(1, ins((1, "y")))
+        out = op.on_change(0, ins((1, "a")))
+        assert len(out) == 2
+        assert all(c.is_insert for c in out)
+
+    def test_left_retraction_mirrors(self, op):
+        op.on_change(0, ins((1, "a")))
+        op.on_change(1, ins((1, "x")))
+        out = op.on_change(0, rm((1, "a")))
+        assert [(c.kind, c.values) for c in out] == [
+            (ChangeKind.RETRACT, (1, "a", 1, "x")),
+        ]
+
+    def test_duplicate_left_rows_share_match_count(self, op):
+        op.on_change(0, ins((1, "a")))
+        op.on_change(0, ins((1, "a")))
+        out = op.on_change(1, ins((1, "x")))
+        kinds = Counter(c.kind for c in out)
+        assert kinds[ChangeKind.RETRACT] == 2  # both null rows withdrawn
+        assert kinds[ChangeKind.INSERT] == 2
+
+
+def _final_bag(changes):
+    bag = Counter()
+    for change in changes:
+        bag[change.values] += change.delta
+    return +bag
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["L+", "L-", "R+", "R-"]),
+            st.integers(0, 2),
+            st.sampled_from(["a", "b"]),
+        ),
+        max_size=30,
+    )
+)
+def test_incremental_matches_batch_left_join(ops):
+    """The operator's folded changelog equals a batch LEFT JOIN."""
+    op = LeftJoinOperator(
+        LEFT.concat(RIGHT),
+        left_width=2,
+        right_width=2,
+        condition=lambda row: row[0] == row[2],
+        left_key=(0,),
+        right_key=(0,),
+    )
+    left_bag: Counter = Counter()
+    right_bag: Counter = Counter()
+    changes = []
+    for kind, key, value in ops:
+        row = (key, value)
+        if kind == "L+":
+            left_bag[row] += 1
+            changes.extend(op.on_change(0, ins(row)))
+        elif kind == "L-" and left_bag[row] > 0:
+            left_bag[row] -= 1
+            changes.extend(op.on_change(0, rm(row)))
+        elif kind == "R+":
+            right_bag[row] += 1
+            changes.extend(op.on_change(1, ins(row)))
+        elif kind == "R-" and right_bag[row] > 0:
+            right_bag[row] -= 1
+            changes.extend(op.on_change(1, rm(row)))
+
+    expected: Counter = Counter()
+    for lrow, lcount in left_bag.items():
+        matches = [
+            (rrow, rcount)
+            for rrow, rcount in right_bag.items()
+            if rrow[0] == lrow[0] and rcount > 0
+        ]
+        if not matches:
+            if lcount > 0:
+                expected[lrow + (None, None)] += lcount
+        else:
+            for rrow, rcount in matches:
+                expected[lrow + rrow] += lcount * rcount
+    assert _final_bag(changes) == +expected
+
+
+class TestThroughSql:
+    @pytest.fixture
+    def engine(self):
+        eng = StreamEngine()
+        auction_schema = Schema(
+            [int_col("id"), string_col("item"),
+             timestamp_col("ts", event_time=True)]
+        )
+        bid_schema = Schema(
+            [int_col("auction"), int_col("price"),
+             timestamp_col("bidtime", event_time=True)]
+        )
+        eng.register_table(
+            "Auction", auction_schema,
+            [(1, "vase", t("8:00")), (2, "book", t("8:01"))],
+        )
+        eng.register_table(
+            "Bid", bid_schema, [(1, 50, t("8:02")), (1, 70, t("8:03"))]
+        )
+        return eng
+
+    def test_left_join_keeps_unmatched(self, engine):
+        rel = engine.query(
+            "SELECT A.item, B.price FROM Auction A "
+            "LEFT JOIN Bid B ON A.id = B.auction"
+        ).table()
+        assert sorted(rel.tuples, key=str) == sorted(
+            [("vase", 50), ("vase", 70), ("book", None)], key=str
+        )
+
+    def test_left_join_null_columns_degrade_alignment(self, engine):
+        query = engine.query(
+            "SELECT A.item, B.bidtime FROM Auction A "
+            "LEFT JOIN Bid B ON A.id = B.auction"
+        )
+        assert not query.schema.column("bidtime").event_time
+
+    def test_streaming_left_join_changelog(self):
+        eng = StreamEngine()
+        left_schema = Schema(
+            [int_col("k"), timestamp_col("ts", event_time=True)]
+        )
+        right_schema = Schema(
+            [int_col("k"), timestamp_col("ts", event_time=True)]
+        )
+        left = TimeVaryingRelation(left_schema)
+        right = TimeVaryingRelation(right_schema)
+        left.insert(10, (1, t("8:00")))
+        right.insert(20, (1, t("8:01")))
+        eng.register_stream("L", left)
+        eng.register_stream("R", right)
+        out = eng.query(
+            "SELECT L.k FROM L LEFT JOIN R ON L.k = R.k EMIT STREAM"
+        ).stream()
+        # insert null-extended, retract it, insert matched
+        assert [(c.undo, c.ptime) for c in out] == [
+            (False, 10),
+            (True, 20),
+            (False, 20),
+        ]

@@ -1,0 +1,196 @@
+"""Tests for analytic OVER windows over event time (App. B.2.3)."""
+
+import pytest
+
+from repro import StreamEngine
+from repro.core.errors import ValidationError
+from repro.core.schema import Schema, int_col, string_col, timestamp_col
+from repro.core.times import MAX_TIMESTAMP, seconds, t
+from repro.core.tvr import TimeVaryingRelation
+
+SCHEMA = Schema(
+    [
+        string_col("k"),
+        timestamp_col("ts", event_time=True),
+        int_col("v"),
+    ]
+)
+
+
+def build(rows, wm=None):
+    """rows arrive in list order; (k, event_ts, v)."""
+    tvr = TimeVaryingRelation(SCHEMA)
+    for i, row in enumerate(rows):
+        tvr.insert(1000 + i, row)
+    tvr.advance_watermark(5000, wm if wm is not None else MAX_TIMESTAMP)
+    engine = StreamEngine()
+    engine.register_stream("S", tvr)
+    return engine
+
+
+RUNNING = (
+    "SELECT k, ts, v, SUM(v) OVER (PARTITION BY k ORDER BY ts) AS total "
+    "FROM S"
+)
+
+LAST3 = (
+    "SELECT k, v, AVG(v) OVER (PARTITION BY k ORDER BY ts "
+    "ROWS BETWEEN 2 PRECEDING AND CURRENT ROW) AS avg3 FROM S"
+)
+
+
+class TestSemantics:
+    def test_running_sum(self):
+        engine = build(
+            [("a", t("9:00"), 1), ("a", t("9:01"), 2), ("a", t("9:02"), 4)]
+        )
+        rel = engine.query(RUNNING).table().sorted(["ts"])
+        assert [r[3] for r in rel.tuples] == [1, 3, 7]
+
+    def test_partitions_independent(self):
+        engine = build(
+            [("a", t("9:00"), 1), ("b", t("9:00"), 10), ("a", t("9:01"), 2)]
+        )
+        rel = engine.query(RUNNING).table().sorted(["k", "ts"])
+        assert [(r[0], r[3]) for r in rel.tuples] == [
+            ("a", 1), ("a", 3), ("b", 10),
+        ]
+
+    def test_rows_frame_evicts(self):
+        engine = build(
+            [("a", t("9:00") + i * 1000, i) for i in range(6)]
+        )
+        rel = engine.query(LAST3).table().sorted(["v"])
+        # window of the last 3 values: avg at v=5 is (3+4+5)/3
+        assert rel.tuples[-1][2] == pytest.approx(4.0)
+        assert rel.tuples[0][2] == pytest.approx(0.0)
+
+    def test_event_time_order_not_arrival_order(self):
+        # arrival order is scrambled; the running sum follows event time
+        engine = build(
+            [("a", t("9:02"), 4), ("a", t("9:00"), 1), ("a", t("9:01"), 2)]
+        )
+        rel = engine.query(RUNNING).table().sorted(["ts"])
+        assert [r[3] for r in rel.tuples] == [1, 3, 7]
+
+    def test_multiple_calls_same_window(self):
+        sql = (
+            "SELECT v, SUM(v) OVER (PARTITION BY k ORDER BY ts) s, "
+            "COUNT(*) OVER (PARTITION BY k ORDER BY ts) c, "
+            "MAX(v) OVER (PARTITION BY k ORDER BY ts) m FROM S"
+        )
+        engine = build([("a", t("9:00"), 5), ("a", t("9:01"), 3)])
+        rel = engine.query(sql).table().sorted(["v"])
+        assert rel.tuples == [(3, 8, 2, 5), (5, 5, 1, 5)]
+
+    def test_expression_argument(self):
+        sql = (
+            "SELECT v, SUM(v * 2) OVER (PARTITION BY k ORDER BY ts) s FROM S"
+        )
+        engine = build([("a", t("9:00"), 1), ("a", t("9:01"), 2)])
+        rel = engine.query(sql).table().sorted(["v"])
+        assert rel.tuples == [(1, 2), (2, 6)]
+
+    def test_rows_wait_for_watermark(self):
+        engine = build(
+            [("a", t("9:00"), 1), ("a", t("9:30"), 2)], wm=t("9:10")
+        )
+        rel = engine.query(RUNNING).table()
+        assert len(rel) == 1  # the 9:30 row is not yet stable
+
+    def test_global_partition(self):
+        sql = "SELECT v, COUNT(*) OVER (ORDER BY ts) c FROM S"
+        engine = build([("a", t("9:00"), 1), ("b", t("9:01"), 2)])
+        rel = engine.query(sql).table().sorted(["v"])
+        assert [r[1] for r in rel.tuples] == [1, 2]
+
+    def test_frame_bounds_state(self):
+        rows = [("a", t("9:00") + i * 1000, i) for i in range(200)]
+        tvr = TimeVaryingRelation(SCHEMA)
+        for i, row in enumerate(rows):
+            tvr.insert(1000 + i, row)
+            if i % 10 == 9:
+                tvr.advance_watermark(1000 + i, row[1])
+        engine = StreamEngine()
+        engine.register_stream("S", tvr)
+        dataflow = engine.query(LAST3).dataflow()
+        dataflow.run()
+        # frame keeps 3 rows; pending keeps at most the watermark lag
+        assert dataflow.total_state_rows() < 20
+
+
+class TestRetractions:
+    def test_pending_retraction_absorbed(self):
+        """An upstream aggregate may revise rows before they stabilize."""
+        tvr = TimeVaryingRelation(SCHEMA)
+        tvr.insert(1, ("a", t("9:00"), 1))
+        tvr.retract(2, ("a", t("9:00"), 1))
+        tvr.insert(3, ("a", t("9:00"), 2))
+        tvr.advance_watermark(4, MAX_TIMESTAMP)
+        engine = StreamEngine()
+        engine.register_stream("S", tvr)
+        rel = engine.query(RUNNING).table()
+        assert [r[2] for r in rel.tuples] == [2]
+
+    def test_emitted_retraction_rejected(self):
+        from repro.core.errors import ExecutionError
+
+        tvr = TimeVaryingRelation(SCHEMA)
+        tvr.insert(1, ("a", t("9:00"), 1))
+        tvr.advance_watermark(2, t("9:10"))  # row emitted
+        tvr.retract(3, ("a", t("9:00"), 1))
+        engine = StreamEngine()
+        engine.register_stream("S", tvr)
+        with pytest.raises(ExecutionError, match="append-only"):
+            engine.query(RUNNING).table()
+
+    def test_q6_style_nested_aggregate_feed(self):
+        """OVER over an aggregate subquery (NEXMark Q6's shape)."""
+        engine = build(
+            [("a", t("9:00"), 5), ("a", t("9:00"), 9), ("b", t("9:01"), 4)]
+        )
+        sql = (
+            "SELECT G.k, SUM(G.m) OVER (ORDER BY G.ts) s FROM ("
+            "SELECT TB.wend ts, TB.k k, MAX(TB.v) m FROM Tumble("
+            "data => TABLE(S), timecol => DESCRIPTOR(ts), "
+            "dur => INTERVAL '10' MINUTES) TB GROUP BY TB.wend, TB.k) G"
+        )
+        rel = engine.query(sql).table().sorted(["s"])
+        # two groups: max 9 (a) and max 4 (b); running sums {9,13} or {4,13}
+        assert {r[1] for r in rel.tuples} == {rel.tuples[0][1], 13}
+
+
+class TestValidation:
+    def test_order_by_must_be_event_time(self):
+        engine = build([])
+        with pytest.raises(ValidationError, match="event time"):
+            engine.query(
+                "SELECT SUM(v) OVER (ORDER BY v) s FROM S"
+            )
+
+    def test_mixed_window_specs_rejected(self):
+        engine = build([])
+        with pytest.raises(ValidationError, match="same"):
+            engine.query(
+                "SELECT SUM(v) OVER (PARTITION BY k ORDER BY ts) a, "
+                "SUM(v) OVER (ORDER BY ts) b FROM S"
+            )
+
+    def test_over_with_group_by_rejected(self):
+        engine = build([])
+        with pytest.raises(ValidationError, match="GROUP BY"):
+            engine.query(
+                "SELECT k, SUM(v) OVER (ORDER BY ts) s FROM S GROUP BY k"
+            )
+
+    def test_non_aggregate_over_rejected(self):
+        engine = build([])
+        with pytest.raises(ValidationError, match="not an aggregate"):
+            engine.query("SELECT UPPER(k) OVER (ORDER BY ts) u FROM S")
+
+    def test_over_in_where_rejected(self):
+        engine = build([])
+        with pytest.raises(ValidationError, match="OVER"):
+            engine.query(
+                "SELECT v FROM S WHERE SUM(v) OVER (ORDER BY ts) > 3"
+            )

@@ -1,0 +1,256 @@
+"""Unit tests for the SQL parser, including the paper's extensions."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.core.times import minutes
+from repro.sql import ast
+from repro.sql.parser import parse, parse_expression
+
+
+class TestSelectBasics:
+    def test_minimal(self):
+        stmt = parse("SELECT a FROM t")
+        assert isinstance(stmt, ast.Select)
+        assert len(stmt.items) == 1
+        assert stmt.from_items == (ast.TableRef("t"),)
+
+    def test_star_and_qualified_star(self):
+        stmt = parse("SELECT *, t.* FROM t")
+        assert isinstance(stmt.items[0].expr, ast.Star)
+        assert stmt.items[1].expr.qualifier == "t"
+
+    def test_aliases(self):
+        stmt = parse("SELECT a AS x, b y FROM t u")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.from_items[0].alias == "u"
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+        assert not parse("SELECT ALL a FROM t").distinct
+
+    def test_where_group_having_order_limit(self):
+        stmt = parse(
+            "SELECT a, COUNT(*) FROM t WHERE b > 1 GROUP BY a "
+            "HAVING COUNT(*) > 2 ORDER BY a DESC LIMIT 10"
+        )
+        assert stmt.where is not None
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.order_by[0].ascending is False
+        assert stmt.limit == 10
+
+    def test_trailing_semicolon(self):
+        parse("SELECT a FROM t;")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t garbage extra")
+
+
+class TestJoins:
+    def test_comma_join(self):
+        stmt = parse("SELECT 1 FROM a, b, c")
+        assert len(stmt.from_items) == 3
+
+    def test_inner_join_on(self):
+        stmt = parse("SELECT 1 FROM a JOIN b ON a.x = b.y")
+        join = stmt.from_items[0]
+        assert isinstance(join, ast.JoinClause)
+        assert join.kind == "INNER"
+        assert join.condition is not None
+
+    def test_left_outer(self):
+        join = parse("SELECT 1 FROM a LEFT OUTER JOIN b ON a.x = b.y").from_items[0]
+        assert join.kind == "LEFT"
+
+    def test_cross_join_no_on(self):
+        join = parse("SELECT 1 FROM a CROSS JOIN b").from_items[0]
+        assert join.kind == "CROSS"
+        assert join.condition is None
+
+    def test_join_chain(self):
+        join = parse(
+            "SELECT 1 FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y"
+        ).from_items[0]
+        assert isinstance(join.left, ast.JoinClause)
+
+
+class TestSubqueriesAndTvfs:
+    def test_derived_table(self):
+        stmt = parse("SELECT 1 FROM (SELECT a FROM t) sub")
+        sub = stmt.from_items[0]
+        assert isinstance(sub, ast.SubqueryRef)
+        assert sub.alias == "sub"
+
+    def test_tumble_named_args(self):
+        stmt = parse(
+            "SELECT * FROM Tumble(data => TABLE(Bid), "
+            "timecol => DESCRIPTOR(bidtime), dur => INTERVAL '10' MINUTE) TB"
+        )
+        tvf = stmt.from_items[0]
+        assert isinstance(tvf, ast.TvfCall)
+        assert tvf.name == "Tumble"
+        assert tvf.alias == "TB"
+        named = {a.name: a.value for a in tvf.args}
+        assert isinstance(named["data"], ast.TableArg)
+        assert named["data"].name == "Bid"
+        assert isinstance(named["timecol"], ast.Descriptor)
+        assert named["dur"].millis == minutes(10)
+
+    def test_tvf_positional_args(self):
+        tvf = parse(
+            "SELECT * FROM Hop(TABLE(Bid), DESCRIPTOR(bidtime), "
+            "INTERVAL '10' MINUTES, INTERVAL '5' MINUTES)"
+        ).from_items[0]
+        assert isinstance(tvf, ast.TvfCall)
+        assert len(tvf.args) == 4
+
+    def test_emit_only_parses_at_statement_level(self):
+        stmt = parse("SELECT 1 FROM (SELECT a FROM t EMIT STREAM) sub")
+        # the inner select may syntactically carry EMIT; the planner
+        # rejects it, the parser just records it
+        assert stmt.from_items[0].query.emit is not None
+
+
+class TestEmit:
+    def test_stream(self):
+        emit = parse("SELECT a FROM t EMIT STREAM").emit
+        assert emit.stream and not emit.after_watermark and emit.delay is None
+
+    def test_after_watermark(self):
+        emit = parse("SELECT a FROM t EMIT AFTER WATERMARK").emit
+        assert not emit.stream and emit.after_watermark
+
+    def test_stream_after_watermark(self):
+        emit = parse("SELECT a FROM t EMIT STREAM AFTER WATERMARK").emit
+        assert emit.stream and emit.after_watermark
+
+    def test_after_delay(self):
+        emit = parse(
+            "SELECT a FROM t EMIT STREAM AFTER DELAY INTERVAL '6' MINUTES"
+        ).emit
+        assert emit.delay == minutes(6)
+
+    def test_combined(self):
+        emit = parse(
+            "SELECT a FROM t EMIT AFTER DELAY INTERVAL '1' MINUTE AND AFTER WATERMARK"
+        ).emit
+        assert emit.delay == minutes(1) and emit.after_watermark
+
+    def test_bare_emit_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t EMIT")
+
+    def test_after_requires_known_clause(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t EMIT AFTER SUNSET")
+
+
+class TestUnion:
+    def test_union_all(self):
+        stmt = parse("SELECT a FROM t UNION ALL SELECT b FROM u")
+        assert isinstance(stmt, ast.Union_)
+        assert stmt.all
+
+    def test_union_distinct(self):
+        assert not parse("SELECT a FROM t UNION SELECT b FROM u").all
+
+    def test_emit_hoisted_to_union(self):
+        stmt = parse("SELECT a FROM t UNION ALL SELECT b FROM u EMIT STREAM")
+        assert stmt.emit is not None
+        assert stmt.right.emit is None
+
+
+class TestExpressions:
+    def test_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_comparison_chain(self):
+        expr = parse_expression("a AND b OR c")
+        assert expr.op == "OR"
+
+    def test_not(self):
+        expr = parse_expression("NOT a = b")
+        assert isinstance(expr, ast.UnaryOp)
+
+    def test_between(self):
+        expr = parse_expression("x BETWEEN 1 AND 5")
+        assert isinstance(expr, ast.Between)
+        expr = parse_expression("x NOT BETWEEN 1 AND 5")
+        assert expr.negated
+
+    def test_in_list(self):
+        expr = parse_expression("s IN ('OR', 'ID', 'CA')")
+        assert isinstance(expr, ast.InList)
+        assert len(expr.items) == 3
+
+    def test_is_null(self):
+        assert isinstance(parse_expression("a IS NULL"), ast.IsNull)
+        assert parse_expression("a IS NOT NULL").negated
+
+    def test_like(self):
+        expr = parse_expression("name LIKE 'A%'")
+        assert expr.op == "LIKE"
+
+    def test_case_searched(self):
+        expr = parse_expression("CASE WHEN a > 1 THEN 'x' ELSE 'y' END")
+        assert isinstance(expr, ast.Case)
+        assert expr.else_ is not None
+
+    def test_case_simple(self):
+        expr = parse_expression("CASE a WHEN 1 THEN 'one' END")
+        # simple CASE desugars into equality conditions
+        assert expr.whens[0][0].op == "="
+
+    def test_cast(self):
+        expr = parse_expression("CAST(a AS INT)")
+        assert isinstance(expr, ast.Cast)
+        assert expr.type_name == "INT"
+
+    def test_function_calls(self):
+        expr = parse_expression("COUNT(*)")
+        assert expr.is_star
+        expr = parse_expression("COUNT(DISTINCT a)")
+        assert expr.distinct
+        expr = parse_expression("SUBSTRING(s, 1, 3)")
+        assert len(expr.args) == 3
+
+    def test_qualified_ref(self):
+        expr = parse_expression("Bid.price")
+        assert expr.parts == ("Bid", "price")
+
+    def test_literals(self):
+        assert parse_expression("42").value == 42
+        assert parse_expression("3.5").value == 3.5
+        assert parse_expression("'hi'").value == "hi"
+        assert parse_expression("TRUE").value is True
+        assert parse_expression("NULL").value is None
+
+    def test_unary_minus_folds_literal(self):
+        # -5 parses as UnaryOp over literal; translation folds it
+        expr = parse_expression("-5")
+        assert isinstance(expr, ast.UnaryOp)
+
+    def test_mod_keyword_and_percent(self):
+        assert parse_expression("a MOD 2").op == "%"
+        assert parse_expression("a % 2").op == "%"
+
+    def test_interval_units(self):
+        assert parse_expression("INTERVAL '1' HOUR").millis == 3_600_000
+        assert parse_expression("INTERVAL '10' MINUTES").millis == 600_000
+        assert parse_expression("INTERVAL '2' SECONDS").millis == 2_000
+        assert parse_expression("INTERVAL '0.5' MINUTE").millis == 30_000
+
+    def test_interval_bad_unit(self):
+        with pytest.raises(ParseError):
+            parse_expression("INTERVAL '1' FORTNIGHT")
+
+    def test_error_position_rendered(self):
+        with pytest.raises(ParseError) as err:
+            parse("SELECT a FROM")
+        message = str(err.value)
+        assert "line 1" in message and "^" in message

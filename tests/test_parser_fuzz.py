@@ -1,0 +1,80 @@
+"""Fuzzing the SQL front end: bad input must fail loudly and precisely.
+
+The parser and planner may reject input only via the position-annotated
+SqlError hierarchy — never with AttributeError/IndexError/RecursionError
+— no matter what bytes arrive.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import SqlError
+from repro.core.schema import Schema, int_col, string_col, timestamp_col
+from repro.plan.planner import Catalog, Planner
+from repro.sql.functions import default_registry
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse
+
+_SQL_WORDS = [
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "EMIT", "STREAM", "AFTER",
+    "WATERMARK", "DELAY", "INTERVAL", "TABLE", "DESCRIPTOR", "JOIN",
+    "LEFT", "FULL", "ON", "AND", "OR", "NOT", "IN", "AS", "OVER",
+    "PARTITION", "ORDER", "Tumble", "Hop", "Bid", "price", "bidtime",
+    "item", "wend", "MAX", "COUNT", "VALUES", "MATCH_RECOGNIZE",
+    "'10'", "'x'", "10", "3.5", "(", ")", ",", "*", "=", ">", "+", "-",
+    ";", "=>", "CURRENT_TIME", "MINUTES", "[", "]",
+]
+
+
+def catalog_planner():
+    catalog = Catalog()
+    catalog.register(
+        "Bid",
+        Schema(
+            [
+                timestamp_col("bidtime", event_time=True),
+                int_col("price"),
+                string_col("item"),
+            ]
+        ),
+        bounded=False,
+    )
+    return Planner(catalog, default_registry())
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.text(min_size=0, max_size=120))
+def test_arbitrary_text_never_crashes_lexer_or_parser(text):
+    try:
+        parse(text)
+    except SqlError:
+        pass  # the only acceptable failure mode
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.lists(st.sampled_from(_SQL_WORDS), max_size=25))
+def test_token_soup_never_crashes_planner(words):
+    sql = " ".join(words)
+    planner = catalog_planner()
+    try:
+        planner.plan_sql(sql)
+    except SqlError:
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(alphabet="()[]'\";,.*", max_size=60))
+def test_punctuation_storm(text):
+    try:
+        tokenize(text)
+    except SqlError:
+        pass
+
+
+def test_error_positions_point_into_the_text():
+    planner = catalog_planner()
+    with pytest.raises(SqlError) as err:
+        planner.plan_sql("SELECT wibble FROM Bid")
+    rendered = str(err.value)
+    assert "^" in rendered and "wibble" in rendered

@@ -1,0 +1,175 @@
+"""Property-based tests of end-to-end engine invariants."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import StreamEngine
+from repro.core.schema import Schema, int_col, string_col, timestamp_col
+from repro.core.times import seconds
+from repro.core.tvr import TimeVaryingRelation
+
+SCHEMA = Schema(
+    [timestamp_col("ts", event_time=True), int_col("v"), string_col("k")]
+)
+
+# strategy: a batch of (event_ts, value, key) rows with bounded disorder
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=60_000),
+        st.integers(min_value=-100, max_value=100),
+        st.sampled_from(["a", "b", "c"]),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def build_stream(rows, skew=5_000, wm_every=7):
+    """Arrival order is list order; event times come from the rows."""
+    tvr = TimeVaryingRelation(SCHEMA)
+    ptime = 0
+    max_ts = 0
+    for i, (ts, v, k) in enumerate(rows):
+        ptime += 100
+        max_ts = max(max_ts, ts)
+        tvr.insert(ptime, (ts, v, k))
+        if (i + 1) % wm_every == 0:
+            tvr.advance_watermark(ptime, max_ts - skew)
+    tvr.advance_watermark(ptime + 1, max_ts + 1)
+    return tvr
+
+
+def make_engine(rows, skew=5_000):
+    engine = StreamEngine()
+    engine.register_stream("S", build_stream(rows, skew=skew))
+    return engine
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows_strategy)
+def test_windowed_count_matches_batch_recompute(rows):
+    """Streaming windowed aggregation == recomputing from scratch.
+
+    Disorder never exceeds the watermark slack here, so no rows are
+    dropped as late and the incremental result must equal the batch one.
+    """
+    # keep disorder within the watermark slack: cap how far back an
+    # event may be relative to the running max
+    capped = []
+    running_max = 0
+    for ts, v, k in rows:
+        ts = max(ts, running_max - 4_000)
+        running_max = max(running_max, ts)
+        capped.append((ts, v, k))
+
+    engine = make_engine(capped)
+    sql = (
+        "SELECT TB.wend, COUNT(*) c, SUM(TB.v) s FROM Tumble("
+        "data => TABLE(S), timecol => DESCRIPTOR(ts), "
+        "dur => INTERVAL '10' SECONDS) TB GROUP BY TB.wend"
+    )
+    streamed = engine.query(sql).table()
+
+    expected: dict = {}
+    for ts, v, k in capped:
+        wend = (ts // 10_000) * 10_000 + 10_000
+        count, total = expected.get(wend, (0, 0))
+        expected[wend] = (count + 1, total + v)
+    expected_rows = {(wend, c, s) for wend, (c, s) in expected.items()}
+    assert set(streamed.tuples) == expected_rows
+    assert engine.query(sql).run().late_dropped == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows_strategy)
+def test_emit_stream_folds_to_table_at_any_instant(rows):
+    """Stream/table duality: folding the changelog equals the snapshot."""
+    engine = make_engine(rows)
+    sql = (
+        "SELECT TB.wend, MAX(TB.v) m FROM Tumble("
+        "data => TABLE(S), timecol => DESCRIPTOR(ts), "
+        "dur => INTERVAL '10' SECONDS) TB GROUP BY TB.wend"
+    )
+    result = engine.query(sql).run()
+    probes = sorted({c.ptime for c in result.changes})[:10]
+    stream = engine.query(sql + " EMIT STREAM").stream()
+    for at in probes:
+        bag = Counter()
+        for change in stream:
+            if change.ptime <= at:
+                bag[change.values] += -1 if change.undo else 1
+        table = Counter(engine.query(sql).table(at=at).tuples)
+        assert +bag == +table
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows_strategy)
+def test_after_watermark_table_is_stable_prefix(rows):
+    """Extension 5: once a row materializes it never changes.
+
+    The AFTER WATERMARK table at time t1 is a subset of the table at any
+    t2 > t1 (rows only ever get *added* once final).
+    """
+    engine = make_engine(rows)
+    sql = (
+        "SELECT TB.wend, COUNT(*) c FROM Tumble("
+        "data => TABLE(S), timecol => DESCRIPTOR(ts), "
+        "dur => INTERVAL '10' SECONDS) TB GROUP BY TB.wend "
+        "EMIT AFTER WATERMARK"
+    )
+    query = engine.query(sql)
+    result = query.run()
+    probes = sorted({pt for pt, _ in result.watermarks.as_pairs()})
+    previous: Counter = Counter()
+    for at in probes:
+        current = Counter(query.table(at=at).tuples)
+        assert previous <= current
+        previous = current
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows_strategy, st.integers(min_value=100, max_value=5_000))
+def test_after_delay_net_effect_matches_instantaneous(rows, delay):
+    """Extension 6 coalesces updates but never changes the final state."""
+    engine = make_engine(rows)
+    base = (
+        "SELECT TB.wend, SUM(TB.v) s FROM Tumble("
+        "data => TABLE(S), timecol => DESCRIPTOR(ts), "
+        "dur => INTERVAL '10' SECONDS) TB GROUP BY TB.wend"
+    )
+    instant = engine.query(base).table()
+    delayed = engine.query(
+        base + f" EMIT AFTER DELAY INTERVAL '{delay}' MILLISECONDS"
+    ).table()
+    assert Counter(instant.tuples) == Counter(delayed.tuples)
+    # and the delayed stream is never longer than the instantaneous one
+    raw = engine.query(base + " EMIT STREAM").stream()
+    coalesced = engine.query(
+        base + f" EMIT STREAM AFTER DELAY INTERVAL '{delay}' MILLISECONDS"
+    ).stream()
+    assert len(coalesced) <= len(raw)
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows_strategy)
+def test_hop_equals_union_of_shifted_tumbles(rows):
+    """A hop window of slide s and size 2s is two shifted tumbles."""
+    engine = make_engine(rows)
+    hop = engine.query(
+        "SELECT * FROM Hop(data => TABLE(S), timecol => DESCRIPTOR(ts), "
+        "dur => INTERVAL '10' SECONDS, slide => INTERVAL '5' SECONDS)"
+    ).table()
+    tumble_a = engine.query(
+        "SELECT * FROM Tumble(data => TABLE(S), timecol => DESCRIPTOR(ts), "
+        "dur => INTERVAL '10' SECONDS)"
+    ).table()
+    tumble_b = engine.query(
+        "SELECT * FROM Tumble(data => TABLE(S), timecol => DESCRIPTOR(ts), "
+        "dur => INTERVAL '10' SECONDS, offset => INTERVAL '5' SECONDS)"
+    ).table()
+    assert Counter(hop.tuples) == Counter(tumble_a.tuples) + Counter(
+        tumble_b.tuples
+    )

@@ -1,0 +1,255 @@
+"""Tests for row-expression compilation: SQL semantics at runtime."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ExecutionError
+from repro.core.schema import SqlType
+from repro.plan.rex import (
+    RexCall,
+    RexCase,
+    RexCast,
+    RexInput,
+    RexLiteral,
+    compile_rex,
+    references,
+    shift_inputs,
+    walk,
+)
+
+
+def lit(v, type_=None):
+    if type_ is None:
+        type_ = {
+            bool: SqlType.BOOL,
+            int: SqlType.INT,
+            float: SqlType.FLOAT,
+            str: SqlType.STRING,
+            type(None): SqlType.NULL,
+        }[type(v)]
+    return RexLiteral(v, type=type_)
+
+
+def inp(i, type_=SqlType.INT):
+    return RexInput(i, type=type_)
+
+
+def call(op, *args, type_=SqlType.BOOL):
+    return RexCall(op, tuple(args), type=type_)
+
+
+def run(rex, row=()):
+    return compile_rex(rex)(row)
+
+
+class TestThreeValuedLogic:
+    """Kleene logic for AND/OR/NOT with NULL as unknown."""
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            (True, True, True),
+            (True, False, False),
+            (False, None, False),   # false dominates unknown
+            (None, False, False),
+            (True, None, None),
+            (None, None, None),
+        ],
+    )
+    def test_and(self, a, b, expected):
+        assert run(call("AND", lit(a, SqlType.BOOL), lit(b, SqlType.BOOL))) == expected
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            (False, False, False),
+            (True, None, True),     # true dominates unknown
+            (None, True, True),
+            (False, None, None),
+            (None, None, None),
+        ],
+    )
+    def test_or(self, a, b, expected):
+        assert run(call("OR", lit(a, SqlType.BOOL), lit(b, SqlType.BOOL))) == expected
+
+    def test_not(self):
+        assert run(call("NOT", lit(True))) is False
+        assert run(call("NOT", lit(None, SqlType.BOOL))) is None
+
+
+class TestComparisons:
+    def test_null_propagates(self):
+        assert run(call("=", lit(1), lit(None, SqlType.INT))) is None
+        assert run(call("<", lit(None, SqlType.INT), lit(1))) is None
+
+    def test_all_operators(self):
+        assert run(call("=", lit(2), lit(2))) is True
+        assert run(call("<>", lit(2), lit(3))) is True
+        assert run(call("<", lit(2), lit(3))) is True
+        assert run(call("<=", lit(3), lit(3))) is True
+        assert run(call(">", lit(4), lit(3))) is True
+        assert run(call(">=", lit(3), lit(4))) is False
+
+
+class TestArithmetic:
+    def test_basic(self):
+        assert run(call("+", lit(2), lit(3), type_=SqlType.INT)) == 5
+        assert run(call("-", lit(2), lit(3), type_=SqlType.INT)) == -1
+        assert run(call("*", lit(2), lit(3), type_=SqlType.INT)) == 6
+
+    def test_integer_division_truncates_toward_zero(self):
+        assert run(call("/", lit(7), lit(2), type_=SqlType.INT)) == 3
+        assert run(call("/", lit(-7), lit(2), type_=SqlType.INT)) == -3
+
+    def test_float_division(self):
+        assert run(call("/", lit(7.0), lit(2), type_=SqlType.FLOAT)) == 3.5
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ExecutionError, match="division by zero"):
+            run(call("/", lit(1), lit(0), type_=SqlType.INT))
+
+    def test_null_propagates(self):
+        assert run(call("+", lit(None, SqlType.INT), lit(3), type_=SqlType.INT)) is None
+
+    def test_negation(self):
+        assert run(call("NEG", lit(5), type_=SqlType.INT)) == -5
+        assert run(call("NEG", lit(None, SqlType.INT), type_=SqlType.INT)) is None
+
+    def test_modulo(self):
+        assert run(call("%", lit(7), lit(3), type_=SqlType.INT)) == 1
+
+
+class TestStrings:
+    def test_concat(self):
+        assert run(call("||", lit("a"), lit("b"), type_=SqlType.STRING)) == "ab"
+        assert run(call("||", lit(None, SqlType.STRING), lit("b"),
+                        type_=SqlType.STRING)) is None
+
+    @pytest.mark.parametrize(
+        "value,pattern,expected",
+        [
+            ("hello", "hello", True),
+            ("hello", "h%", True),
+            ("hello", "%o", True),
+            ("hello", "h_llo", True),
+            ("hello", "H%", False),
+            ("a.c", "a.c", True),     # dot is literal, not regex
+            ("abc", "a.c", False),
+            ("50%", "50%", True),
+        ],
+    )
+    def test_like(self, value, pattern, expected):
+        assert run(
+            call("LIKE", lit(value), lit(pattern))
+        ) is expected
+
+    def test_like_null(self):
+        assert run(call("LIKE", lit(None, SqlType.STRING), lit("%"))) is None
+
+
+class TestIn:
+    def test_hit_and_miss(self):
+        assert run(call("IN", lit(2), lit(1), lit(2))) is True
+        assert run(call("IN", lit(9), lit(1), lit(2))) is False
+
+    def test_null_semantics(self):
+        # 9 IN (1, NULL) is unknown; 1 IN (1, NULL) is true
+        assert run(call("IN", lit(9), lit(1), lit(None, SqlType.INT))) is None
+        assert run(call("IN", lit(1), lit(1), lit(None, SqlType.INT))) is True
+        assert run(call("IN", lit(None, SqlType.INT), lit(1))) is None
+
+
+class TestIsNull:
+    def test_is_null(self):
+        assert run(call("IS NULL", lit(None, SqlType.INT))) is True
+        assert run(call("IS NULL", lit(1))) is False
+        assert run(call("IS NOT NULL", lit(1))) is True
+
+
+class TestCase:
+    def test_first_match_wins(self):
+        rex = RexCase(
+            whens=(
+                (call(">", inp(0), lit(10)), lit("big")),
+                (call(">", inp(0), lit(5)), lit("medium")),
+            ),
+            else_=lit("small"),
+            type=SqlType.STRING,
+        )
+        fn = compile_rex(rex)
+        assert fn((20,)) == "big"
+        assert fn((7,)) == "medium"
+        assert fn((1,)) == "small"
+
+    def test_no_else_gives_null(self):
+        rex = RexCase(
+            whens=((call(">", inp(0), lit(10)), lit("big")),),
+            else_=None,
+            type=SqlType.STRING,
+        )
+        assert compile_rex(rex)((1,)) is None
+
+    def test_null_condition_is_not_a_match(self):
+        rex = RexCase(
+            whens=((lit(None, SqlType.BOOL), lit("x")),),
+            else_=lit("fallback"),
+            type=SqlType.STRING,
+        )
+        assert compile_rex(rex)(()) == "fallback"
+
+
+class TestCast:
+    def test_casts(self):
+        assert run(RexCast(lit("42"), type=SqlType.INT)) == 42
+        assert run(RexCast(lit(3.9), type=SqlType.INT)) == 3
+        assert run(RexCast(lit(1), type=SqlType.STRING)) == "1"
+        assert run(RexCast(lit(0), type=SqlType.BOOL)) is False
+        assert run(RexCast(lit("2.5"), type=SqlType.FLOAT)) == 2.5
+
+    def test_null_passes(self):
+        assert run(RexCast(lit(None, SqlType.STRING), type=SqlType.INT)) is None
+
+    def test_bad_cast_raises(self):
+        with pytest.raises(ExecutionError, match="CAST failed"):
+            run(RexCast(lit("nope"), type=SqlType.INT))
+
+
+class TestInputRefs:
+    def test_lookup(self):
+        assert run(inp(1), (10, 20, 30)) == 20
+
+    def test_references(self):
+        rex = call("AND", call("=", inp(0), inp(2)), call(">", inp(2), lit(5)))
+        assert references(rex) == {0, 2}
+
+    def test_shift_inputs(self):
+        rex = call("=", inp(3), lit(1))
+        shifted = shift_inputs(rex, {3: 0})
+        assert references(shifted) == {0}
+
+    def test_shift_requires_mapping(self):
+        from repro.core.errors import PlanError
+
+        with pytest.raises(PlanError):
+            shift_inputs(inp(5), {})
+
+    def test_walk_covers_all_nodes(self):
+        rex = RexCase(
+            whens=((call("=", inp(0), lit(1)), inp(1)),),
+            else_=RexCast(inp(2), type=SqlType.STRING),
+            type=SqlType.STRING,
+        )
+        indices = {n.index for n in walk(rex) if isinstance(n, RexInput)}
+        assert indices == {0, 1, 2}
+
+
+@given(st.lists(st.one_of(st.integers(-5, 5), st.none()), min_size=2, max_size=2))
+def test_comparison_never_raises_on_mixed_nulls(pair):
+    a, b = pair
+    rex = call("<", lit(a, SqlType.INT), lit(b, SqlType.INT))
+    result = run(rex)
+    if a is None or b is None:
+        assert result is None
+    else:
+        assert result == (a < b)

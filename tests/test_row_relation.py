@@ -1,0 +1,125 @@
+"""Unit tests for Row, Relation, and EmitSpec rendering."""
+
+import pytest
+
+from repro.core.emit import EmitSpec
+from repro.core.relation import Relation
+from repro.core.row import Row, format_value
+from repro.core.schema import Schema, SqlType, int_col, string_col, timestamp_col
+from repro.core.times import minutes, t
+
+SCHEMA = Schema(
+    [timestamp_col("ts"), int_col("price"), string_col("item")]
+)
+
+
+class TestRow:
+    def test_access_by_name_index_attribute(self):
+        row = Row(SCHEMA, (t("8:07"), 2, "A"))
+        assert row["price"] == 2
+        assert row[1] == 2
+        assert row.price == 2
+        assert row["PRICE"] == 2  # case-insensitive
+
+    def test_arity_checked(self):
+        with pytest.raises(ValueError, match="3 columns"):
+            Row(SCHEMA, (1, 2))
+
+    def test_equality_with_tuple_and_row(self):
+        row = Row(SCHEMA, (1, 2, "x"))
+        assert row == (1, 2, "x")
+        assert row == Row(SCHEMA, (1, 2, "x"))
+        assert row != (1, 2, "y")
+        assert hash(row) == hash((1, 2, "x"))
+
+    def test_iteration_and_dict(self):
+        row = Row(SCHEMA, (1, 2, "x"))
+        assert list(row) == [1, 2, "x"]
+        assert len(row) == 3
+        assert row.as_dict() == {"ts": 1, "price": 2, "item": "x"}
+
+    def test_missing_attribute(self):
+        row = Row(SCHEMA, (1, 2, "x"))
+        with pytest.raises(AttributeError):
+            row.nope
+
+    def test_repr_formats_timestamps(self):
+        row = Row(SCHEMA, (t("8:07"), 2, "A"))
+        assert "8:07" in repr(row)
+
+    def test_format_value(self):
+        assert format_value(None, SqlType.INT) == "NULL"
+        assert format_value(t("8:07"), SqlType.TIMESTAMP) == "8:07"
+        assert format_value(True, SqlType.BOOL) == "TRUE"
+        assert format_value(3, SqlType.INT) == "3"
+
+
+class TestRelation:
+    def test_bag_equality_ignores_order(self):
+        a = Relation(SCHEMA, [(1, 2, "x"), (3, 4, "y")])
+        b = Relation(SCHEMA, [(3, 4, "y"), (1, 2, "x")])
+        assert a == b
+
+    def test_bag_equality_counts_duplicates(self):
+        a = Relation(SCHEMA, [(1, 2, "x"), (1, 2, "x")])
+        b = Relation(SCHEMA, [(1, 2, "x")])
+        assert a != b
+
+    def test_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(Relation(SCHEMA, []))
+
+    def test_sorted_by_columns(self):
+        rel = Relation(SCHEMA, [(2, 9, "b"), (1, 5, "a")])
+        assert rel.sorted(["ts"]).tuples[0] == (1, 5, "a")
+        assert rel.sorted().tuples[0] == (1, 5, "a")
+
+    def test_arity_checked(self):
+        with pytest.raises(ValueError):
+            Relation(SCHEMA, [(1, 2)])
+
+    def test_to_table_renders_all_rows(self):
+        rel = Relation(SCHEMA, [(t("8:07"), 2, "A")])
+        table = rel.to_table()
+        assert "| ts" in table
+        assert "8:07" in table and "A" in table
+
+    def test_empty_table_shows_header(self):
+        table = Relation(SCHEMA, []).to_table()
+        assert "price" in table
+
+    def test_rows_are_bound(self):
+        rel = Relation(SCHEMA, [(1, 2, "x")])
+        (row,) = rel.rows()
+        assert row.item == "x"
+        assert bool(rel)
+        assert not Relation(SCHEMA, [])
+
+
+class TestEmitSpec:
+    def test_default_is_empty_string(self):
+        assert str(EmitSpec.default()) == ""
+        assert EmitSpec().is_default
+
+    @pytest.mark.parametrize(
+        "spec,text",
+        [
+            (EmitSpec(stream=True), "EMIT STREAM"),
+            (EmitSpec(after_watermark=True), "EMIT AFTER WATERMARK"),
+            (
+                EmitSpec(stream=True, delay=minutes(6)),
+                "EMIT STREAM AFTER DELAY 6m",
+            ),
+            (
+                EmitSpec(delay=minutes(1), after_watermark=True),
+                "EMIT AFTER DELAY 1m AND AFTER WATERMARK",
+            ),
+        ],
+    )
+    def test_rendering(self, spec, text):
+        assert str(spec) == text
+
+    def test_has_materialization_delay(self):
+        assert EmitSpec(after_watermark=True).has_materialization_delay
+        assert EmitSpec(delay=1).has_materialization_delay
+        assert not EmitSpec(stream=True).has_materialization_delay

@@ -1,0 +1,102 @@
+"""Unit tests for schemas, columns, and event-time metadata."""
+
+import pytest
+
+from repro.core.errors import SchemaError
+from repro.core.schema import (
+    Column,
+    Schema,
+    SqlType,
+    int_col,
+    string_col,
+    timestamp_col,
+)
+
+
+@pytest.fixture
+def bid_schema():
+    return Schema(
+        [
+            timestamp_col("bidtime", event_time=True),
+            int_col("price"),
+            string_col("item"),
+        ]
+    )
+
+
+class TestColumn:
+    def test_event_time_requires_timestamp(self):
+        with pytest.raises(SchemaError):
+            Column("x", SqlType.INT, event_time=True)
+
+    def test_degraded_drops_alignment(self):
+        col = timestamp_col("ts", event_time=True)
+        assert col.degraded().event_time is False
+        # degrading a plain column is the identity
+        plain = int_col("n")
+        assert plain.degraded() is plain
+
+    def test_renamed(self):
+        assert timestamp_col("a").renamed("b").name == "b"
+
+    def test_str_marks_event_time(self):
+        assert "EVENT TIME" in str(timestamp_col("ts", event_time=True))
+
+
+class TestSchema:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([int_col("a"), int_col("A")])
+
+    def test_lookup_case_insensitive(self, bid_schema):
+        assert bid_schema.index_of("PRICE") == 1
+        assert bid_schema.column("BidTime").name == "bidtime"
+        assert "ITEM" in bid_schema
+
+    def test_unknown_column(self, bid_schema):
+        with pytest.raises(SchemaError, match="no column"):
+            bid_schema.index_of("missing")
+
+    def test_event_time_columns(self, bid_schema):
+        assert [c.name for c in bid_schema.event_time_columns] == ["bidtime"]
+
+    def test_concat_disambiguates(self, bid_schema):
+        joined = bid_schema.concat(bid_schema)
+        names = joined.column_names()
+        assert len(names) == 6
+        assert len({n.lower() for n in names}) == 6
+        # left names win; right collisions get suffixes
+        assert names[:3] == ["bidtime", "price", "item"]
+
+    def test_project_and_renamed(self, bid_schema):
+        projected = bid_schema.project(["item", "price"])
+        assert projected.column_names() == ["item", "price"]
+        renamed = bid_schema.renamed(["a", "b", "c"])
+        assert renamed.column_names() == ["a", "b", "c"]
+        # alignment flags survive a rename
+        assert renamed.columns[0].event_time
+
+    def test_renamed_arity_check(self, bid_schema):
+        with pytest.raises(SchemaError):
+            bid_schema.renamed(["only", "two"])
+
+    def test_degraded(self, bid_schema):
+        assert bid_schema.degraded().event_time_columns == []
+
+    def test_iteration_and_len(self, bid_schema):
+        assert len(bid_schema) == 3
+        assert [c.name for c in bid_schema] == ["bidtime", "price", "item"]
+
+
+class TestSqlType:
+    def test_numeric_comparability(self):
+        assert SqlType.INT.is_comparable_with(SqlType.FLOAT)
+        assert not SqlType.INT.is_comparable_with(SqlType.STRING)
+
+    def test_null_comparable_with_all(self):
+        assert SqlType.NULL.is_comparable_with(SqlType.STRING)
+
+    def test_temporal(self):
+        assert SqlType.TIMESTAMP.is_temporal
+        assert SqlType.INTERVAL.is_temporal
+        assert not SqlType.INT.is_temporal

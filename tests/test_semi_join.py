@@ -1,0 +1,213 @@
+"""Tests for [NOT] IN (SELECT ...) semi/anti joins."""
+
+import pytest
+
+from repro import StreamEngine
+from repro.core.errors import ValidationError
+from repro.core.schema import Schema, int_col, string_col, timestamp_col
+from repro.core.times import MAX_TIMESTAMP, t
+from repro.core.tvr import TimeVaryingRelation
+
+BID = Schema(
+    [
+        timestamp_col("bidtime", event_time=True),
+        int_col("auction"),
+        int_col("price"),
+    ]
+)
+HOT = Schema([int_col("id")])
+
+
+@pytest.fixture
+def engine():
+    eng = StreamEngine()
+    eng.register_table(
+        "Bid",
+        BID,
+        [
+            (t("9:00"), 1, 10),
+            (t("9:01"), 2, 20),
+            (t("9:02"), 3, 30),
+            (t("9:03"), 1, 40),
+        ],
+    )
+    eng.register_table("Hot", HOT, [(1,), (3,)])
+    return eng
+
+
+class TestSemantics:
+    def test_in_subquery(self, engine):
+        rel = engine.query(
+            "SELECT price FROM Bid WHERE auction IN (SELECT id FROM Hot)"
+        ).table()
+        assert sorted(rel.tuples) == [(10,), (30,), (40,)]
+
+    def test_not_in_subquery(self, engine):
+        rel = engine.query(
+            "SELECT price FROM Bid WHERE auction NOT IN (SELECT id FROM Hot)"
+        ).table()
+        assert rel.tuples == [(20,)]
+
+    def test_combined_with_plain_predicates(self, engine):
+        rel = engine.query(
+            "SELECT price FROM Bid WHERE auction IN (SELECT id FROM Hot) "
+            "AND price > 15"
+        ).table()
+        assert sorted(rel.tuples) == [(30,), (40,)]
+
+    def test_subquery_with_own_where(self, engine):
+        rel = engine.query(
+            "SELECT price FROM Bid "
+            "WHERE auction IN (SELECT id FROM Hot WHERE id > 2)"
+        ).table()
+        assert rel.tuples == [(30,)]
+
+    def test_expression_probe(self, engine):
+        rel = engine.query(
+            "SELECT price FROM Bid WHERE auction + 0 IN (SELECT id FROM Hot)"
+        ).table()
+        assert sorted(rel.tuples) == [(10,), (30,), (40,)]
+
+    def test_null_probe_is_filtered(self):
+        eng = StreamEngine()
+        eng.register_table("L", Schema([int_col("v")]), [(None,), (1,)])
+        eng.register_table("R", Schema([int_col("w")]), [(1,)])
+        rel = eng.query("SELECT v FROM L WHERE v IN (SELECT w FROM R)").table()
+        assert rel.tuples == [(1,)]
+        # NULL NOT IN (...) is unknown too
+        rel = eng.query(
+            "SELECT v FROM L WHERE v NOT IN (SELECT w FROM R)"
+        ).table()
+        assert rel.tuples == []
+
+
+class TestStreaming:
+    def test_left_rows_flip_with_right_changes(self):
+        left = TimeVaryingRelation(BID)
+        right = TimeVaryingRelation(HOT)
+        left.insert(10, (t("9:00"), 7, 99))
+        right.insert(20, (7,))         # bid 7 becomes hot
+        right.retract(30, (7,))        # ...and cools down again
+        eng = StreamEngine()
+        eng.register_stream("Bid", left)
+        eng.register_stream("Hot", right)
+        out = eng.query(
+            "SELECT price FROM Bid WHERE auction IN (SELECT id FROM Hot) "
+            "EMIT STREAM"
+        ).stream()
+        assert [(c.undo, c.ptime) for c in out] == [
+            (False, 20),
+            (True, 30),
+        ]
+
+    def test_anti_join_streaming(self):
+        left = TimeVaryingRelation(BID)
+        right = TimeVaryingRelation(HOT)
+        left.insert(10, (t("9:00"), 7, 99))
+        right.insert(20, (7,))
+        eng = StreamEngine()
+        eng.register_stream("Bid", left)
+        eng.register_stream("Hot", right)
+        out = eng.query(
+            "SELECT price FROM Bid WHERE auction NOT IN (SELECT id FROM Hot) "
+            "EMIT STREAM"
+        ).stream()
+        # visible immediately, withdrawn when the match arrives
+        assert [(c.undo, c.ptime) for c in out] == [
+            (False, 10),
+            (True, 20),
+        ]
+
+    def test_schema_and_alignment_pass_through(self, engine):
+        query = engine.query(
+            "SELECT bidtime, price FROM Bid "
+            "WHERE auction IN (SELECT id FROM Hot)"
+        )
+        assert query.schema.column("bidtime").event_time
+
+
+class TestExists:
+    def test_exists_keeps_all_when_nonempty(self, engine):
+        rel = engine.query(
+            "SELECT price FROM Bid WHERE EXISTS (SELECT id FROM Hot)"
+        ).table()
+        assert len(rel) == 4
+
+    def test_exists_with_filter(self, engine):
+        rel = engine.query(
+            "SELECT price FROM Bid "
+            "WHERE EXISTS (SELECT id FROM Hot WHERE id > 99)"
+        ).table()
+        assert rel.tuples == []
+
+    def test_not_exists(self, engine):
+        rel = engine.query(
+            "SELECT price FROM Bid "
+            "WHERE NOT EXISTS (SELECT id FROM Hot WHERE id > 99)"
+        ).table()
+        assert len(rel) == 4
+
+    def test_exists_combined_with_predicate(self, engine):
+        rel = engine.query(
+            "SELECT price FROM Bid "
+            "WHERE EXISTS (SELECT id FROM Hot) AND price > 25"
+        ).table()
+        assert sorted(rel.tuples) == [(30,), (40,)]
+
+    def test_exists_under_or_rejected(self, engine):
+        with pytest.raises(ValidationError, match="top-level"):
+            engine.query(
+                "SELECT price FROM Bid "
+                "WHERE price > 1 OR EXISTS (SELECT id FROM Hot)"
+            )
+
+
+class TestScalarSubqueryEquality:
+    def test_equals_global_aggregate(self, engine):
+        """The CQL Listing-1 shape: price = (SELECT MAX(price) ...)."""
+        rel = engine.query(
+            "SELECT price FROM Bid WHERE price = (SELECT MAX(price) FROM Bid)"
+        ).table()
+        assert rel.tuples == [(40,)]
+
+    def test_reversed_operands(self, engine):
+        rel = engine.query(
+            "SELECT price FROM Bid "
+            "WHERE (SELECT MIN(price) FROM Bid) = price"
+        ).table()
+        assert rel.tuples == [(10,)]
+
+    def test_streaming_updates_as_max_moves(self):
+        left = TimeVaryingRelation(BID)
+        left.insert(10, (t("9:00"), 1, 5))
+        left.insert(20, (t("9:01"), 2, 9))
+        eng = StreamEngine()
+        eng.register_stream("Bid", left)
+        out = eng.query(
+            "SELECT price FROM Bid "
+            "WHERE price = (SELECT MAX(price) FROM Bid) EMIT STREAM"
+        ).stream()
+        # 5 is the max, then 9 displaces it
+        assert [(c.values[0], c.undo) for c in out] == [
+            (5, False),
+            (5, True),
+            (9, False),
+        ]
+
+
+class TestValidation:
+    def test_multi_column_subquery_rejected(self, engine):
+        from repro.core.errors import PlanError
+
+        with pytest.raises((ValidationError, PlanError), match="single-column"):
+            engine.query(
+                "SELECT price FROM Bid "
+                "WHERE auction IN (SELECT id, id FROM Hot)"
+            )
+
+    def test_in_subquery_under_or_rejected(self, engine):
+        with pytest.raises(ValidationError, match="top-level"):
+            engine.query(
+                "SELECT price FROM Bid WHERE price > 100 "
+                "OR auction IN (SELECT id FROM Hot)"
+            )

@@ -1,0 +1,85 @@
+"""SQL-level integration tests for Session windows (§8 custom windowing)."""
+
+import pytest
+
+from repro import StreamEngine
+from repro.core.schema import Schema, int_col, timestamp_col
+from repro.core.times import minutes, t
+from repro.core.tvr import TimeVaryingRelation
+
+SCHEMA = Schema(
+    [
+        int_col("user"),
+        timestamp_col("at", event_time=True),
+        int_col("n"),
+    ]
+)
+
+SESSIONS = """
+SELECT SB.user, SB.wstart, SB.wend, COUNT(*) AS events
+FROM Session(data => TABLE(S), timecol => DESCRIPTOR(at),
+             gap => INTERVAL '5' MINUTES, keycol => DESCRIPTOR(user)) SB
+GROUP BY SB.wend, SB.user
+"""
+
+
+def make_engine(events, final_wm=None):
+    tvr = TimeVaryingRelation(SCHEMA)
+    for i, (user, at) in enumerate(events):
+        tvr.insert(1000 + i, (user, at, i))
+    tvr.advance_watermark(9000, final_wm if final_wm else t("23:00"))
+    engine = StreamEngine()
+    engine.register_stream("S", tvr)
+    return engine
+
+
+class TestSessionSql:
+    def test_burst_forms_one_session(self):
+        engine = make_engine(
+            [(1, t("9:00")), (1, t("9:02")), (1, t("9:04"))]
+        )
+        rel = engine.query(SESSIONS).table()
+        assert rel.tuples == [(1, t("9:00"), t("9:09"), 3)]
+
+    def test_gap_splits_sessions(self):
+        engine = make_engine([(1, t("9:00")), (1, t("9:10"))])
+        rel = engine.query(SESSIONS).table().sorted(["wstart"])
+        assert rel.tuples == [
+            (1, t("9:00"), t("9:05"), 1),
+            (1, t("9:10"), t("9:15"), 1),
+        ]
+
+    def test_out_of_order_merge_updates_group(self):
+        """A late bridging row merges two sessions; the grouped result
+        reflects the merge, not the intermediate split."""
+        engine = make_engine(
+            [(1, t("9:00")), (1, t("9:08")), (1, t("9:04"))]  # bridge last
+        )
+        rel = engine.query(SESSIONS).table()
+        assert rel.tuples == [(1, t("9:00"), t("9:13"), 3)]
+
+    def test_emit_stream_shows_merge_churn(self):
+        engine = make_engine(
+            [(1, t("9:00")), (1, t("9:08")), (1, t("9:04"))]
+        )
+        out = engine.query(SESSIONS + " EMIT STREAM").stream()
+        # two separate sessions appear, then both retract into the merge
+        final = [c for c in out if not c.undo][-1]
+        assert final.values == (1, t("9:00"), t("9:13"), 3)
+        assert any(c.undo for c in out)
+
+    def test_after_watermark_emits_closed_sessions_once(self):
+        engine = make_engine(
+            [(1, t("9:00")), (1, t("9:02")), (2, t("9:30"))],
+            final_wm=t("9:20"),  # user 1's session closed, user 2's open
+        )
+        out = engine.query(SESSIONS + " EMIT STREAM AFTER WATERMARK").stream()
+        assert [(c.values[0], c.undo) for c in out] == [(1, False)]
+
+    def test_sessions_per_key_do_not_interact(self):
+        engine = make_engine(
+            [(1, t("9:00")), (2, t("9:02")), (1, t("9:03"))]
+        )
+        rel = engine.query(SESSIONS).table().sorted(["user"])
+        assert [r[0] for r in rel.tuples] == [1, 2]
+        assert rel.tuples[0][3] == 2  # user 1 has both events

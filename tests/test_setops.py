@@ -1,0 +1,103 @@
+"""Tests for INTERSECT / EXCEPT set operations."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import StreamEngine
+from repro.core.schema import Schema, int_col, timestamp_col
+from repro.core.times import t
+from repro.core.tvr import TimeVaryingRelation
+
+
+def values_query(rows):
+    inner = ", ".join(f"({v})" for v in rows)
+    return f"SELECT v.col0 FROM (VALUES {inner}) v"
+
+
+def run(sql):
+    return sorted(r[0] for r in StreamEngine().query(sql).table().tuples)
+
+
+class TestBagSemantics:
+    def test_intersect_all_is_bag_min(self):
+        sql = values_query([1, 2, 2, 2]) + " INTERSECT ALL " + values_query([2, 2, 3])
+        assert run(sql) == [2, 2]
+
+    def test_intersect_distinct(self):
+        sql = values_query([1, 2, 2]) + " INTERSECT " + values_query([2, 2, 3])
+        assert run(sql) == [2]
+
+    def test_except_all_is_bag_difference(self):
+        sql = values_query([1, 2, 2, 2]) + " EXCEPT ALL " + values_query([2])
+        assert run(sql) == [1, 2, 2]
+
+    def test_except_distinct(self):
+        sql = values_query([1, 2, 2]) + " EXCEPT " + values_query([3])
+        assert run(sql) == [1, 2]
+
+    def test_chained_left_associative(self):
+        sql = (
+            values_query([1, 2, 3])
+            + " INTERSECT "
+            + values_query([2, 3])
+            + " EXCEPT "
+            + values_query([3])
+        )
+        assert run(sql) == [2]
+
+    def test_arity_mismatch_rejected(self):
+        from repro.core.errors import PlanError, ValidationError
+
+        with pytest.raises((PlanError, ValidationError), match="arity"):
+            StreamEngine().query(
+                "SELECT v.col0, v.col1 FROM (VALUES (1, 2)) v "
+                "INTERSECT SELECT w.col0 FROM (VALUES (1)) w"
+            )
+
+
+class TestStreaming:
+    def test_rows_flip_as_sides_change(self):
+        schema = Schema([int_col("v"), timestamp_col("ts", event_time=True)])
+        a = TimeVaryingRelation(schema)
+        b = TimeVaryingRelation(schema)
+        a.insert(10, (1, t("9:00")))
+        b.insert(20, (1, t("9:00")))   # intersection gains the row
+        b.retract(30, (1, t("9:00")))  # ...and loses it again
+        engine = StreamEngine()
+        engine.register_stream("A", a)
+        engine.register_stream("B", b)
+        out = engine.query(
+            "SELECT v, ts FROM A INTERSECT SELECT v, ts FROM B EMIT STREAM"
+        ).stream()
+        assert [(c.undo, c.ptime) for c in out] == [(False, 20), (True, 30)]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(0, 4), max_size=12),
+    st.lists(st.integers(0, 4), max_size=12),
+    st.sampled_from(["INTERSECT", "EXCEPT"]),
+    st.booleans(),
+)
+def test_matches_bag_model(left, right, op, use_all):
+    if not left or not right:
+        return
+    sql = (
+        values_query(left)
+        + f" {op}{' ALL' if use_all else ''} "
+        + values_query(right)
+    )
+    got = Counter(run(sql))
+    lcount, rcount = Counter(left), Counter(right)
+    expected: Counter = Counter()
+    for value in set(left) | set(right):
+        l, r = lcount.get(value, 0), rcount.get(value, 0)
+        n = min(l, r) if op == "INTERSECT" else max(l - r, 0)
+        if not use_all:
+            n = 1 if n > 0 else 0
+        if n:
+            expected[value] = n
+    assert got == Counter(expected.elements())

@@ -1,0 +1,100 @@
+"""Tests for state introspection and the watermark-contract diagnostic."""
+
+import pytest
+
+from repro import StreamEngine
+from repro.core.errors import ExecutionError
+from repro.core.schema import Schema, int_col, timestamp_col
+from repro.core.times import t
+from repro.core.tvr import TimeVaryingRelation
+from repro.nexmark import paper_bid_stream
+from repro.nexmark.queries import q7_paper
+
+SCHEMA = Schema([timestamp_col("ts", event_time=True), int_col("v")])
+
+
+class TestStateReport:
+    @pytest.fixture
+    def dataflow(self):
+        engine = StreamEngine()
+        engine.register_stream("Bid", paper_bid_stream())
+        dataflow = engine.query(q7_paper()).dataflow()
+        dataflow.run()
+        return dataflow
+
+    def test_totals_match_operator_sum(self, dataflow):
+        report = dataflow.state_report()
+        assert report.total_rows == dataflow.total_state_rows()
+        assert report.total_rows == sum(
+            op.retained_rows for op in report.operators
+        )
+
+    def test_expiry_surfaces(self, dataflow):
+        report = dataflow.state_report()
+        # the windowed join expired bids/aggregates past the watermark
+        assert report.total_expired > 0
+
+    def test_rendering_names_operators(self, dataflow):
+        text = str(dataflow.state_report())
+        assert "total retained rows" in text
+        assert "Join" in text
+
+    def test_late_drops_counted(self):
+        tvr = TimeVaryingRelation(SCHEMA)
+        tvr.insert(1, (t("8:01"), 1))
+        tvr.advance_watermark(2, t("9:00"))
+        tvr.insert(3, (t("8:02"), 2))  # late
+        engine = StreamEngine()
+        engine.register_stream("S", tvr)
+        dataflow = engine.query(
+            "SELECT TB.wend, COUNT(*) c FROM Tumble(data => TABLE(S), "
+            "timecol => DESCRIPTOR(ts), dur => INTERVAL '10' MINUTES) TB "
+            "GROUP BY TB.wend"
+        ).dataflow()
+        dataflow.run()
+        assert dataflow.state_report().total_late_dropped == 1
+
+
+class TestContractViolations:
+    def test_sound_stream_has_none(self):
+        assert paper_bid_stream().contract_violations() == []
+
+    def test_violation_reported(self):
+        tvr = TimeVaryingRelation(SCHEMA)
+        tvr.advance_watermark(1, t("9:00"))
+        tvr.insert(2, (t("8:30"), 1))  # behind the asserted watermark
+        (violation,) = tvr.contract_violations()
+        assert "watermark" in violation
+
+    def test_boundary_row_is_tolerated(self):
+        """The paper's own dataset has row C arrive exactly at the
+        watermark (bidtime 8:05, WM 8:05) and includes it in every
+        result, so the bound is read as inclusive."""
+        tvr = TimeVaryingRelation(SCHEMA)
+        tvr.advance_watermark(1, t("9:00"))
+        tvr.insert(2, (t("9:00"), 1))
+        assert tvr.contract_violations() == []
+
+    def test_explicit_column_required_when_ambiguous(self):
+        plain = Schema([int_col("a"), int_col("b")])
+        tvr = TimeVaryingRelation(plain)
+        with pytest.raises(ExecutionError, match="time_column"):
+            tvr.contract_violations()
+
+    def test_explicit_column(self):
+        tvr = TimeVaryingRelation(SCHEMA)
+        tvr.insert(1, (t("8:00"), 1))
+        assert tvr.contract_violations("ts") == []
+
+
+class TestShellState:
+    def test_state_command(self, tmp_path):
+        from repro.io import format_script
+        from repro.shell import Shell
+
+        path = tmp_path / "bids.script"
+        path.write_text(format_script(paper_bid_stream()))
+        shell = Shell()
+        shell.feed(f"\\load Bid {path}")
+        out = shell.feed("\\state SELECT * FROM Bid;")
+        assert "total retained rows" in out

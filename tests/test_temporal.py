@@ -1,0 +1,125 @@
+"""Tests for time-progressing expressions (Section 8): CURRENT_TIME."""
+
+import pytest
+
+from repro import StreamEngine
+from repro.core.errors import ValidationError
+from repro.core.schema import Schema, int_col, timestamp_col
+from repro.core.times import minutes, t
+from repro.core.tvr import TimeVaryingRelation
+from repro.plan.logical import TemporalFilterNode
+
+SCHEMA = Schema([timestamp_col("ts", event_time=True), int_col("v")])
+
+TAIL = "SELECT v FROM S WHERE ts > CURRENT_TIME - INTERVAL '10' MINUTES"
+
+
+def make_engine(rows):
+    """rows: list of (ptime, event_ts, v)."""
+    tvr = TimeVaryingRelation(SCHEMA)
+    for ptime, ts, v in rows:
+        tvr.insert(ptime, (ts, v))
+    engine = StreamEngine()
+    engine.register_stream("S", tvr)
+    return engine
+
+
+class TestPlanning:
+    def test_tail_predicate_becomes_temporal_filter(self):
+        engine = make_engine([])
+        plan = engine.query(TAIL).plan
+        assert isinstance(plan.root.input, TemporalFilterNode)
+        (bound,) = plan.root.input.bounds
+        assert bound.kind == "before"
+        assert bound.offset == minutes(10)
+
+    def test_mixed_predicate_splits(self):
+        engine = make_engine([])
+        plan = engine.query(
+            "SELECT v FROM S WHERE ts > CURRENT_TIME - INTERVAL '5' MINUTES "
+            "AND v > 3"
+        ).plan
+        text = plan.root.explain()
+        assert "TemporalFilter" in text
+        assert "Filter" in text
+
+    def test_current_time_in_select_rejected(self):
+        engine = make_engine([])
+        with pytest.raises(ValidationError, match="CURRENT_TIME"):
+            engine.query("SELECT CURRENT_TIME FROM S")
+
+    def test_unsupported_shape_rejected(self):
+        engine = make_engine([])
+        with pytest.raises(ValidationError, match="tail-of-stream"):
+            engine.query("SELECT v FROM S WHERE v = 1 OR ts > CURRENT_TIME")
+
+    def test_current_time_equality_rejected(self):
+        engine = make_engine([])
+        with pytest.raises(ValidationError, match="tail-of-stream"):
+            engine.query("SELECT v FROM S WHERE ts = CURRENT_TIME")
+
+
+class TestExecution:
+    def test_rows_expire_as_time_passes(self):
+        # row arrives at its own event time; visible for 10 minutes
+        engine = make_engine(
+            [
+                (t("8:00"), t("8:00"), 1),
+                (t("8:05"), t("8:05"), 2),
+                (t("8:30"), t("8:30"), 3),
+            ]
+        )
+        query = engine.query(TAIL)
+        assert sorted(query.table(at=t("8:06")).tuples) == [(1,), (2,)]
+        # at 8:10 the first row's boundary (8:00 + 10m) has passed
+        assert sorted(query.table(at=t("8:10")).tuples) == [(2,)]
+        assert query.table(at=t("8:30")).tuples == [(3,)]
+
+    def test_stream_shows_time_driven_retractions(self):
+        engine = make_engine([(t("8:00"), t("8:00"), 1)])
+        out = engine.query(TAIL + " EMIT STREAM").stream()
+        assert [(c.undo, c.ptime) for c in out] == [
+            (False, t("8:00")),
+            (True, t("8:10")),  # no input event at 8:10 — pure time
+        ]
+
+    def test_late_data_already_outside_tail_is_dropped(self):
+        # a row arriving after its visibility window never shows up
+        engine = make_engine([(t("9:00"), t("8:00"), 1)])
+        query = engine.query(TAIL)
+        assert query.table(at=t("9:00")).tuples == []
+
+    def test_row_entering_later(self):
+        # ts <= CURRENT_TIME - d: rows become visible only after a delay
+        engine = make_engine([(t("8:00"), t("8:00"), 1)])
+        sql = (
+            "SELECT v FROM S WHERE ts <= CURRENT_TIME - INTERVAL '5' MINUTES"
+        )
+        query = engine.query(sql)
+        assert query.table(at=t("8:04")).tuples == []
+        assert query.table(at=t("8:05")).tuples == [(1,)]
+        out = engine.query(sql + " EMIT STREAM").stream()
+        assert [(c.undo, c.ptime) for c in out] == [(False, t("8:05"))]
+
+    def test_windowed_aggregate_over_tail(self):
+        """Section 8's motivating example: counting bids of the last hour."""
+        rows = [(t("8:00") + i * minutes(1),) * 2 + (i,) for i in range(30)]
+        engine = make_engine(rows)
+        sql = (
+            "SELECT COUNT(*) c FROM S "
+            "WHERE ts > CURRENT_TIME - INTERVAL '10' MINUTES"
+        )
+        query = engine.query(sql)
+        # after warm-up the tail holds exactly the last 10 arrivals
+        assert query.table(at=t("8:29")).tuples == [(10,)]
+        assert query.table(at=t("8:15")).tuples == [(10,)]
+        # long after the stream stops, the tail drains to zero
+        assert query.table(at=t("12:00")).tuples == [(0,)]
+
+    def test_state_is_bounded_by_expiry(self):
+        rows = [(t("8:00") + i * minutes(1),) * 2 + (i,) for i in range(60)]
+        engine = make_engine(rows)
+        dataflow = engine.query(TAIL).dataflow()
+        result = dataflow.run()
+        # ~10 minutes of rows live at once, not all 60
+        assert result.peak_state_rows <= 12

@@ -1,0 +1,213 @@
+"""Tests for FOR SYSTEM_TIME AS OF temporal joins (Section 8)."""
+
+import pytest
+
+from repro import StreamEngine
+from repro.core.errors import ExecutionError, ValidationError
+from repro.core.schema import (
+    Schema,
+    float_col,
+    int_col,
+    string_col,
+    timestamp_col,
+)
+from repro.core.times import t
+from repro.core.tvr import TimeVaryingRelation
+
+ORDER_SCHEMA = Schema(
+    [
+        int_col("id"),
+        string_col("currency"),
+        int_col("amount"),
+        timestamp_col("ordertime", event_time=True),
+    ]
+)
+RATE_SCHEMA = Schema(
+    [
+        string_col("currency"),
+        float_col("rate"),
+        timestamp_col("ratetime", event_time=True),
+    ]
+)
+
+SQL = """
+SELECT O.id, O.amount, R.rate
+FROM Orders O
+JOIN Rates FOR SYSTEM_TIME AS OF O.ordertime R
+  ON O.currency = R.currency
+"""
+
+
+def build_engine(orders, rates, order_wm=None, rate_wm=None):
+    order_tvr = TimeVaryingRelation(ORDER_SCHEMA)
+    for ptime, row in orders:
+        order_tvr.insert(ptime, row)
+    if order_wm:
+        order_tvr.advance_watermark(*order_wm)
+    rate_tvr = TimeVaryingRelation(RATE_SCHEMA)
+    for ptime, row in rates:
+        rate_tvr.insert(ptime, row)
+    if rate_wm:
+        rate_tvr.advance_watermark(*rate_wm)
+    engine = StreamEngine()
+    engine.register_stream("Orders", order_tvr)
+    engine.register_stream("Rates", rate_tvr)
+    return engine
+
+
+class TestSemantics:
+    def test_order_enriched_with_rate_at_order_time(self):
+        engine = build_engine(
+            orders=[(100, (1, "EUR", 10, t("9:30")))],
+            rates=[
+                (10, ("EUR", 1.10, t("9:00"))),
+                (20, ("EUR", 1.20, t("9:45"))),  # after the order
+            ],
+            order_wm=(200, t("10:00")),
+            rate_wm=(150, t("10:00")),
+        )
+        rel = engine.query(SQL).table()
+        assert rel.tuples == [(1, 10, 1.10)]
+
+    def test_emission_waits_for_version_completeness(self):
+        # the order arrives before the rate that applies to it
+        engine = build_engine(
+            orders=[(100, (1, "EUR", 10, t("9:30")))],
+            rates=[(150, ("EUR", 1.15, t("9:20")))],  # late version
+            order_wm=(300, t("10:00")),
+            rate_wm=(200, t("10:00")),
+        )
+        query = engine.query(SQL)
+        # before the rate watermark passes the order time: nothing
+        assert query.table(at=120).tuples == []
+        # once the rate side is complete up to 9:30, the (late) 9:20
+        # version correctly applies
+        assert query.table(at=250).tuples == [(1, 10, 1.15)]
+
+    def test_no_version_yet_drops_row(self):
+        engine = build_engine(
+            orders=[(100, (1, "EUR", 10, t("8:00")))],
+            rates=[(10, ("EUR", 1.10, t("9:00")))],  # first version later
+            order_wm=(300, t("10:00")),
+            rate_wm=(200, t("10:00")),
+        )
+        assert engine.query(SQL).table().tuples == []
+
+    def test_versions_are_per_key(self):
+        engine = build_engine(
+            orders=[
+                (100, (1, "EUR", 10, t("9:30"))),
+                (101, (2, "GBP", 20, t("9:30"))),
+            ],
+            rates=[
+                (10, ("EUR", 1.10, t("9:00"))),
+                (11, ("GBP", 0.85, t("9:00"))),
+            ],
+            order_wm=(300, t("10:00")),
+            rate_wm=(200, t("10:00")),
+        )
+        rel = engine.query(SQL).table().sorted(["id"])
+        assert rel.tuples == [(1, 10, 1.10), (2, 20, 0.85)]
+
+    def test_successive_versions(self):
+        rates = [
+            (10, ("EUR", 1.0, t("9:00"))),
+            (11, ("EUR", 2.0, t("9:10"))),
+            (12, ("EUR", 3.0, t("9:20"))),
+        ]
+        orders = [
+            (100, (1, "EUR", 1, t("9:05"))),
+            (101, (2, "EUR", 1, t("9:10"))),  # boundary: the 9:10 version
+            (102, (3, "EUR", 1, t("9:25"))),
+        ]
+        engine = build_engine(
+            orders, rates, order_wm=(300, t("10:00")), rate_wm=(200, t("10:00"))
+        )
+        rel = engine.query(SQL).table().sorted(["id"])
+        assert [r[2] for r in rel.tuples] == [1.0, 2.0, 3.0]
+
+    def test_output_rows_are_insert_only(self):
+        engine = build_engine(
+            orders=[(100, (1, "EUR", 10, t("9:30")))],
+            rates=[(10, ("EUR", 1.10, t("9:00")))],
+            order_wm=(300, t("10:00")),
+            rate_wm=(200, t("10:00")),
+        )
+        out = engine.query(SQL + " EMIT STREAM").stream()
+        assert all(not c.undo for c in out)
+
+    def test_version_state_pruned(self):
+        rates = [(10 + i, ("EUR", float(i), t("9:00") + i * 1000)) for i in range(50)]
+        orders = [(200, (1, "EUR", 1, t("9:00") + 49_000))]
+        engine = build_engine(
+            orders, rates, order_wm=(300, t("10:00")), rate_wm=(250, t("10:00"))
+        )
+        dataflow = engine.query(SQL).dataflow()
+        dataflow.run()
+        # after both watermarks hit 10:00, one version per key remains
+        assert dataflow.total_state_rows() <= 2
+
+
+class TestPendingRowsHoldPruning:
+    def test_buffered_row_keeps_its_version_alive(self):
+        """A row waiting on the right watermark must still find the
+        version valid at its (old) timestamp, even after the left
+        watermark has moved far past it."""
+        orders = [(100, (1, "EUR", 10, t("9:05")))]
+        rates = [
+            (10, ("EUR", 1.05, t("9:00"))),
+            (11, ("EUR", 1.50, t("9:30"))),
+        ]
+        order_tvr = TimeVaryingRelation(ORDER_SCHEMA)
+        for ptime, row in orders:
+            order_tvr.insert(ptime, row)
+        # the left watermark races ahead while the right side lags
+        order_tvr.advance_watermark(200, t("11:00"))
+        rate_tvr = TimeVaryingRelation(RATE_SCHEMA)
+        for ptime, row in rates:
+            rate_tvr.insert(ptime, row)
+        rate_tvr.advance_watermark(150, t("9:01"))  # order still pending
+        rate_tvr.advance_watermark(300, t("10:00"))  # now released
+        engine = StreamEngine()
+        engine.register_stream("Orders", order_tvr)
+        engine.register_stream("Rates", rate_tvr)
+        assert engine.query(SQL).table().tuples == [(1, 10, 1.05)]
+
+
+class TestValidation:
+    def test_as_of_must_reference_left_column(self):
+        engine = build_engine([], [])
+        with pytest.raises(ValidationError, match="left"):
+            engine.query(
+                "SELECT O.id FROM Orders O JOIN Rates "
+                "FOR SYSTEM_TIME AS OF R.ratetime R ON O.currency = R.currency"
+            )
+
+    def test_requires_event_time_probe_column(self):
+        engine = build_engine([], [])
+        from repro.core.errors import PlanError
+
+        with pytest.raises((ValidationError, PlanError), match="event time"):
+            engine.query(
+                "SELECT O.id FROM Orders O JOIN Rates "
+                "FOR SYSTEM_TIME AS OF O.id R ON O.currency = R.currency"
+            )
+
+    def test_requires_equi_condition(self):
+        engine = build_engine([], [])
+        with pytest.raises(ValidationError, match="equality"):
+            engine.query(
+                "SELECT O.id FROM Orders O JOIN Rates "
+                "FOR SYSTEM_TIME AS OF O.ordertime R ON O.amount > R.rate"
+            )
+
+    def test_version_table_must_be_append_only(self):
+        order_tvr = TimeVaryingRelation(ORDER_SCHEMA)
+        rate_tvr = TimeVaryingRelation(RATE_SCHEMA)
+        rate_tvr.insert(10, ("EUR", 1.0, t("9:00")))
+        rate_tvr.retract(20, ("EUR", 1.0, t("9:00")))
+        engine = StreamEngine()
+        engine.register_stream("Orders", order_tvr)
+        engine.register_stream("Rates", rate_tvr)
+        with pytest.raises(ExecutionError, match="append-only"):
+            engine.query(SQL).table()

@@ -1,0 +1,107 @@
+"""Unit tests for repro.core.times."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.times import (
+    MAX_TIMESTAMP,
+    MIN_TIMESTAMP,
+    MILLIS_PER_HOUR,
+    MILLIS_PER_MINUTE,
+    align_to_window,
+    days,
+    fmt_duration,
+    fmt_time,
+    hours,
+    millis,
+    minutes,
+    seconds,
+    t,
+)
+
+
+class TestParse:
+    def test_basic_clock(self):
+        assert t("8:07") == 8 * MILLIS_PER_HOUR + 7 * MILLIS_PER_MINUTE
+
+    def test_midnight(self):
+        assert t("0:00") == 0
+
+    def test_with_seconds(self):
+        assert t("8:07:30") == t("8:07") + 30_000
+
+    def test_with_millis(self):
+        assert t("8:07:30.250") == t("8:07") + 30_250
+
+    def test_fraction_padding(self):
+        assert t("0:00:00.5") == 500
+
+    @pytest.mark.parametrize("bad", ["8", "8:60", "x:00", "8:07:61", ""])
+    def test_bad_input(self, bad):
+        with pytest.raises(ValueError):
+            t(bad)
+
+
+class TestFormat:
+    def test_round_trip_minutes(self):
+        assert fmt_time(t("8:07")) == "8:07"
+
+    def test_seconds_shown_when_present(self):
+        assert fmt_time(t("8:07:30")) == "8:07:30"
+
+    def test_millis_shown_when_present(self):
+        assert fmt_time(t("8:07:30.250")) == "8:07:30.250"
+
+    def test_sentinels(self):
+        assert fmt_time(MIN_TIMESTAMP) == "-inf"
+        assert fmt_time(MAX_TIMESTAMP) == "+inf"
+
+    def test_negative(self):
+        assert fmt_time(-t("1:30")) == "-1:30"
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_round_trip_any(self, ts):
+        assert t(fmt_time(ts).replace("-", "")) == ts
+
+
+class TestDurations:
+    def test_constructors_compose(self):
+        assert minutes(10) == 10 * MILLIS_PER_MINUTE
+        assert hours(1) == minutes(60) == seconds(3600) == millis(3_600_000)
+        assert days(1) == hours(24)
+
+    def test_fractional(self):
+        assert minutes(0.5) == seconds(30)
+
+    def test_fmt_duration(self):
+        assert fmt_duration(minutes(10)) == "10m"
+        assert fmt_duration(hours(1) + minutes(30)) == "1h30m"
+        assert fmt_duration(250) == "250ms"
+        assert fmt_duration(0) == "0ms"
+        assert fmt_duration(-minutes(5)) == "-5m"
+
+
+class TestAlign:
+    def test_basic(self):
+        assert align_to_window(t("8:07"), minutes(10)) == t("8:00")
+        assert align_to_window(t("8:10"), minutes(10)) == t("8:10")
+
+    def test_offset(self):
+        assert align_to_window(t("8:07"), minutes(10), minutes(5)) == t("8:05")
+
+    def test_negative_timestamp(self):
+        assert align_to_window(-1, minutes(10)) == -minutes(10)
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            align_to_window(0, 0)
+
+    @given(
+        st.integers(min_value=-(10**12), max_value=10**12),
+        st.integers(min_value=1, max_value=10**7),
+    )
+    def test_window_contains_timestamp(self, ts, size):
+        start = align_to_window(ts, size)
+        assert start <= ts < start + size
+        assert start % size == 0

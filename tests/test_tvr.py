@@ -1,0 +1,100 @@
+"""Tests for time-varying relations: event ordering, duality, rendering."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ExecutionError
+from repro.core.schema import Schema, int_col, string_col, timestamp_col
+from repro.core.times import MAX_TIMESTAMP, t
+from repro.core.tvr import TimeVaryingRelation, ins, rm, wm
+
+
+@pytest.fixture
+def schema():
+    return Schema([timestamp_col("ts", event_time=True), int_col("v")])
+
+
+class TestConstruction:
+    def test_events_must_be_ordered(self, schema):
+        tvr = TimeVaryingRelation(schema)
+        tvr.insert(10, (1, 1))
+        with pytest.raises(ExecutionError):
+            tvr.insert(9, (2, 2))
+
+    def test_arity_checked(self, schema):
+        tvr = TimeVaryingRelation(schema)
+        with pytest.raises(ExecutionError):
+            tvr.insert(1, (1, 2, 3))
+
+    def test_from_table_is_bounded(self, schema):
+        tvr = TimeVaryingRelation.from_table(schema, [(1, 10), (2, 20)])
+        assert tvr.is_bounded
+        assert len(tvr.snapshot()) == 2
+
+    def test_stream_not_bounded_until_max(self, schema):
+        tvr = TimeVaryingRelation(schema)
+        tvr.advance_watermark(5, 3)
+        assert not tvr.is_bounded
+        tvr.advance_watermark(6, MAX_TIMESTAMP)
+        assert tvr.is_bounded
+
+
+class TestRendering:
+    def test_snapshot_at_times(self, schema):
+        tvr = TimeVaryingRelation(schema)
+        tvr.insert(10, (1, 100))
+        tvr.insert(20, (2, 200))
+        tvr.retract(30, (1, 100))
+        assert len(tvr.snapshot(10)) == 1
+        assert len(tvr.snapshot(20)) == 2
+        assert len(tvr.snapshot(30)) == 1
+        assert tvr.snapshot(30).tuples == [(2, 200)]
+
+    def test_watermark_at(self, schema):
+        tvr = TimeVaryingRelation(schema)
+        tvr.advance_watermark(10, 5)
+        tvr.advance_watermark(20, 15)
+        assert tvr.watermark_at(10) == 5
+        assert tvr.watermark_at(25) == 15
+
+    def test_events_roundtrip(self, schema):
+        events = [wm(5, 2), ins(10, (1, 1)), rm(12, (1, 1))]
+        tvr = TimeVaryingRelation(schema, events)
+        assert tvr.events() == events
+        assert tvr.last_ptime == 12
+
+
+class TestDuality:
+    """Stream and table are two renderings of one TVR (Section 3.1)."""
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 50), st.integers(0, 5)), max_size=30
+        )
+    )
+    def test_snapshot_equals_changelog_replay(self, raw):
+        schema = Schema([int_col("k"), int_col("p")])
+        tvr = TimeVaryingRelation(schema)
+        live = []
+        ptime = 0
+        for key, _ in raw:
+            ptime += 1
+            # retract an existing row occasionally, else insert
+            if live and key % 3 == 0:
+                row = live.pop()
+                tvr.retract(ptime, row)
+            else:
+                row = (key, ptime)
+                live.append(row)
+                tvr.insert(ptime, row)
+        # replaying the changelog (stream rendering) into a bag gives the
+        # same relation as the snapshot (table rendering)
+        from collections import Counter
+
+        bag = Counter()
+        for change in tvr.changelog:
+            bag[change.values] += change.delta
+        snapshot = Counter(tvr.snapshot().tuples)
+        assert +bag == +snapshot
+        assert sorted(live) == sorted(bag.elements())

@@ -1,0 +1,85 @@
+"""Tests for views: named queries expanded pointwise over TVRs (§6.1)."""
+
+import pytest
+
+from repro import StreamEngine
+from repro.core.errors import ValidationError
+from repro.core.times import t
+from repro.nexmark import paper_bid_stream
+
+
+@pytest.fixture
+def engine():
+    eng = StreamEngine()
+    eng.register_stream("Bid", paper_bid_stream())
+    eng.register_view(
+        "WindowedBids",
+        "SELECT TB.wstart, TB.wend, TB.price, TB.item FROM Tumble("
+        "data => TABLE(Bid), timecol => DESCRIPTOR(bidtime), "
+        "dur => INTERVAL '10' MINUTES) TB",
+    )
+    eng.register_view(
+        "TopBids",
+        "SELECT WB.wend, MAX(WB.price) AS maxPrice FROM WindowedBids WB "
+        "GROUP BY WB.wend",
+    )
+    return eng
+
+
+class TestViews:
+    def test_view_queryable_as_table(self, engine):
+        rel = engine.query("SELECT * FROM TopBids").table().sorted(["wend"])
+        assert rel.tuples == [(t("8:10"), 5), (t("8:20"), 6)]
+
+    def test_views_compose(self, engine):
+        # TopBids is defined over the WindowedBids view
+        rel = engine.query(
+            "SELECT wend FROM TopBids WHERE maxPrice > 5"
+        ).table()
+        assert rel.tuples == [(t("8:20"),)]
+
+    def test_view_is_a_tvr_emit_applies(self, engine):
+        """The querying statement controls materialization, not the view."""
+        out = engine.query(
+            "SELECT * FROM TopBids EMIT STREAM AFTER WATERMARK"
+        ).stream(until="8:21")
+        assert [(c.values[1], c.ptime) for c in out] == [
+            (5, t("8:16")),
+            (6, t("8:21")),
+        ]
+
+    def test_view_joins_with_base_relation(self, engine):
+        rel = engine.query(
+            "SELECT B.item FROM Bid B, TopBids T "
+            "WHERE B.price = T.maxPrice"
+        ).table()
+        assert sorted(r[0] for r in rel.tuples) == ["D", "F"]
+
+    def test_point_in_time_snapshots(self, engine):
+        rel = engine.query("SELECT * FROM TopBids").table(at="8:13")
+        assert sorted(rel.tuples) == [(t("8:10"), 4), (t("8:20"), 3)]
+
+    def test_view_with_emit_rejected(self, engine):
+        with pytest.raises(ValidationError, match="EMIT"):
+            engine.register_view("Bad", "SELECT * FROM Bid EMIT STREAM")
+
+    def test_circular_views_rejected(self, engine):
+        engine.register_view("A", "SELECT * FROM B")
+        engine.register_view("B", "SELECT * FROM A")
+        with pytest.raises(ValidationError, match="circular"):
+            engine.query("SELECT * FROM A")
+
+    def test_view_shadows_and_is_shadowed(self, engine):
+        engine.register_view("Bid2", "SELECT price FROM Bid")
+        assert len(engine.query("SELECT * FROM Bid2").table().schema) == 1
+        # re-registering a base table replaces the view
+        from repro.core.schema import Schema, int_col
+
+        engine.register_table("Bid2", Schema([int_col("x")]), [(1,)])
+        rel = engine.query("SELECT * FROM Bid2").table()
+        assert rel.tuples == [(1,)]
+
+    def test_unknown_name_message_lists_views(self, engine):
+        with pytest.raises(ValidationError) as err:
+            engine.query("SELECT * FROM Nope")
+        assert "topbids" in str(err.value).lower()
