@@ -38,6 +38,59 @@ def test_q7_scaling(benchmark, num_events):
     assert dataflow.result().peak_state_rows < 2_000
 
 
+# A key-partitionable NEXMark aggregation: per-auction bid counts over
+# tumbling windows.  The partition analyzer routes it by Bid.auction, so
+# it runs on the sharded runtime at parallelism > 1.
+SHARDED_SQL = """
+    SELECT TB.auction, TB.wend, COUNT(*) AS bids
+    FROM Tumble(
+      data    => TABLE(Bid),
+      timecol => DESCRIPTOR(bidtime),
+      dur     => INTERVAL '10' SECONDS) TB
+    GROUP BY TB.auction, TB.wend
+"""
+
+SHARD_SWEEP = [1, 2, 4, 8]
+
+
+def _run_sharded(streams, shards, backend="threads"):
+    engine = StreamEngine(parallelism=shards, backend=backend)
+    streams.register_on(engine)
+    query = engine.query(SHARDED_SQL)
+    if shards == 1:
+        dataflow = query.dataflow()
+        return dataflow.run()
+    sharded = query.sharded_dataflow()
+    return sharded.run()
+
+
+@pytest.mark.parametrize("shards", SHARD_SWEEP)
+def test_shard_sweep(benchmark, shards):
+    """Shard sweep over NEXMark: N ∈ {1, 2, 4, 8} (satellite of ISSUE 1)."""
+    streams = generate(NexmarkConfig(num_events=4_000, seed=17))
+    result = benchmark(lambda: _run_sharded(streams, shards))
+    assert result.last_ptime > 0
+
+
+def test_shard_sweep_rows_per_sec():
+    """One-shot sweep report: rows/sec per shard count, plus an equality
+    check that every width produced the identical changelog."""
+    num_events = 4_000
+    streams = generate(NexmarkConfig(num_events=num_events, seed=17))
+    baseline = None
+    print(f"\nshard sweep over NEXMark ({num_events} events, {SHARDED_SQL.split()[1]}...):")
+    for shards in SHARD_SWEEP:
+        t0 = time.perf_counter()
+        result = _run_sharded(streams, shards)
+        elapsed = time.perf_counter() - t0
+        rate = num_events / elapsed
+        print(f"  N={shards}: {elapsed * 1000:7.1f} ms  {rate:10.0f} rows/sec")
+        if baseline is None:
+            baseline = result.changes
+        else:
+            assert result.changes == baseline  # identical at every width
+
+
 def test_per_event_cost_is_flat():
     """Quadruple the events → roughly quadruple the time (no blowup)."""
     sql = q7_highest_bid(seconds(10))

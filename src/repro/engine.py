@@ -34,7 +34,10 @@ from .exec.materialize import (
 )
 from .plan.logical import SortNode
 from .plan.optimizer import optimize
+from .plan.partition import PartitionDecision, analyze_partitioning
 from .plan.planner import Catalog, Planner, QueryPlan
+from .runtime.backends import BACKENDS
+from .runtime.sharded import ShardedDataflow
 from .sql.functions import FunctionRegistry, default_registry
 
 __all__ = ["StreamEngine", "PreparedQuery"]
@@ -48,9 +51,26 @@ def _as_ptime(value: Timestamp | str) -> Timestamp:
 
 
 class StreamEngine:
-    """A streaming SQL engine over time-varying relations."""
+    """A streaming SQL engine over time-varying relations.
 
-    def __init__(self) -> None:
+    ``parallelism`` selects the execution runtime: ``1`` (the default)
+    runs every query on the serial :class:`~repro.exec.executor.Dataflow`;
+    ``N > 1`` runs key-partitionable queries on ``N`` hash-routed shards
+    (:mod:`repro.runtime`) with output guaranteed identical to the
+    serial engine, falling back to serial for queries the partition
+    analyzer rejects.  ``backend`` picks the shard worker pool:
+    ``"threads"`` (default), ``"processes"``, or ``"sync"``.
+    """
+
+    def __init__(self, parallelism: int = 1, backend: str = "threads") -> None:
+        if parallelism < 1:
+            raise ValidationError("parallelism must be at least 1")
+        if backend not in BACKENDS:
+            raise ValidationError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        self.parallelism = parallelism
+        self.backend = backend
         self._catalog = Catalog()
         self._registry = default_registry()
         self._sources: dict[str, TimeVaryingRelation] = {}
@@ -146,6 +166,7 @@ class PreparedQuery:
         self.allowed_lateness = allowed_lateness
         self._cached: Optional[RunResult] = None
         self._cached_fingerprint: Optional[tuple] = None
+        self._decision: Optional[PartitionDecision] = None
 
     # -- metadata ------------------------------------------------------------
 
@@ -158,7 +179,24 @@ class PreparedQuery:
         return self.plan.emit
 
     def explain(self, verbose: bool = False) -> str:
-        return self.plan.explain(verbose=verbose)
+        text = self.plan.explain(verbose=verbose)
+        if self._engine.parallelism > 1:
+            decision = self.partition_decision()
+            if decision.partitionable:
+                note = (
+                    f"Runtime: sharded({self._engine.parallelism}) by "
+                    f"{decision.spec.description} [{self._engine.backend}]"
+                )
+            else:
+                note = f"Runtime: serial — {decision.reason}"
+            text = f"{text.rstrip()}\n{note}"
+        return text
+
+    def partition_decision(self) -> PartitionDecision:
+        """The partition analyzer's verdict for this plan (cached)."""
+        if self._decision is None:
+            self._decision = analyze_partitioning(self.plan)
+        return self._decision
 
     def stats(self) -> dict:
         """Execution statistics for the current sources.
@@ -193,16 +231,53 @@ class PreparedQuery:
             for name, tvr in sorted(self._engine._sources.items())
         )
         if self._cached is None or fingerprint != self._cached_fingerprint:
-            dataflow = Dataflow(
-                self.plan, self._engine._sources, self.allowed_lateness
-            )
-            self._cached = dataflow.run()
+            self._cached = self._execute()
             self._cached_fingerprint = fingerprint
         return self._cached
 
+    def _execute(self) -> RunResult:
+        if self._engine.parallelism > 1:
+            decision = self.partition_decision()
+            if decision.partitionable:
+                return ShardedDataflow(
+                    self.plan,
+                    self._engine._sources,
+                    decision.spec,
+                    self._engine.parallelism,
+                    self.allowed_lateness,
+                    backend=self._engine.backend,
+                ).run()
+        dataflow = Dataflow(
+            self.plan, self._engine._sources, self.allowed_lateness
+        )
+        return dataflow.run()
+
     def dataflow(self) -> Dataflow:
-        """A fresh, un-run dataflow (for incremental feeding / benchmarks)."""
+        """A fresh, un-run serial dataflow (for incremental feeding / benchmarks)."""
         return Dataflow(self.plan, self._engine._sources, self.allowed_lateness)
+
+    def sharded_dataflow(
+        self, shards: Optional[int] = None, backend: Optional[str] = None
+    ) -> ShardedDataflow:
+        """A fresh, un-run sharded dataflow for this query.
+
+        Raises :class:`~repro.core.errors.ValidationError` when the
+        partition analyzer rejects the plan — check
+        :meth:`partition_decision` first to branch gracefully.
+        """
+        decision = self.partition_decision()
+        if not decision.partitionable:
+            raise ValidationError(
+                f"query is not key-partitionable: {decision.reason}"
+            )
+        return ShardedDataflow(
+            self.plan,
+            self._engine._sources,
+            decision.spec,
+            shards if shards is not None else self._engine.parallelism,
+            self.allowed_lateness,
+            backend=backend if backend is not None else self._engine.backend,
+        )
 
     # -- renderings --------------------------------------------------------------
 

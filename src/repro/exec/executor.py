@@ -36,7 +36,29 @@ from .operators.join import JoinOperator
 from .operators.session import SessionOperator
 from .operators.stateless import ScanOperator
 
-__all__ = ["Dataflow", "RunResult"]
+__all__ = ["Dataflow", "RunResult", "merge_source_events"]
+
+
+def merge_source_events(
+    sources: dict[str, TimeVaryingRelation],
+    until: Optional[Timestamp] = None,
+) -> list[tuple[StreamEvent, str]]:
+    """All source events merged in deterministic processing-time order.
+
+    Events are ordered by (ptime, source registration order, arrival
+    order) — the exact replay order the serial executor uses.  The
+    sharded runtime routes the *same* sequence through its shards, which
+    is what lets its merged output reproduce the serial changelog
+    byte for byte.
+    """
+    tagged: list[tuple[Timestamp, int, int, StreamEvent, str]] = []
+    for source_idx, (name, tvr) in enumerate(sources.items()):
+        for event_idx, event in enumerate(tvr.events()):
+            if until is not None and event.ptime > until:
+                break
+            tagged.append((event.ptime, source_idx, event_idx, event, name))
+    tagged.sort(key=lambda item: (item[0], item[1], item[2]))
+    return [(event, name) for _, _, _, event, name in tagged]
 
 
 @dataclass
@@ -103,6 +125,25 @@ class Dataflow:
     @property
     def operators(self) -> list[Operator]:
         return list(self._compiled.operators)
+
+    @property
+    def output_size(self) -> int:
+        """Number of root changes produced so far (a resumable cursor)."""
+        return len(self._root_changes)
+
+    def output_slice(self, start: int) -> list[Change]:
+        """Root changes produced since cursor position ``start``.
+
+        Together with :attr:`output_size` this lets a driver attribute
+        output changes to the input event that caused them — the hook
+        the sharded runtime's deterministic merge stage is built on.
+        """
+        return self._root_changes[start:]
+
+    @property
+    def root_watermark(self) -> Timestamp:
+        """The current output watermark of the root operator."""
+        return self._root_wms.current
 
     def total_state_rows(self) -> int:
         """Rows currently retained across all operator state."""
@@ -268,15 +309,7 @@ class Dataflow:
     def _merged_events(
         self, until: Optional[Timestamp]
     ) -> list[tuple[StreamEvent, str]]:
-        """All source events merged in deterministic processing-time order."""
-        tagged: list[tuple[Timestamp, int, int, StreamEvent, str]] = []
-        for source_idx, (name, tvr) in enumerate(self._sources.items()):
-            for event_idx, event in enumerate(tvr.events()):
-                if until is not None and event.ptime > until:
-                    break
-                tagged.append((event.ptime, source_idx, event_idx, event, name))
-        tagged.sort(key=lambda item: (item[0], item[1], item[2]))
-        return [(event, name) for _, _, _, event, name in tagged]
+        return merge_source_events(self._sources, until)
 
     def _push_changes(self, op: Operator, port: int, changes: list[Change]) -> None:
         """Deliver changes into ``op`` and propagate its output upward."""

@@ -22,9 +22,15 @@ from .operators.session import SessionOperator
 from .operators.temporal import TemporalFilterOperator
 
 if TYPE_CHECKING:
+    from ..runtime.sharded import ShardedDataflow
     from .executor import Dataflow
 
-__all__ = ["OperatorState", "StateReport", "collect_state"]
+__all__ = [
+    "OperatorState",
+    "StateReport",
+    "collect_sharded_state",
+    "collect_state",
+]
 
 
 @dataclass(frozen=True)
@@ -99,3 +105,25 @@ def collect_state(dataflow: "Dataflow") -> StateReport:
             for op in dataflow.operators
         )
     )
+
+
+def collect_sharded_state(sharded: "ShardedDataflow") -> StateReport:
+    """Snapshot a sharded dataflow: per-operator counters summed over shards.
+
+    Operator names come from each operator class (not the per-shard
+    dynamic descriptions, which differ as each shard holds a different
+    key subset) and are suffixed with the shard count, so the report
+    still reads in plan order.
+    """
+    shard_ops = [shard.operators for shard in sharded.shards]
+    states = []
+    for ops in zip(*shard_ops):
+        states.append(
+            OperatorState(
+                name=f"{type(ops[0]).__name__} ×{sharded.shard_count} shards",
+                retained_rows=sum(op.state_size() for op in ops),
+                late_dropped=sum(_late_dropped(op) for op in ops),
+                expired_rows=sum(_expired(op) for op in ops),
+            )
+        )
+    return StateReport(tuple(states))

@@ -1,0 +1,20 @@
+"""Sharded parallel execution runtime.
+
+Sits between a planned query and the serial :class:`~repro.exec.executor.Dataflow`:
+the partition analyzer (:mod:`repro.plan.partition`) proves a query
+key-partitionable, :class:`ShardedDataflow` runs N independent shard
+dataflows with hash routing and broadcast watermarks, a
+:class:`WatermarkFrontier` publishes the minimum watermark across
+shards, and the deterministic merge stage reassembles the shard
+changelogs into the exact serial output.
+
+Guarantee: for any partitionable query, the sharded result — values,
+``ptime``, ``undo``, ``ver``, and ordering — is identical to the serial
+engine's (see ``docs/RUNTIME.md`` for the argument).
+"""
+
+from .backends import run_shards
+from .frontier import WatermarkFrontier
+from .sharded import ShardedDataflow
+
+__all__ = ["ShardedDataflow", "WatermarkFrontier", "run_shards"]

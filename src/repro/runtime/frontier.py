@@ -1,0 +1,87 @@
+"""The watermark frontier: shard-local watermarks merged on the minimum.
+
+Each shard runs a full copy of the dataflow and so produces its own
+root output watermark.  A downstream consumer — ``EMIT AFTER
+WATERMARK`` above all (Extensions 5–7) — may only treat an event-time
+boundary as complete once *every* shard has passed it, exactly the
+hold-back rule multi-input operators apply per input port (Section 5),
+lifted to the shard dimension.  :class:`WatermarkFrontier` tracks the
+per-shard values and publishes the merged minimum as a
+:class:`~repro.core.watermark.WatermarkTrack`, which becomes the
+``watermarks`` of the sharded :class:`~repro.exec.executor.RunResult`.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import WatermarkError
+from ..core.times import MIN_TIMESTAMP, Timestamp
+from ..core.watermark import WatermarkTrack
+
+__all__ = ["WatermarkFrontier"]
+
+
+class WatermarkFrontier:
+    """Per-shard watermark tracking with a published minimum."""
+
+    def __init__(self, shard_count: int):
+        if shard_count < 1:
+            raise WatermarkError("frontier needs at least one shard")
+        self._values: list[Timestamp] = [MIN_TIMESTAMP] * shard_count
+        self._merged = WatermarkTrack()
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._values)
+
+    @property
+    def merged(self) -> WatermarkTrack:
+        """The published (minimum) watermark as a step function."""
+        return self._merged
+
+    @property
+    def current(self) -> Timestamp:
+        """The current merged minimum across all shards."""
+        return min(self._values)
+
+    def shard_value(self, shard: int) -> Timestamp:
+        return self._values[shard]
+
+    def observe(self, shard: int, ptime: Timestamp, value: Timestamp) -> Timestamp | None:
+        """Record shard ``shard``'s watermark reaching ``value`` at ``ptime``.
+
+        Returns the newly published merged watermark if the minimum
+        advanced, else ``None``.  Per-shard watermarks must be
+        monotonic, mirroring the serial watermark contract.
+        """
+        if value < self._values[shard]:
+            raise WatermarkError(
+                f"shard {shard} watermark regressed from "
+                f"{self._values[shard]} to {value}"
+            )
+        self._values[shard] = value
+        merged = min(self._values)
+        if merged > self._merged.current:
+            self._merged.advance(ptime, merged)
+            return merged
+        return None
+
+    # -- checkpointing -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "values": list(self._values),
+            "merged_pairs": self._merged.as_pairs(),
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        if len(snapshot["values"]) != len(self._values):
+            raise WatermarkError(
+                "frontier snapshot has a different shard count"
+            )
+        self._values = list(snapshot["values"])
+        self._merged = WatermarkTrack()
+        for ptime, value in snapshot["merged_pairs"]:
+            self._merged.advance(ptime, value)
+
+    def __repr__(self) -> str:
+        return f"WatermarkFrontier({self._values}, merged={self._merged.current})"

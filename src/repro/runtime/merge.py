@@ -1,0 +1,69 @@
+"""The deterministic merge stage: shard changelogs → serial changelog.
+
+Every output change of a partitionable plan is *row-driven*: the
+analyzer excludes all operators that emit on watermark advances or
+processing-time timers, so each change is caused by exactly one input
+row event, which was routed to exactly one shard.  Tagging shard output
+slices with the triggering event's global sequence number therefore
+gives a total order — sorting by it interleaves the shard changelogs
+into precisely the serial executor's output, ``ptime`` ties included.
+
+Watermark events are broadcast, so the shards' watermark observations
+are replayed into the :class:`~repro.runtime.frontier.WatermarkFrontier`
+in (sequence, shard) order; the frontier's published minimum reproduces
+the serial root watermark track.
+"""
+
+from __future__ import annotations
+
+from ..core.changelog import Change
+from ..core.errors import ExecutionError
+from ..core.times import Timestamp
+from .frontier import WatermarkFrontier
+
+__all__ = ["merge_tagged_changes", "replay_frontier"]
+
+#: One shard's tagged output: (global event seq, changes it caused).
+TaggedSlice = tuple[int, list[Change]]
+
+#: One shard's watermark observation: (global event seq, ptime, value).
+WatermarkObservation = tuple[int, Timestamp, Timestamp]
+
+
+def merge_tagged_changes(
+    tagged: list[list[TaggedSlice]],
+) -> list[Change]:
+    """Interleave per-shard output slices by global event sequence."""
+    entries: list[tuple[int, list[Change]]] = []
+    claimed: dict[int, int] = {}
+    for shard, slices in enumerate(tagged):
+        for seq, changes in slices:
+            prior = claimed.get(seq)
+            if prior is not None:
+                raise ExecutionError(
+                    f"shards {prior} and {shard} both produced output for "
+                    f"event #{seq}; the plan is not cleanly partitioned"
+                )
+            claimed[seq] = shard
+            entries.append((seq, changes))
+    entries.sort(key=lambda item: item[0])
+    return [change for _, changes in entries for change in changes]
+
+
+def replay_frontier(
+    frontier: WatermarkFrontier,
+    observations: list[list[WatermarkObservation]],
+) -> None:
+    """Feed per-shard watermark observations into the frontier.
+
+    Observations are applied in (global sequence, shard index) order —
+    the same order the synchronous path produces them — so the merged
+    track's (ptime, value) steps are identical either way.
+    """
+    by_seq: dict[int, list[tuple[int, Timestamp, Timestamp]]] = {}
+    for shard, obs in enumerate(observations):
+        for seq, ptime, value in obs:
+            by_seq.setdefault(seq, []).append((shard, ptime, value))
+    for seq in sorted(by_seq):
+        for shard, ptime, value in sorted(by_seq[seq]):
+            frontier.observe(shard, ptime, value)

@@ -1,0 +1,276 @@
+"""``ShardedDataflow``: N shard dataflows behind the serial ``Dataflow`` API.
+
+Each shard is a complete, independent :class:`~repro.exec.executor.Dataflow`
+compiled from the same plan.  Row events are hash-routed to one shard by
+the partition key; watermark events are broadcast so every shard's
+completeness view (late-row drops, state expiry) is exactly the serial
+one.  Because the analyzer admits only row-driven operators — nothing
+that emits on watermark advances or timers — each output change belongs
+to exactly one routed row event, and interleaving the shard output
+slices in global event order reproduces the serial changelog byte for
+byte (values, ``ptime``, ``undo``, ``ver``, ordering).
+
+Two driving modes share that merge invariant:
+
+* :meth:`process` — the incremental API: route, run, splice inline.
+* :meth:`run` — the batch API: split the merged source sequence into
+  per-shard subsequences, run them on a worker-pool backend
+  (:mod:`repro.runtime.backends`), then merge the tagged output slices
+  and replay the watermark observations into the frontier.
+
+Checkpoints nest the shard checkpoints plus the frontier and merged
+changelog, so a sharded run restores onto a fresh ``ShardedDataflow``
+of the same plan and shard count.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Optional
+
+from ..core.changelog import Change
+from ..core.errors import ExecutionError
+from ..core.times import MIN_TIMESTAMP, Timestamp
+from ..core.tvr import RowEvent, StreamEvent, TimeVaryingRelation, WatermarkEvent
+from ..exec.executor import Dataflow, RunResult, merge_source_events
+from ..plan.partition import PartitionSpec
+from .backends import run_shards
+from .frontier import WatermarkFrontier
+from .merge import merge_tagged_changes, replay_frontier
+from .routing import ShardEvent, partition_events
+
+__all__ = ["ShardedDataflow"]
+
+
+class ShardedDataflow:
+    """A keyed-parallel dataflow with deterministic, serial-identical output."""
+
+    def __init__(
+        self,
+        plan,
+        sources: dict[str, TimeVaryingRelation],
+        spec: PartitionSpec,
+        shards: int,
+        allowed_lateness: int = 0,
+        backend: str = "threads",
+    ):
+        if shards < 1:
+            raise ExecutionError("a sharded dataflow needs at least one shard")
+        self.plan = plan
+        self.spec = spec
+        self.backend = backend
+        self._sources = {name.lower(): tvr for name, tvr in sources.items()}
+        self._shards = [
+            Dataflow(plan, sources, allowed_lateness) for _ in range(shards)
+        ]
+        self._frontier = WatermarkFrontier(shards)
+        self._merged_changes: list[Change] = []
+        self._last_ptime: Timestamp = MIN_TIMESTAMP
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    @property
+    def shards(self) -> list[Dataflow]:
+        """The underlying shard dataflows (read-only use, e.g. state reports)."""
+        return list(self._shards)
+
+    @property
+    def frontier(self) -> WatermarkFrontier:
+        return self._frontier
+
+    def total_state_rows(self) -> int:
+        """Rows currently retained across all shards' operator state."""
+        return sum(shard.total_state_rows() for shard in self._shards)
+
+    def state_report(self):
+        """Per-operator state breakdown, summed across shards."""
+        from ..exec.state import collect_sharded_state
+
+        return collect_sharded_state(self)
+
+    # -- incremental API ---------------------------------------------------------
+
+    def process(self, event: StreamEvent, source: str) -> None:
+        """Route one source event and splice its output inline.
+
+        Mirrors ``Dataflow.process``: events must arrive in
+        processing-time order, and the merged changelog grows by exactly
+        the changes the serial executor would have appended.
+        """
+        if event.ptime < self._last_ptime:
+            raise ExecutionError("events must be fed in processing-time order")
+        self._last_ptime = max(self._last_ptime, event.ptime)
+        if isinstance(event, RowEvent):
+            owner = self.spec.shard_of(
+                source, event.change.values, len(self._shards)
+            )
+            targets = range(len(self._shards)) if owner is None else (owner,)
+            for index in targets:
+                shard = self._shards[index]
+                before = shard.output_size
+                shard.process(event, source)
+                produced = shard.output_slice(before)
+                if produced and owner is None:
+                    raise ExecutionError(
+                        f"broadcast row event for {source!r} produced output "
+                        f"in shard {index}; the plan is not cleanly partitioned"
+                    )
+                self._merged_changes.extend(produced)
+        elif isinstance(event, WatermarkEvent):
+            for index, shard in enumerate(self._shards):
+                before = shard.output_size
+                shard.process(event, source)
+                if shard.output_slice(before):
+                    raise ExecutionError(
+                        "watermark advance produced output in shard "
+                        f"{index}; the partition analyzer admitted a "
+                        "watermark-triggered operator it should not have"
+                    )
+            for index, shard in enumerate(self._shards):
+                self._frontier.observe(index, event.ptime, shard.root_watermark)
+        else:  # pragma: no cover — the event algebra is closed
+            raise ExecutionError(f"unknown stream event {event!r}")
+
+    def finish(self, until: Optional[Timestamp] = None) -> RunResult:
+        """Drain shard timers and return the result.
+
+        Partitionable plans schedule no processing-time timers, so the
+        drain must be silent; any output here would have no routed row
+        event to order by, and the merge invariant would be lost.
+        """
+        for index, shard in enumerate(self._shards):
+            before = shard.output_size
+            shard.finish(until)
+            if shard.output_slice(before):
+                raise ExecutionError(
+                    f"timer drain produced output in shard {index}; the "
+                    "partition analyzer admitted a timer-driven operator "
+                    "it should not have"
+                )
+        return self.result()
+
+    # -- batch API ---------------------------------------------------------------
+
+    def run(self, until: Optional[Timestamp] = None) -> RunResult:
+        """Replay all source events (up to ``until``) on the worker pool."""
+        events = merge_source_events(self._sources, until)
+        if self.backend == "sync":
+            for event, source in events:
+                self.process(event, source)
+            return self.finish(until)
+        self._run_batch(events, until)
+        return self.result()
+
+    def _run_batch(
+        self, events: list[tuple[StreamEvent, str]], until: Optional[Timestamp]
+    ) -> None:
+        tasks = partition_events(events, self.spec, len(self._shards))
+        transfer_state = self.backend == "processes"
+
+        def make_worker(index: int):
+            shard = self._shards[index]
+            shard_tasks = tasks[index]
+
+            def worker():
+                slices, observations = _drive_shard(shard, shard_tasks, until)
+                state = shard.checkpoint() if transfer_state else None
+                return slices, observations, state
+
+            return worker
+
+        outcomes = run_shards(
+            [make_worker(i) for i in range(len(self._shards))], self.backend
+        )
+        if transfer_state:
+            # Fork-based workers mutated copies; pull each shard's final
+            # state back via its checkpoint bytes.
+            for shard, (_, _, state) in zip(self._shards, outcomes):
+                if state is not None:
+                    shard.restore(state)
+        self._merged_changes.extend(
+            merge_tagged_changes([slices for slices, _, _ in outcomes])
+        )
+        replay_frontier(
+            self._frontier, [observations for _, observations, _ in outcomes]
+        )
+        for event, _ in events:
+            if event.ptime > self._last_ptime:
+                self._last_ptime = event.ptime
+
+    # -- results -----------------------------------------------------------------
+
+    def result(self) -> RunResult:
+        """The merged result accumulated so far."""
+        shard_results = [shard.result() for shard in self._shards]
+        return RunResult(
+            schema=self.plan.schema,
+            changes=list(self._merged_changes),
+            watermarks=self._frontier.merged,
+            last_ptime=max(
+                [self._last_ptime] + [r.last_ptime for r in shard_results]
+            ),
+            late_dropped=sum(r.late_dropped for r in shard_results),
+            expired_rows=sum(r.expired_rows for r in shard_results),
+            peak_state_rows=sum(r.peak_state_rows for r in shard_results),
+        )
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def checkpoint(self) -> bytes:
+        """A consistent snapshot of every shard plus the merge state."""
+        payload = {
+            "shard_count": len(self._shards),
+            "shards": [shard.checkpoint() for shard in self._shards],
+            "frontier": self._frontier.snapshot(),
+            "merged_changes": list(self._merged_changes),
+            "last_ptime": self._last_ptime,
+        }
+        return pickle.dumps(payload)
+
+    def restore(self, checkpoint: bytes) -> None:
+        """Restore a checkpoint from a sharded run of the same plan and width."""
+        payload = pickle.loads(checkpoint)
+        if payload["shard_count"] != len(self._shards):
+            raise ExecutionError(
+                f"checkpoint has {payload['shard_count']} shards, this "
+                f"dataflow has {len(self._shards)}"
+            )
+        for shard, blob in zip(self._shards, payload["shards"]):
+            shard.restore(blob)
+        self._frontier.restore(payload["frontier"])
+        self._merged_changes = list(payload["merged_changes"])
+        self._last_ptime = payload["last_ptime"]
+
+
+def _drive_shard(
+    shard: Dataflow,
+    tasks: list[ShardEvent],
+    until: Optional[Timestamp],
+) -> tuple[list[tuple[int, list[Change]]], list[tuple[int, Timestamp, Timestamp]]]:
+    """Run one shard's subsequence, tagging outputs by global sequence."""
+    slices: list[tuple[int, list[Change]]] = []
+    observations: list[tuple[int, Timestamp, Timestamp]] = []
+    for seq, event, source in tasks:
+        before = shard.output_size
+        shard.process(event, source)
+        produced = shard.output_slice(before)
+        if produced:
+            if isinstance(event, WatermarkEvent):
+                raise ExecutionError(
+                    "watermark advance produced output in a shard; the "
+                    "partition analyzer admitted a watermark-triggered "
+                    "operator it should not have"
+                )
+            slices.append((seq, produced))
+        if isinstance(event, WatermarkEvent):
+            observations.append((seq, event.ptime, shard.root_watermark))
+    before = shard.output_size
+    shard.finish(until)
+    if shard.output_slice(before):
+        raise ExecutionError(
+            "timer drain produced output in a shard; the partition "
+            "analyzer admitted a timer-driven operator it should not have"
+        )
+    return slices, observations
