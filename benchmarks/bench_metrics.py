@@ -1,0 +1,135 @@
+"""Metrics-layer benchmark: observability cost and shard-skew report.
+
+Runs a key-partitionable NEXMark aggregation (per-auction bid counts
+over tumbling windows) serially and sharded, with a trace collector
+attached, and writes ``BENCH_metrics.json`` — the artifact CI uploads:
+
+* per-configuration wall time and events/second (the metrics layer is
+  always on, so these times *include* its cost);
+* the per-operator flow totals from the :class:`MetricsReport`;
+* rows routed per shard and the max/min skew summary;
+* the trace summary (batches, changes, watermark advances).
+
+Runs under plain pytest (no pytest-benchmark fixtures) and as a
+script::
+
+    PYTHONPATH=src python benchmarks/bench_metrics.py
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro import StreamEngine, TraceCollector
+from repro.nexmark import NexmarkConfig, generate
+
+NUM_EVENTS = 5_000
+SHARD_SWEEP = [1, 2, 4]
+
+SQL = """
+    SELECT TB.auction, TB.wend, COUNT(*) AS bids
+    FROM Tumble(
+      data    => TABLE(Bid),
+      timecol => DESCRIPTOR(bidtime),
+      dur     => INTERVAL '10' SECONDS) TB
+    GROUP BY TB.auction, TB.wend
+"""
+
+ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_metrics.json"
+
+
+def _workload():
+    return generate(NexmarkConfig(num_events=NUM_EVENTS, seed=42))
+
+
+def _run_serial_traced(streams) -> dict:
+    """Serial run with a trace collector attached to the dataflow."""
+    engine = StreamEngine()
+    streams.register_on(engine)
+    dataflow = engine.query(SQL).dataflow()
+    trace = TraceCollector()
+    dataflow.trace = trace
+    start = time.perf_counter()
+    result = dataflow.run()
+    elapsed = time.perf_counter() - start
+    return {
+        "shards": 1,
+        "backend": "serial",
+        "seconds": elapsed,
+        "events_per_second": NUM_EVENTS / elapsed,
+        "totals": result.metrics.totals,
+        "late_dropped": result.late_dropped,
+        "expired_rows": result.expired_rows,
+        "trace": trace.summary(),
+    }
+
+
+def _run_sharded(streams, shards: int) -> dict:
+    engine = StreamEngine(parallelism=shards, backend="threads")
+    streams.register_on(engine)
+    query = engine.query(SQL)
+    assert query.partition_decision().partitionable
+    start = time.perf_counter()
+    result = query.run()
+    elapsed = time.perf_counter() - start
+    report = result.metrics
+    return {
+        "shards": shards,
+        "backend": "threads",
+        "seconds": elapsed,
+        "events_per_second": NUM_EVENTS / elapsed,
+        "totals": report.totals,
+        "late_dropped": result.late_dropped,
+        "expired_rows": result.expired_rows,
+        "shard_rows": report.shard_rows,
+        "skew": report.skew,
+    }
+
+
+def collect() -> dict:
+    """All configurations; the serial totals anchor the sharded ones."""
+    streams = _workload()
+    runs = [_run_serial_traced(streams)]
+    for shards in SHARD_SWEEP[1:]:
+        runs.append(_run_sharded(streams, shards))
+    return {
+        "workload": {"events": NUM_EVENTS, "seed": 42, "query": " ".join(SQL.split())},
+        "runs": runs,
+    }
+
+
+def write_artifact(payload: dict) -> Path:
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    return ARTIFACT
+
+
+def test_metrics_bench_produces_artifact():
+    """The bench is also the regression gate: every configuration must
+    agree on the flow totals (routing-invariant counters), and the
+    artifact must land on disk for CI to upload."""
+    payload = collect()
+    serial = payload["runs"][0]
+    for run in payload["runs"][1:]:
+        for key in ("rows_in", "rows_out", "late_dropped", "expired_rows"):
+            assert run["totals"][key] == serial["totals"][key], key
+        assert sum(run["shard_rows"]) == sum(
+            payload["runs"][1]["shard_rows"]
+        )  # every row routed exactly once, regardless of width
+    assert serial["trace"]["batches"] > 0
+    assert serial["trace"]["watermark_advances"] > 0
+    path = write_artifact(payload)
+    assert path.exists() and path.stat().st_size > 0
+
+
+if __name__ == "__main__":
+    data = collect()
+    path = write_artifact(data)
+    for run in data["runs"]:
+        print(
+            f"shards={run['shards']:<2} ({run['backend']:>7}): "
+            f"{run['seconds']:.3f}s  {run['events_per_second']:,.0f} ev/s  "
+            f"rows_out={run['totals']['rows_out']}"
+        )
+    print(f"wrote {path}")

@@ -73,6 +73,7 @@ from .core import (
 from .engine import PreparedQuery, StreamEngine
 from .exec import DeltaChange, StateReport, StreamChange
 from .io import format_script, parse_script
+from .obs import MetricsReport, TraceCollector, TraceEvent
 
 __version__ = "1.0.0"
 
@@ -82,6 +83,9 @@ __all__ = [
     "StreamChange",
     "DeltaChange",
     "StateReport",
+    "MetricsReport",
+    "TraceEvent",
+    "TraceCollector",
     "parse_script",
     "format_script",
     # re-exported core API

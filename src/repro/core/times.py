@@ -96,20 +96,35 @@ def t(clock: str) -> Timestamp:
     parts = clock.split(":")
     if len(parts) not in (2, 3):
         raise ValueError(f"cannot parse clock time {clock!r}")
+    # str.isdigit rejects signs, whitespace, and underscores, so a
+    # malformed string like "-1:30" fails here instead of silently
+    # becoming a negative timestamp.
+    if not parts[0].isdigit():
+        raise ValueError(f"hour must be a non-negative integer in {clock!r}")
+    if not parts[1].isdigit():
+        raise ValueError(f"minute must be a non-negative integer in {clock!r}")
     hour = int(parts[0])
     minute = int(parts[1])
-    if minute < 0 or minute > 59:
+    if minute > 59:
         raise ValueError(f"minute out of range in {clock!r}")
     total = hour * MILLIS_PER_HOUR + minute * MILLIS_PER_MINUTE
     if len(parts) == 3:
         sec_part = parts[2]
         if "." in sec_part:
             sec_str, frac = sec_part.split(".", 1)
+            if not frac.isdigit():
+                raise ValueError(
+                    f"fractional seconds must be digits in {clock!r}"
+                )
             frac_ms = int(frac.ljust(3, "0")[:3])
         else:
             sec_str, frac_ms = sec_part, 0
+        if not sec_str.isdigit():
+            raise ValueError(
+                f"second must be a non-negative integer in {clock!r}"
+            )
         second = int(sec_str)
-        if second < 0 or second > 59:
+        if second > 59:
             raise ValueError(f"second out of range in {clock!r}")
         total += second * MILLIS_PER_SECOND + frac_ms
     return total
@@ -122,7 +137,7 @@ def fmt_time(ts: Timestamp) -> str:
     the motivating example matches the listings character for
     character.
     """
-    if ts == MIN_TIMESTAMP:
+    if ts <= MIN_TIMESTAMP:
         return "-inf"
     if ts >= MAX_TIMESTAMP:
         return "+inf"

@@ -151,6 +151,17 @@ class StreamEngine:
         """The optimized logical plan of ``sql``, as text."""
         return self.query(sql).explain(verbose=verbose)
 
+    def explain_analyze(self, sql: str, verbose: bool = False) -> str:
+        """Run ``sql`` and render the plan annotated with runtime metrics.
+
+        The streaming counterpart of ``EXPLAIN ANALYZE``: the optimized
+        plan followed by each operator's counters (rows in/out,
+        retractions, late drops, expiries, state and peak state,
+        watermark lag) from an actual execution over the registered
+        sources — the Section 5 feedback loop, one command away.
+        """
+        return self.query(sql).explain_analyze(verbose=verbose)
+
 
 class PreparedQuery:
     """A planned query, ready to materialize as a table or a stream."""
@@ -192,6 +203,18 @@ class PreparedQuery:
             text = f"{text.rstrip()}\n{note}"
         return text
 
+    def explain_analyze(self, verbose: bool = False) -> str:
+        """The plan plus per-operator runtime counters from a real run."""
+        result = self.run()
+        text = self.explain(verbose=verbose).rstrip()
+        if result.metrics is None:  # pragma: no cover — all paths attach one
+            return text
+        return f"{text}\n{result.metrics.render()}"
+
+    def metrics(self):
+        """The per-operator :class:`~repro.obs.metrics.MetricsReport`."""
+        return self.run().metrics
+
     def partition_decision(self) -> PartitionDecision:
         """The partition analyzer's verdict for this plan (cached)."""
         if self._decision is None:
@@ -216,6 +239,7 @@ class PreparedQuery:
             "final_state_rows": report.total_rows,
             "watermark_steps": len(result.watermarks.as_pairs()),
             "state_report": report,
+            "metrics": result.metrics,
         }
 
     # -- execution ------------------------------------------------------------

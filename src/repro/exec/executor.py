@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from ..core.changelog import Change
 from ..core.errors import ExecutionError
@@ -28,12 +28,11 @@ from ..core.schema import Schema
 from ..core.times import MAX_TIMESTAMP, MIN_TIMESTAMP, Timestamp
 from ..core.tvr import RowEvent, StreamEvent, TimeVaryingRelation, WatermarkEvent
 from ..core.watermark import WatermarkTrack
+from ..obs.metrics import MetricsRegistry, MetricsReport
+from ..obs.trace import TraceEvent
 from ..plan.planner import QueryPlan
 from .compile import CompiledPlan, compile_plan
-from .operators.aggregate import AggregateOperator
 from .operators.base import Operator
-from .operators.join import JoinOperator
-from .operators.session import SessionOperator
 from .operators.stateless import ScanOperator
 
 __all__ = ["Dataflow", "RunResult", "merge_source_events"]
@@ -63,7 +62,14 @@ def merge_source_events(
 
 @dataclass
 class RunResult:
-    """The output TVR of a dataflow run, plus runtime statistics."""
+    """The output TVR of a dataflow run, plus runtime statistics.
+
+    ``late_dropped``/``expired_rows``/``peak_state_rows`` are the
+    headline totals; ``metrics`` is the full per-operator
+    :class:`~repro.obs.metrics.MetricsReport` behind them (rows in/out,
+    retractions, state peaks, watermark lag — and, for sharded runs,
+    per-shard breakdowns with routing skew).
+    """
 
     schema: Schema
     changes: list[Change]
@@ -72,6 +78,7 @@ class RunResult:
     late_dropped: int = 0
     expired_rows: int = 0
     peak_state_rows: int = 0
+    metrics: Optional[MetricsReport] = None
 
     def snapshot(self, at: Timestamp = MAX_TIMESTAMP) -> Relation:
         """Table rendering of the result at processing time ``at``."""
@@ -114,6 +121,11 @@ class Dataflow:
         self._last_ptime: Timestamp = MIN_TIMESTAMP
         self._peak_state = 0
         self._opened = False
+        self.metrics_registry = MetricsRegistry(self._compiled.operators)
+        #: optional trace hook: a callable receiving
+        #: :class:`~repro.obs.trace.TraceEvent` on every root change
+        #: batch and root watermark advance.
+        self.trace: Optional[Callable[[TraceEvent], None]] = None
         # processing-time timer service: (deadline, seq, operator)
         self._timers: list[tuple[Timestamp, int, Operator]] = []
         self._timer_seq = 0
@@ -244,7 +256,9 @@ class Dataflow:
         else:
             for leaf in leaves:
                 self._push_watermark(leaf, 0, event.value, event.ptime)
-        state = self.total_state_rows()
+        # One sweep both tracks the dataflow-wide peak and refreshes the
+        # per-operator state peaks the metrics layer reports.
+        state = self.metrics_registry.observe_state()
         if state > self._peak_state:
             self._peak_state = state
 
@@ -260,24 +274,52 @@ class Dataflow:
         return self.result()
 
     def result(self) -> RunResult:
-        """The result accumulated so far."""
+        """The result accumulated so far.
+
+        The drop/expiry totals iterate *every* operator through the
+        uniform counters on the base class — an operator that starts
+        dropping late rows is accounted for by construction, with no
+        per-class allowlist to forget (the old ``isinstance`` tuple
+        silently lost OVER and MATCH_RECOGNIZE drops).
+        """
+        operators = self._compiled.operators
         return RunResult(
             schema=self.plan.schema,
             changes=list(self._root_changes),
             watermarks=self._root_wms,
             last_ptime=self._last_ptime,
-            late_dropped=sum(
-                op.late_dropped
-                for op in self._compiled.operators
-                if isinstance(op, (AggregateOperator, SessionOperator))
-            ),
-            expired_rows=sum(
-                op.expired_rows
-                for op in self._compiled.operators
-                if isinstance(op, JoinOperator)
-            ),
+            late_dropped=sum(op.late_dropped for op in operators),
+            expired_rows=sum(op.expired_rows for op in operators),
             peak_state_rows=self._peak_state,
+            metrics=self.metrics_report(),
         )
+
+    def metrics_report(self) -> MetricsReport:
+        """The per-operator metrics, shaped as the plan tree (pre-order).
+
+        Entries carry a ``depth`` for rendering and a ``leaf`` flag
+        (no inputs wired — the scans rows are routed into), which the
+        sharded merge uses to measure rows routed per shard.
+        """
+        children: dict[int, list[tuple[int, Operator]]] = {}
+        for op in self._compiled.operators:
+            parent_entry = self._compiled.parents.get(id(op))
+            if parent_entry is not None:
+                parent, port = parent_entry
+                children.setdefault(id(parent), []).append((port, op))
+        entries: list[dict] = []
+
+        def visit(op: Operator, depth: int) -> None:
+            kids = sorted(children.get(id(op), []), key=lambda pc: pc[0])
+            entry = op.metrics()
+            entry["depth"] = depth
+            entry["leaf"] = not kids
+            entries.append(entry)
+            for _, child in kids:
+                visit(child, depth + 1)
+
+        visit(self._compiled.root, 0)
+        return MetricsReport(operators=entries)
 
     # -- internals ---------------------------------------------------------------
 
@@ -288,7 +330,7 @@ class Dataflow:
         # Open every operator first (children before parents), then
         # propagate initial rows (e.g. the global aggregate's
         # empty-input row) so parents are open when they arrive.
-        pending = [(op, op.on_open()) for op in self._compiled.operators]
+        pending = [(op, op.process_open()) for op in self._compiled.operators]
         for op, initial in pending:
             if initial:
                 self._emit_up(op, initial)
@@ -315,7 +357,7 @@ class Dataflow:
         """Deliver changes into ``op`` and propagate its output upward."""
         produced: list[Change] = []
         for change in changes:
-            produced.extend(op.on_change(port, change))
+            produced.extend(op.process_change(port, change))
         if not produced:
             return
         self._emit_up(op, produced)
@@ -331,7 +373,7 @@ class Dataflow:
     def _push_watermark(
         self, op: Operator, port: int, value: Timestamp, ptime: Timestamp
     ) -> None:
-        changes, out_wm = op.on_watermark(port, value, ptime)
+        changes, out_wm = op.process_watermark(port, value, ptime)
         if changes:
             self._emit_up(op, changes)
         if out_wm is None:
@@ -339,12 +381,24 @@ class Dataflow:
         parent_entry = self._compiled.parents.get(id(op))
         if parent_entry is None:
             self._root_wms.advance(ptime, out_wm)
+            if self.trace is not None:
+                self.trace(
+                    TraceEvent(kind="watermark", ptime=ptime, value=out_wm)
+                )
             return
         parent, parent_port = parent_entry
         self._push_watermark(parent, parent_port, out_wm, ptime)
 
     def _collect_root(self, changes: list[Change]) -> None:
         self._root_changes.extend(changes)
+        if self.trace is not None:
+            self.trace(
+                TraceEvent(
+                    kind="batch",
+                    ptime=changes[-1].ptime,
+                    count=len(changes),
+                )
+            )
 
     # -- timer service -------------------------------------------------------------
 
@@ -361,7 +415,7 @@ class Dataflow:
         """
         while self._timers and self._timers[0][0] <= up_to:
             when, _, op = heapq.heappop(self._timers)
-            changes = op.on_timer(when)
+            changes = op.process_timer(when)
             self._last_ptime = max(self._last_ptime, when)
             if changes:
                 self._emit_up(op, changes)

@@ -64,7 +64,6 @@ class AggregateOperator(Operator):
         self._allowed_lateness = allowed_lateness
         self._groups: dict[tuple, _GroupState] = {}
         self._finalized_max: Timestamp = MIN_TIMESTAMP
-        self.late_dropped = 0
         self._global = not self._group_indices
 
     # -- lifecycle ------------------------------------------------------------
@@ -210,17 +209,18 @@ class AggregateOperator(Operator):
         snapshot = super().state_snapshot()
         snapshot["groups"] = copy.deepcopy(self._groups)
         snapshot["finalized_max"] = copy.deepcopy(self._finalized_max)
-        snapshot["late_dropped"] = copy.deepcopy(self.late_dropped)
         return snapshot
 
     def state_restore(self, snapshot: dict) -> None:
         super().state_restore(snapshot)
         self._groups = copy.deepcopy(snapshot["groups"])
         self._finalized_max = copy.deepcopy(snapshot["finalized_max"])
-        self.late_dropped = copy.deepcopy(snapshot["late_dropped"])
 
     def state_size(self) -> int:
         return sum(state.retained for state in self._groups.values())
+
+    def _extra_metrics(self) -> dict:
+        return {"groups": len(self._groups)}
 
     @property
     def group_count(self) -> int:

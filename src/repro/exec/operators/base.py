@@ -20,6 +20,14 @@ The contract:
 * ``state_size()`` reports retained row count, powering the paper's
   "reasoning about the size of query state" lesson and the state
   benchmarks.
+
+Observability is part of the contract, not an add-on: the executor
+drives operators through the ``process_*`` wrappers defined here, which
+count rows in/out around the ``on_*`` hooks, and every operator carries
+the uniform ``late_dropped``/``expired_rows`` counters.  ``metrics()``
+assembles the whole block, so downstream reporting iterates operators
+instead of maintaining per-class ``isinstance`` allowlists (the pattern
+that silently lost OVER and MATCH_RECOGNIZE late drops).
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ from ...core.changelog import Change
 from ...core.schema import Schema
 from ...core.times import MIN_TIMESTAMP, Timestamp
 from ...core.watermark import merge_watermarks
+from ...obs.metrics import OperatorCounters, watermark_lag
 
 __all__ = ["Operator"]
 
@@ -43,6 +52,14 @@ class Operator:
         self._input_wms: list[Timestamp] = [MIN_TIMESTAMP] * arity
         self._output_wm: Timestamp = MIN_TIMESTAMP
         self._timer_sink: Optional[Callable[[Timestamp, "Operator"], None]] = None
+        self.counters = OperatorCounters(arity)
+        #: rows rejected because the watermark already declared their
+        #: position complete; every operator has the counter, whether or
+        #: not it ever drops.
+        self.late_dropped = 0
+        #: state rows purged (or arrivals ignored) because the watermark
+        #: proved them unreachable.
+        self.expired_rows = 0
 
     # -- processing-time timers -----------------------------------------------
 
@@ -72,6 +89,35 @@ class Operator:
 
     def on_change(self, port: int, change: Change) -> list[Change]:
         raise NotImplementedError
+
+    # -- counted entry points -------------------------------------------------
+    #
+    # The executor drives operators through these wrappers so the
+    # metrics layer sees every row on every port of every operator —
+    # counting lives in exactly one place and cannot drift per class.
+
+    def process_open(self) -> list[Change]:
+        out = self.on_open()
+        self.counters.record_out(out)
+        return out
+
+    def process_change(self, port: int, change: Change) -> list[Change]:
+        self.counters.record_in(port, change)
+        out = self.on_change(port, change)
+        self.counters.record_out(out)
+        return out
+
+    def process_watermark(
+        self, port: int, value: Timestamp, ptime: Timestamp
+    ) -> tuple[list[Change], Optional[Timestamp]]:
+        changes, out_wm = self.on_watermark(port, value, ptime)
+        self.counters.record_out(changes)
+        return changes, out_wm
+
+    def process_timer(self, when: Timestamp) -> list[Change]:
+        out = self.on_timer(when)
+        self.counters.record_out(out)
+        return out
 
     # -- watermark path -------------------------------------------------------
 
@@ -116,18 +162,51 @@ class Operator:
         return {
             "input_wms": list(self._input_wms),
             "output_wm": self._output_wm,
+            "counters": self.counters.snapshot(),
+            "late_dropped": self.late_dropped,
+            "expired_rows": self.expired_rows,
         }
 
     def state_restore(self, snapshot: dict) -> None:
         """Restore state captured by :meth:`state_snapshot`."""
         self._input_wms = list(snapshot["input_wms"])
         self._output_wm = snapshot["output_wm"]
+        self.counters.restore(snapshot["counters"])
+        self.late_dropped = snapshot["late_dropped"]
+        self.expired_rows = snapshot["expired_rows"]
 
     # -- introspection ---------------------------------------------------------
 
     def state_size(self) -> int:
         """Number of row occurrences retained in operator state."""
         return 0
+
+    def metrics(self) -> dict:
+        """The operator's full metric block, uniformly shaped.
+
+        Standard keys are identical for every operator; subclasses
+        append class-specific gauges via :meth:`_extra_metrics`.
+        """
+        counters = self.counters
+        block = {
+            "operator": self.name(),
+            "type": type(self).__name__,
+            "rows_in": list(counters.rows_in),
+            "retracts_in": list(counters.retracts_in),
+            "rows_out": counters.rows_out,
+            "retracts_out": counters.retracts_out,
+            "late_dropped": self.late_dropped,
+            "expired_rows": self.expired_rows,
+            "state_rows": self.state_size(),
+            "peak_state_rows": counters.peak_state_rows,
+            "watermark_lag": watermark_lag(self.input_watermark, self._output_wm),
+        }
+        block.update(self._extra_metrics())
+        return block
+
+    def _extra_metrics(self) -> dict:
+        """Class-specific gauges merged into :meth:`metrics`."""
+        return {}
 
     def name(self) -> str:
         return type(self).__name__

@@ -65,7 +65,6 @@ class JoinOperator(Operator):
         self._keys = (left_key or (), right_key or ())
         self._state: tuple[dict, dict] = ({}, {})
         self._bounds = (left_bound, right_bound)
-        self.expired_rows = 0
 
     # -- data path ---------------------------------------------------------------
 
@@ -138,13 +137,11 @@ class JoinOperator(Operator):
     def state_snapshot(self) -> dict:
         snapshot = super().state_snapshot()
         snapshot["state"] = copy.deepcopy(self._state)
-        snapshot["expired_rows"] = copy.deepcopy(self.expired_rows)
         return snapshot
 
     def state_restore(self, snapshot: dict) -> None:
         super().state_restore(snapshot)
         self._state = copy.deepcopy(snapshot["state"])
-        self.expired_rows = copy.deepcopy(snapshot["expired_rows"])
 
     def state_size(self) -> int:
         return sum(

@@ -60,7 +60,6 @@ class MatchRecognizeOperator(Operator):
         # partition key -> sorted [(ts, seq, row), ...] of unconsumed rows
         self._buffers: dict[tuple, list[tuple[Timestamp, int, tuple]]] = {}
         self._seq = 0
-        self.late_dropped = 0
         self.matches_emitted = 0
 
     # -- data path ---------------------------------------------------------------
@@ -243,7 +242,6 @@ class MatchRecognizeOperator(Operator):
         snapshot = super().state_snapshot()
         snapshot["buffers"] = copy.deepcopy(self._buffers)
         snapshot["seq"] = copy.deepcopy(self._seq)
-        snapshot["late_dropped"] = copy.deepcopy(self.late_dropped)
         snapshot["matches_emitted"] = copy.deepcopy(self.matches_emitted)
         return snapshot
 
@@ -251,11 +249,16 @@ class MatchRecognizeOperator(Operator):
         super().state_restore(snapshot)
         self._buffers = copy.deepcopy(snapshot["buffers"])
         self._seq = copy.deepcopy(snapshot["seq"])
-        self.late_dropped = copy.deepcopy(snapshot["late_dropped"])
         self.matches_emitted = copy.deepcopy(snapshot["matches_emitted"])
 
     def state_size(self) -> int:
         return sum(len(b) for b in self._buffers.values())
+
+    def _extra_metrics(self) -> dict:
+        return {
+            "matches_emitted": self.matches_emitted,
+            "partitions": len(self._buffers),
+        }
 
     def name(self) -> str:
         return f"MatchRecognize({self.matches_emitted} matches)"

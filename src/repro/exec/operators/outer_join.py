@@ -198,6 +198,11 @@ class OuterJoinOperator(Operator):
             for bucket in side.values()
         )
 
+    def _extra_metrics(self) -> dict:
+        return {
+            "match_counts_cached": sum(len(c) for c in self._match_counts)
+        }
+
     def name(self) -> str:
         kind = "FullJoin" if self._outer[1] else "LeftJoin"
         return f"{kind}(state={self.state_size()} rows)"

@@ -60,7 +60,6 @@ class OverOperator(Operator):
         self._frame_rows = frame_rows
         self._states: dict[tuple, _PartitionState] = {}
         self._seq = 0
-        self.late_dropped = 0
 
     def _new_state(self) -> _PartitionState:
         state = _PartitionState()
@@ -143,20 +142,26 @@ class OverOperator(Operator):
         snapshot = super().state_snapshot()
         snapshot["states"] = copy.deepcopy(self._states)
         snapshot["seq"] = copy.deepcopy(self._seq)
-        snapshot["late_dropped"] = copy.deepcopy(self.late_dropped)
         return snapshot
 
     def state_restore(self, snapshot: dict) -> None:
         super().state_restore(snapshot)
         self._states = copy.deepcopy(snapshot["states"])
         self._seq = copy.deepcopy(snapshot["seq"])
-        self.late_dropped = copy.deepcopy(snapshot["late_dropped"])
 
     def state_size(self) -> int:
         return sum(
             len(state.pending) + len(state.frame)
             for state in self._states.values()
         )
+
+    def _extra_metrics(self) -> dict:
+        return {
+            "partitions": len(self._states),
+            "pending_rows": sum(
+                len(state.pending) for state in self._states.values()
+            ),
+        }
 
     def name(self) -> str:
         return f"Over({len(self._calls)} calls)"

@@ -119,5 +119,8 @@ class SemiJoinOperator(Operator):
             sum(bucket.values()) for bucket in self._left.values()
         ) + sum(self._right.values())
 
+    def _extra_metrics(self) -> dict:
+        return {"right_values": len(self._right)}
+
     def name(self) -> str:
         return f"{'Anti' if self._negated else 'Semi'}Join"

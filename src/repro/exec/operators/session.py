@@ -67,7 +67,6 @@ class SessionOperator(Operator):
         self._key_indices = key_indices
         self._allowed_lateness = allowed_lateness
         self._sessions: dict[tuple, list[_Session]] = {}
-        self.late_dropped = 0
 
     def _key_of(self, values: tuple) -> tuple:
         return tuple(values[i] for i in self._key_indices)
@@ -150,13 +149,11 @@ class SessionOperator(Operator):
     def state_snapshot(self) -> dict:
         snapshot = super().state_snapshot()
         snapshot["sessions"] = copy.deepcopy(self._sessions)
-        snapshot["late_dropped"] = copy.deepcopy(self.late_dropped)
         return snapshot
 
     def state_restore(self, snapshot: dict) -> None:
         super().state_restore(snapshot)
         self._sessions = copy.deepcopy(snapshot["sessions"])
-        self.late_dropped = copy.deepcopy(snapshot["late_dropped"])
 
     def state_size(self) -> int:
         return sum(
@@ -164,3 +161,8 @@ class SessionOperator(Operator):
             for sessions in self._sessions.values()
             for s in sessions
         )
+
+    def _extra_metrics(self) -> dict:
+        return {
+            "open_sessions": sum(len(s) for s in self._sessions.values())
+        }

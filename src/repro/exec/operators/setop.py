@@ -71,5 +71,8 @@ class SetOpOperator(Operator):
     def state_size(self) -> int:
         return sum(l + r for l, r in self._counts.values())
 
+    def _extra_metrics(self) -> dict:
+        return {"distinct_rows": len(self._counts)}
+
     def name(self) -> str:
         return f"{self._op}{' ALL' if self._all else ''}"

@@ -43,7 +43,6 @@ class TemporalFilterOperator(Operator):
         self._future: Counter = Counter()
         # deadline -> list of ("enter" | "exit", values)
         self._agenda: dict[Timestamp, list[tuple[str, tuple]]] = {}
-        self.expired_rows = 0
 
     def _interval(self, values: tuple) -> tuple[Timestamp, Timestamp]:
         """The [start, end) processing-time visibility of a row."""
@@ -127,7 +126,6 @@ class TemporalFilterOperator(Operator):
         snapshot["visible"] = copy.deepcopy(self._visible)
         snapshot["future"] = copy.deepcopy(self._future)
         snapshot["agenda"] = copy.deepcopy(self._agenda)
-        snapshot["expired_rows"] = copy.deepcopy(self.expired_rows)
         return snapshot
 
     def state_restore(self, snapshot: dict) -> None:
@@ -135,10 +133,15 @@ class TemporalFilterOperator(Operator):
         self._visible = copy.deepcopy(snapshot["visible"])
         self._future = copy.deepcopy(snapshot["future"])
         self._agenda = copy.deepcopy(snapshot["agenda"])
-        self.expired_rows = copy.deepcopy(snapshot["expired_rows"])
 
     def state_size(self) -> int:
         return sum(self._visible.values()) + sum(self._future.values())
+
+    def _extra_metrics(self) -> dict:
+        return {
+            "visible_rows": sum(self._visible.values()),
+            "pending_timers": len(self._agenda),
+        }
 
     def name(self) -> str:
         return f"TemporalFilter({len(self._bounds)} bounds)"

@@ -183,5 +183,12 @@ class TemporalJoinOperator(Operator):
             len(v) for v in self._versions.values()
         )
 
+    def _extra_metrics(self) -> dict:
+        return {
+            "unmatched_dropped": self.unmatched_dropped,
+            "pending_rows": len(self._pending),
+            "versions": sum(len(v) for v in self._versions.values()),
+        }
+
     def name(self) -> str:
         return f"TemporalJoin(state={self.state_size()})"

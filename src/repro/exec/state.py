@@ -13,14 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from .operators.aggregate import AggregateOperator
-from .operators.base import Operator
-from .operators.join import JoinOperator
-from .operators.match import MatchRecognizeOperator
-from .operators.over import OverOperator
-from .operators.session import SessionOperator
-from .operators.temporal import TemporalFilterOperator
-
 if TYPE_CHECKING:
     from ..runtime.sharded import ShardedDataflow
     from .executor import Dataflow
@@ -77,30 +69,20 @@ class StateReport:
         return "\n".join(lines)
 
 
-def _late_dropped(op: Operator) -> int:
-    if isinstance(
-        op,
-        (AggregateOperator, SessionOperator, MatchRecognizeOperator, OverOperator),
-    ):
-        return op.late_dropped
-    return 0
-
-
-def _expired(op: Operator) -> int:
-    if isinstance(op, (JoinOperator, TemporalFilterOperator)):
-        return op.expired_rows
-    return 0
-
-
 def collect_state(dataflow: "Dataflow") -> StateReport:
-    """Snapshot every operator's retained state in plan order."""
+    """Snapshot every operator's retained state in plan order.
+
+    The drop/expiry counters live uniformly on the operator base class,
+    so the report simply reads them — no per-class ``isinstance``
+    allowlist to fall out of date as operators gain counters.
+    """
     return StateReport(
         tuple(
             OperatorState(
                 name=op.name(),
                 retained_rows=op.state_size(),
-                late_dropped=_late_dropped(op),
-                expired_rows=_expired(op),
+                late_dropped=op.late_dropped,
+                expired_rows=op.expired_rows,
             )
             for op in dataflow.operators
         )
@@ -122,8 +104,8 @@ def collect_sharded_state(sharded: "ShardedDataflow") -> StateReport:
             OperatorState(
                 name=f"{type(ops[0]).__name__} ×{sharded.shard_count} shards",
                 retained_rows=sum(op.state_size() for op in ops),
-                late_dropped=sum(_late_dropped(op) for op in ops),
-                expired_rows=sum(_expired(op) for op in ops),
+                late_dropped=sum(op.late_dropped for op in ops),
+                expired_rows=sum(op.expired_rows for op in ops),
             )
         )
     return StateReport(tuple(states))

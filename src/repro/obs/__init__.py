@@ -1,0 +1,25 @@
+"""Observability: uniform operator metrics, reports, and trace hooks.
+
+See :mod:`repro.obs.metrics` for the counter/report layer and
+:mod:`repro.obs.trace` for the event-callback API; docs/OBSERVABILITY.md
+has the user-facing catalogue.
+"""
+
+from .metrics import (
+    MetricsRegistry,
+    MetricsReport,
+    OperatorCounters,
+    merge_shard_reports,
+    watermark_lag,
+)
+from .trace import TraceCollector, TraceEvent
+
+__all__ = [
+    "OperatorCounters",
+    "MetricsRegistry",
+    "MetricsReport",
+    "merge_shard_reports",
+    "watermark_lag",
+    "TraceCollector",
+    "TraceEvent",
+]

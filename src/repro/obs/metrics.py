@@ -1,0 +1,322 @@
+"""Uniform per-operator metrics.
+
+Section 5 of the paper asks engines to "give the user feedback about
+the state being consumed, relating the physical computation back to
+their query"; the operational follow-ups (*Lessons Learned from Efforts
+to Standardize Streaming In SQL*, arXiv:2311.03476) sharpen that into a
+rule: a streaming engine you cannot observe is an engine you cannot
+tune.  This module is the engine's observability spine:
+
+* :class:`OperatorCounters` — the mutable counter block every physical
+  operator carries.  Counting happens in the ``process_*`` wrappers of
+  :class:`~repro.exec.operators.base.Operator`, so no operator can opt
+  out and no executor-side ``isinstance`` allowlist can lose a counter
+  (the bug that motivated this layer: OVER and MATCH_RECOGNIZE late
+  drops silently vanished from ``RunResult.late_dropped``).
+* :class:`MetricsRegistry` — the executor-side view over one dataflow's
+  operators; snapshotted per ``process()`` step to keep per-operator
+  state peaks current.
+* :class:`MetricsReport` — the assembled, renderable report attached to
+  every :class:`~repro.exec.executor.RunResult`; sharded runs merge the
+  per-shard reports into per-operator totals plus a per-shard breakdown
+  that surfaces routing skew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+from ..core.times import MAX_TIMESTAMP, MIN_TIMESTAMP
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.changelog import Change
+    from ..exec.operators.base import Operator
+
+__all__ = [
+    "OperatorCounters",
+    "MetricsRegistry",
+    "MetricsReport",
+    "merge_shard_reports",
+    "watermark_lag",
+]
+
+
+class OperatorCounters:
+    """Rows-in/out bookkeeping for one operator.
+
+    ``rows_in``/``retracts_in`` are per input port (inserts are
+    ``rows_in - retracts_in``); outputs are single totals because an
+    operator has one output.  ``peak_state_rows`` is refreshed by the
+    executor's per-step registry sweep rather than per change, keeping
+    the data path free of repeated ``state_size()`` scans.
+    """
+
+    __slots__ = ("rows_in", "retracts_in", "rows_out", "retracts_out",
+                 "peak_state_rows")
+
+    def __init__(self, arity: int):
+        self.rows_in = [0] * arity
+        self.retracts_in = [0] * arity
+        self.rows_out = 0
+        self.retracts_out = 0
+        self.peak_state_rows = 0
+
+    # -- recording (hot path) ------------------------------------------------
+
+    def record_in(self, port: int, change: "Change") -> None:
+        self.rows_in[port] += 1
+        if change.is_retract:
+            self.retracts_in[port] += 1
+
+    def record_out(self, changes: Sequence["Change"]) -> None:
+        if not changes:
+            return
+        self.rows_out += len(changes)
+        for change in changes:
+            if change.is_retract:
+                self.retracts_out += 1
+
+    def note_state(self, size: int) -> None:
+        if size > self.peak_state_rows:
+            self.peak_state_rows = size
+
+    # -- checkpointing -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "rows_in": list(self.rows_in),
+            "retracts_in": list(self.retracts_in),
+            "rows_out": self.rows_out,
+            "retracts_out": self.retracts_out,
+            "peak_state_rows": self.peak_state_rows,
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        self.rows_in = list(snapshot["rows_in"])
+        self.retracts_in = list(snapshot["retracts_in"])
+        self.rows_out = snapshot["rows_out"]
+        self.retracts_out = snapshot["retracts_out"]
+        self.peak_state_rows = snapshot["peak_state_rows"]
+
+
+def watermark_lag(input_wm: int, output_wm: int) -> int:
+    """How far an operator's output watermark trails its inputs.
+
+    Only meaningful between the sentinels: an input that never advanced
+    (or is already complete) has no lag to report.
+    """
+    if input_wm <= MIN_TIMESTAMP or input_wm >= MAX_TIMESTAMP:
+        return 0
+    if output_wm <= MIN_TIMESTAMP:
+        return 0
+    return max(0, input_wm - output_wm)
+
+
+class MetricsRegistry:
+    """The executor's handle on its operators' counters.
+
+    The executor calls :meth:`observe_state` once per ``process()``
+    step: one sweep refreshes every operator's state peak *and* yields
+    the dataflow-wide total the executor tracks for
+    ``RunResult.peak_state_rows`` — the same O(operators) cost the old
+    per-step ``total_state_rows()`` scan already paid.
+    """
+
+    def __init__(self, operators: Iterable["Operator"]):
+        self._operators = list(operators)
+
+    @property
+    def operators(self) -> list["Operator"]:
+        return list(self._operators)
+
+    def observe_state(self) -> int:
+        """Refresh per-operator state peaks; returns the current total."""
+        total = 0
+        for op in self._operators:
+            size = op.state_size()
+            op.counters.note_state(size)
+            total += size
+        return total
+
+    def snapshot(self) -> list[dict]:
+        """Every operator's ``metrics()`` dict, in compile (post-) order."""
+        return [op.metrics() for op in self._operators]
+
+
+# Keys that are identity, not quantity: kept from the first shard when
+# merging instead of summed.
+_IDENTITY_KEYS = frozenset({"operator", "type", "depth", "leaf"})
+# Keys merged by maximum: a gauge over time, not a flow total.
+_MAX_KEYS = frozenset({"watermark_lag", "peak_state_rows"})
+
+
+@dataclass
+class MetricsReport:
+    """A rendered-or-renderable snapshot of one run's operator metrics.
+
+    ``operators`` holds one dict per physical operator in *pre-order*
+    (root first, children indented by ``depth``), so :meth:`render`
+    reads like the ``EXPLAIN`` plan annotated with counters.  For
+    sharded runs ``shard_count > 1``, each entry carries a ``"shards"``
+    per-shard ``rows_in`` breakdown and ``shard_rows`` records rows
+    routed per shard (the skew signal).
+    """
+
+    operators: list[dict]
+    shard_count: int = 1
+    shard_rows: list[int] = field(default_factory=list)
+
+    # -- lookups ---------------------------------------------------------------
+
+    def find(self, name_fragment: str) -> dict:
+        """The first operator entry whose name contains ``name_fragment``."""
+        for entry in self.operators:
+            if name_fragment in entry["operator"] or name_fragment in entry["type"]:
+                return entry
+        raise KeyError(f"no operator metrics match {name_fragment!r}")
+
+    # -- aggregates -------------------------------------------------------------
+
+    @property
+    def totals(self) -> dict:
+        """Flow totals summed over every operator."""
+        keys = ("rows_out", "retracts_out", "late_dropped", "expired_rows",
+                "state_rows", "peak_state_rows")
+        out = {key: sum(entry[key] for entry in self.operators) for key in keys}
+        out["rows_in"] = sum(
+            sum(entry["rows_in"]) for entry in self.operators
+        )
+        out["retracts_in"] = sum(
+            sum(entry["retracts_in"]) for entry in self.operators
+        )
+        return out
+
+    @property
+    def skew(self) -> Optional[dict]:
+        """Max/min rows routed per shard, or ``None`` for serial runs."""
+        if self.shard_count <= 1 or not self.shard_rows:
+            return None
+        most, least = max(self.shard_rows), min(self.shard_rows)
+        return {
+            "max": most,
+            "min": least,
+            "ratio": (most / least) if least else float("inf"),
+        }
+
+    # -- rendering ---------------------------------------------------------------
+
+    def render(self) -> str:
+        """The EXPLAIN ANALYZE text: the operator tree with counters."""
+        header = (
+            "operator metrics"
+            if self.shard_count <= 1
+            else f"operator metrics (summed over {self.shard_count} shards)"
+        )
+        lines = [header]
+        for entry in self.operators:
+            lines.append("  " * (entry["depth"] + 1) + _describe(entry))
+        totals = self.totals
+        lines.append(
+            "totals: rows_in={rows_in} rows_out={rows_out} "
+            "late_dropped={late_dropped} expired_rows={expired_rows} "
+            "peak_state={peak_state_rows}".format(**totals)
+        )
+        skew = self.skew
+        if skew is not None:
+            lines.append(
+                f"shard skew: rows routed per shard {self.shard_rows} "
+                f"(max={skew['max']}, min={skew['min']})"
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _describe(entry: dict) -> str:
+    ins = sum(entry["rows_in"])
+    parts = [
+        entry["operator"],
+        f"rows: in={ins} out={entry['rows_out']}",
+    ]
+    retracts = sum(entry["retracts_in"]) + entry["retracts_out"]
+    if retracts:
+        parts.append(
+            f"retracts: in={sum(entry['retracts_in'])} "
+            f"out={entry['retracts_out']}"
+        )
+    if entry["late_dropped"]:
+        parts.append(f"late_dropped={entry['late_dropped']}")
+    if entry["expired_rows"]:
+        parts.append(f"expired_rows={entry['expired_rows']}")
+    if entry["state_rows"] or entry["peak_state_rows"]:
+        parts.append(
+            f"state={entry['state_rows']} peak={entry['peak_state_rows']}"
+        )
+    if entry["watermark_lag"]:
+        parts.append(f"wm_lag={entry['watermark_lag']}ms")
+    for key, value in entry.items():
+        if key in _IDENTITY_KEYS or key in _MAX_KEYS or key in (
+            "rows_in", "retracts_in", "rows_out", "retracts_out",
+            "late_dropped", "expired_rows", "state_rows", "shards",
+        ):
+            continue
+        parts.append(f"{key}={value}")
+    return "  ".join(parts)
+
+
+def _merge_values(key: str, values: list):
+    if key in _MAX_KEYS:
+        return max(values)
+    first = values[0]
+    if isinstance(first, list):
+        return [sum(column) for column in zip(*values)]
+    if isinstance(first, (int, float)):
+        return sum(values)
+    return first
+
+
+def merge_shard_reports(reports: Sequence[MetricsReport]) -> MetricsReport:
+    """Aggregate per-shard reports into per-operator totals + breakdowns.
+
+    Every shard compiles the same plan, so reports align index by
+    index.  Flow counters sum, gauges (peaks, watermark lag) take the
+    maximum, and each merged entry keeps a ``"shards"`` list of rows-in
+    totals so skew is visible per operator, not just per run.  Rows
+    routed per shard are measured at the scan leaves — exactly what the
+    hash router distributed.
+    """
+    if not reports:
+        return MetricsReport(operators=[])
+    if len(reports) == 1:
+        only = reports[0]
+        return MetricsReport(
+            operators=[dict(entry) for entry in only.operators],
+            shard_count=1,
+            shard_rows=[_routed_rows(only)],
+        )
+    merged: list[dict] = []
+    for entries in zip(*(report.operators for report in reports)):
+        entry: dict = {}
+        for key in entries[0]:
+            if key in _IDENTITY_KEYS:
+                entry[key] = entries[0][key]
+            else:
+                entry[key] = _merge_values(key, [e[key] for e in entries])
+        entry["shards"] = [sum(e["rows_in"]) for e in entries]
+        merged.append(entry)
+    return MetricsReport(
+        operators=merged,
+        shard_count=len(reports),
+        shard_rows=[_routed_rows(report) for report in reports],
+    )
+
+
+def _routed_rows(report: MetricsReport) -> int:
+    """Rows delivered to one shard's scan leaves (its routed share)."""
+    return sum(
+        sum(entry["rows_in"])
+        for entry in report.operators
+        if entry.get("leaf")
+    )

@@ -1,0 +1,69 @@
+"""Trace hooks: a callback stream of dataflow progress events.
+
+Metrics answer "how much"; traces answer "when".  A trace callback
+attached to a :class:`~repro.exec.executor.Dataflow` fires on the two
+events that define a streaming run's shape:
+
+* ``"batch"`` — a batch of output changes reached the root (one routed
+  input event's worth of output);
+* ``"watermark"`` — the root output watermark advanced, i.e. the result
+  became complete up to a new event-time boundary.
+
+The bench harness attaches a :class:`TraceCollector` and turns the
+event stream into the ``BENCH_metrics.json`` artifact; anything else —
+progress bars, backpressure monitors, debuggers — can attach its own
+callable instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.times import Timestamp
+
+__all__ = ["TraceEvent", "TraceCollector"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observed dataflow event.
+
+    ``kind`` is ``"batch"`` (``count`` output changes reached the root)
+    or ``"watermark"`` (the root watermark advanced to ``value``);
+    ``ptime`` is the processing time of the event.
+    """
+
+    kind: str
+    ptime: Timestamp
+    count: int = 0
+    value: Optional[Timestamp] = None
+
+
+class TraceCollector:
+    """A trace callback that accumulates events and summary counts."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def __call__(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    @property
+    def batches(self) -> int:
+        return sum(1 for e in self.events if e.kind == "batch")
+
+    @property
+    def changes(self) -> int:
+        return sum(e.count for e in self.events if e.kind == "batch")
+
+    @property
+    def watermark_advances(self) -> int:
+        return sum(1 for e in self.events if e.kind == "watermark")
+
+    def summary(self) -> dict:
+        return {
+            "batches": self.batches,
+            "changes": self.changes,
+            "watermark_advances": self.watermark_advances,
+        }

@@ -74,14 +74,40 @@ class WatermarkFrontier:
         }
 
     def restore(self, snapshot: dict) -> None:
-        if len(snapshot["values"]) != len(self._values):
+        """Restore a snapshot, refusing corrupt ones before mutating self.
+
+        A snapshot is corrupt when its shard count differs, a shard
+        value is not a timestamp, the merged pairs are not a monotone
+        step function, or the published minimum runs ahead of some
+        shard — a merged watermark above a shard's own value would
+        assert completeness the shard never reached.
+        """
+        values = snapshot.get("values")
+        if not isinstance(values, list) or len(values) != len(self._values):
             raise WatermarkError(
-                "frontier snapshot has a different shard count"
+                f"frontier snapshot has {len(values) if isinstance(values, list) else 'no'} "
+                f"shard values, this frontier has {len(self._values)} shards"
             )
-        self._values = list(snapshot["values"])
-        self._merged = WatermarkTrack()
+        for shard, value in enumerate(values):
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise WatermarkError(
+                    f"frontier snapshot shard {shard} watermark is not a "
+                    f"timestamp: {value!r}"
+                )
+        # Rebuild the merged track off to the side first: advance()
+        # validates monotonicity, so a corrupt pair list raises before
+        # any of this frontier's state changes.
+        merged = WatermarkTrack()
         for ptime, value in snapshot["merged_pairs"]:
-            self._merged.advance(ptime, value)
+            merged.advance(ptime, value)
+        for shard, value in enumerate(values):
+            if value < merged.current:
+                raise WatermarkError(
+                    f"frontier snapshot is corrupt: merged watermark "
+                    f"{merged.current} runs ahead of shard {shard} at {value}"
+                )
+        self._values = list(values)
+        self._merged = merged
 
     def __repr__(self) -> str:
         return f"WatermarkFrontier({self._values}, merged={self._merged.current})"

@@ -33,6 +33,7 @@ from ..core.errors import ExecutionError
 from ..core.times import MIN_TIMESTAMP, Timestamp
 from ..core.tvr import RowEvent, StreamEvent, TimeVaryingRelation, WatermarkEvent
 from ..exec.executor import Dataflow, RunResult, merge_source_events
+from ..obs.metrics import merge_shard_reports
 from ..plan.partition import PartitionSpec
 from .backends import run_shards
 from .frontier import WatermarkFrontier
@@ -202,7 +203,14 @@ class ShardedDataflow:
     # -- results -----------------------------------------------------------------
 
     def result(self) -> RunResult:
-        """The merged result accumulated so far."""
+        """The merged result accumulated so far.
+
+        Counters sum over shards: watermarks are broadcast, so every
+        shard applies the serial completeness rules to exactly the rows
+        routed to it, and the totals (late drops, expiries, rows in/out)
+        equal the serial run's.  The attached metrics report additionally
+        keeps the per-shard breakdown, surfacing routing skew.
+        """
         shard_results = [shard.result() for shard in self._shards]
         return RunResult(
             schema=self.plan.schema,
@@ -214,6 +222,13 @@ class ShardedDataflow:
             late_dropped=sum(r.late_dropped for r in shard_results),
             expired_rows=sum(r.expired_rows for r in shard_results),
             peak_state_rows=sum(r.peak_state_rows for r in shard_results),
+            metrics=self.metrics_report(),
+        )
+
+    def metrics_report(self):
+        """Per-operator totals over shards, plus per-shard breakdowns."""
+        return merge_shard_reports(
+            [shard.metrics_report() for shard in self._shards]
         )
 
     # -- checkpointing -----------------------------------------------------------

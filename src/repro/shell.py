@@ -14,6 +14,7 @@ Run it with ``python -m repro``.
 
 from __future__ import annotations
 
+import re
 import sys
 from typing import Optional, TextIO
 
@@ -34,11 +35,13 @@ Commands:
   \\at TIME            set the table-view instant (e.g. \\at 8:13)
   \\until TIME         set the stream-view horizon
   \\explain SQL;       show the optimized plan
+  \\analyze SQL;       run a query and show the plan with operator metrics
   \\state SQL;         run a query and show per-operator state
   \\view NAME SQL;     register a view (expanded wherever referenced)
   \\quit               exit
 Anything else is SQL, terminated by ';'.  Add EMIT STREAM to see the
-changelog rendering instead of a table."""
+changelog rendering instead of a table; EXPLAIN and EXPLAIN ANALYZE
+prefixes work like their backslash commands."""
 
 
 class Shell:
@@ -133,6 +136,9 @@ class Shell:
             if name == "\\explain":
                 sql = line.split(None, 1)[1].rstrip(";")
                 return self.engine.explain(sql)
+            if name == "\\analyze":
+                sql = line.split(None, 1)[1].rstrip(";")
+                return self.engine.explain_analyze(sql)
             if name == "\\save":
                 if len(args) != 2:
                     return "usage: \\save NAME PATH"
@@ -159,6 +165,16 @@ class Shell:
 
     def _run_sql(self, sql: str) -> str:
         try:
+            statement = sql.strip().rstrip(";").strip()
+            match = re.match(
+                r"^explain(\s+analyze)?\s+(.*)$",
+                statement,
+                re.IGNORECASE | re.DOTALL,
+            )
+            if match is not None:
+                if match.group(1):
+                    return self.engine.explain_analyze(match.group(2))
+                return self.engine.explain(match.group(2))
             query = self.engine.query(sql)
             if query.emit.stream:
                 until = self.until if self.until is not None else MAX_TIMESTAMP

@@ -1,0 +1,376 @@
+"""Tests for the uniform operator-metrics layer (``repro.obs``).
+
+The regression that motivated the layer: ``RunResult.late_dropped``
+was summed over an ``isinstance`` allowlist (aggregate, session), so
+late rows dropped by OVER and MATCH_RECOGNIZE operators silently
+vanished from the result counters.  Counting now lives on the operator
+base class, so these tests pin (a) the recovered drops, (b) per-operator
+counters across the operator zoo, (c) serial/sharded agreement, and
+(d) counter survival across checkpoint/restore.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import StreamEngine
+from repro.core.schema import Schema, int_col, string_col, timestamp_col
+from repro.core.times import MAX_TIMESTAMP, minutes, t
+from repro.core.tvr import RowEvent, TimeVaryingRelation, ins, wm
+from repro.obs import MetricsReport, TraceCollector, merge_shard_reports
+from repro.shell import Shell
+
+KEYED_SCHEMA = Schema(
+    [int_col("k"), timestamp_col("ts", event_time=True), int_col("v")]
+)
+TICK_SCHEMA = Schema(
+    [string_col("ticker"), timestamp_col("ts", event_time=True), int_col("price")]
+)
+
+MINUTE = 60_000
+
+OVER_SQL = (
+    "SELECT k, ts, v, SUM(v) OVER (PARTITION BY k ORDER BY ts) AS total "
+    "FROM S"
+)
+
+MATCH_SQL = """
+SELECT *
+FROM Ticks MATCH_RECOGNIZE (
+  PARTITION BY ticker
+  ORDER BY ts
+  MEASURES FIRST(DOWN.price) AS top, LAST(UP.price) AS recovered
+  ONE ROW PER MATCH
+  AFTER MATCH SKIP PAST LAST ROW
+  PATTERN ( DOWN+ UP+ )
+  DEFINE DOWN AS price < 100, UP AS price >= 100
+)
+"""
+
+TUMBLE_SQL = """
+    SELECT k, wend, SUM(v) AS total
+    FROM Tumble(data => TABLE(S),
+                timecol => DESCRIPTOR(ts),
+                dur => INTERVAL '2' MINUTE) TS
+    GROUP BY k, wend
+"""
+
+SESSION_SQL = """
+    SELECT k, wstart, wend, COUNT(*) AS n
+    FROM Session(data => TABLE(S),
+                 timecol => DESCRIPTOR(ts),
+                 key => DESCRIPTOR(k),
+                 gap => INTERVAL '1' MINUTE) TS
+    GROUP BY k, wstart, wend
+"""
+
+SELF_JOIN_SQL = "SELECT a.k, a.v, b.v FROM S a JOIN S b ON a.k = b.k"
+
+
+def keyed_engine(events, parallelism=1):
+    engine = StreamEngine(parallelism=parallelism, backend="sync")
+    engine.register_stream("S", TimeVaryingRelation(KEYED_SCHEMA, events))
+    return engine
+
+
+def late_row_events():
+    """One on-time row, a watermark advance, then a late row."""
+    return [
+        ins(100, (1, t("8:00"), 10)),
+        wm(200, t("8:10")),
+        ins(300, (1, t("8:01"), 20)),  # behind the 8:10 watermark: late
+        wm(400, t("8:30")),
+    ]
+
+
+def tick_engine(parallelism=1):
+    tvr = TimeVaryingRelation(TICK_SCHEMA)
+    tvr.insert(100, ("A", t("9:00"), 90))
+    tvr.insert(200, ("A", t("9:01"), 105))
+    tvr.advance_watermark(300, t("9:10"))
+    tvr.insert(400, ("A", t("9:02"), 95))  # late: behind the 9:10 watermark
+    tvr.advance_watermark(500, MAX_TIMESTAMP)
+    engine = StreamEngine(parallelism=parallelism, backend="sync")
+    engine.register_stream("Ticks", tvr)
+    return engine
+
+
+class TestLateDropRegression:
+    """The headline bug: drops outside the old allowlist were lost."""
+
+    def test_over_late_drop_reaches_run_result(self):
+        result = keyed_engine(late_row_events()).query(OVER_SQL).run()
+        assert result.late_dropped == 1
+        assert result.metrics.find("Over")["late_dropped"] == 1
+
+    def test_match_recognize_late_drop_reaches_run_result(self):
+        result = tick_engine().query(MATCH_SQL).run()
+        assert result.late_dropped == 1
+        assert result.metrics.find("Match")["late_dropped"] == 1
+
+    def test_aggregate_drops_still_counted(self):
+        result = keyed_engine(late_row_events()).query(TUMBLE_SQL).run()
+        assert result.late_dropped == 1
+        assert result.metrics.find("Aggregate")["late_dropped"] == 1
+
+    def test_result_equals_sum_over_all_operators(self):
+        for engine, sql in [
+            (keyed_engine(late_row_events()), OVER_SQL),
+            (tick_engine(), MATCH_SQL),
+            (keyed_engine(late_row_events()), TUMBLE_SQL),
+        ]:
+            result = engine.query(sql).run()
+            assert result.late_dropped == sum(
+                entry["late_dropped"] for entry in result.metrics.operators
+            )
+
+    def test_serial_and_sharded_engine_agree(self):
+        """A parallel engine (which falls back to serial for OVER and
+        MATCH plans, and shards the Tumble plan) reports the same drop
+        totals as a serial one."""
+        cases = [
+            (lambda p: keyed_engine(late_row_events(), p), OVER_SQL),
+            (lambda p: tick_engine(p), MATCH_SQL),
+            (lambda p: keyed_engine(late_row_events(), p), TUMBLE_SQL),
+        ]
+        for make, sql in cases:
+            serial = make(1).query(sql).run()
+            sharded = make(4).query(sql).run()
+            assert sharded.late_dropped == serial.late_dropped == 1
+            assert sharded.expired_rows == serial.expired_rows
+
+
+class TestPerOperatorCounters:
+    def test_aggregate_counts_rows_and_retractions(self):
+        events = [
+            ins(100, (1, t("8:00"), 10)),
+            ins(200, (1, t("8:01"), 20)),
+            wm(300, MAX_TIMESTAMP),
+        ]
+        report = keyed_engine(events).query(TUMBLE_SQL).run().metrics
+        agg = report.find("Aggregate")
+        assert sum(agg["rows_in"]) == 2
+        # second row refines the first sum: retract + re-insert
+        assert agg["rows_out"] == 3
+        assert agg["retracts_out"] == 1
+        assert sum(agg["retracts_in"]) == 0
+
+    def test_join_counts_both_ports(self):
+        events = [
+            ins(100, (1, t("8:00"), 10)),
+            ins(200, (1, t("8:01"), 20)),
+            wm(300, MAX_TIMESTAMP),
+        ]
+        join = (
+            keyed_engine(events).query(SELF_JOIN_SQL).run().metrics.find("Join")
+        )
+        assert join["rows_in"] == [2, 2]  # both sides scan the same stream
+        assert join["rows_out"] == 4  # 2x2 pairs on key 1
+
+    def test_session_counters_and_extras(self):
+        events = [
+            ins(100, (1, t("8:00"), 1)),
+            ins(200, (1, t("8:00:30"), 1)),
+            ins(300, (2, t("8:05"), 1)),
+            wm(400, MAX_TIMESTAMP),
+        ]
+        session = (
+            keyed_engine(events).query(SESSION_SQL).run().metrics.find("Session")
+        )
+        assert sum(session["rows_in"]) == 3
+        assert session["rows_out"] >= 2  # one row per closed session
+
+    def test_over_and_match_row_counts(self):
+        over = keyed_engine(late_row_events()).query(OVER_SQL).run().metrics
+        assert sum(over.find("Over")["rows_in"]) == 2  # late row included
+        match = tick_engine().query(MATCH_SQL).run().metrics.find("Match")
+        assert sum(match["rows_in"]) == 3
+        assert match["matches_emitted"] == 1
+
+    def test_scan_leaves_marked_and_depths_nest(self):
+        report = keyed_engine(late_row_events()).query(TUMBLE_SQL).run().metrics
+        leaves = [e for e in report.operators if e["leaf"]]
+        assert len(leaves) == 1 and leaves[0]["type"] == "ScanOperator"
+        assert report.operators[0]["depth"] == 0  # root first, pre-order
+        assert leaves[0]["depth"] == max(e["depth"] for e in report.operators)
+
+    def test_state_peaks_are_observed(self):
+        report = keyed_engine(late_row_events()).query(TUMBLE_SQL).run().metrics
+        agg = report.find("Aggregate")
+        assert agg["peak_state_rows"] >= 1
+        assert agg["state_rows"] <= agg["peak_state_rows"]
+
+
+class TestReportRendering:
+    def test_render_lists_operators_and_totals(self):
+        report = keyed_engine(late_row_events()).query(TUMBLE_SQL).run().metrics
+        text = report.render()
+        assert text.startswith("operator metrics")
+        assert "Scan(S)" in text
+        assert "late_dropped=1" in text
+        assert "totals:" in text
+
+    def test_explain_analyze_combines_plan_and_metrics(self):
+        engine = keyed_engine(late_row_events())
+        text = engine.explain_analyze(TUMBLE_SQL)
+        assert "Aggregate(" in text  # the logical plan
+        assert "operator metrics" in text  # the runtime annotation
+        assert "late_dropped=1" in text
+
+    def test_shell_analyze_command_and_sql_prefix(self):
+        engine = keyed_engine(late_row_events())
+        shell = Shell(engine)
+        out = shell.feed(f"\\analyze {TUMBLE_SQL};")
+        assert "operator metrics" in out
+        sql_out = None
+        for line in f"EXPLAIN ANALYZE {TUMBLE_SQL};".splitlines():
+            sql_out = shell.feed(line)
+        assert sql_out is not None and "operator metrics" in sql_out
+        plain = None
+        for line in f"EXPLAIN {TUMBLE_SQL};".splitlines():
+            plain = shell.feed(line)
+        assert "operator metrics" not in plain
+
+    def test_stats_carries_metrics_report(self):
+        stats = keyed_engine(late_row_events()).query(TUMBLE_SQL).stats()
+        assert isinstance(stats["metrics"], MetricsReport)
+        assert stats["late_dropped"] == 1
+
+
+class TestShardedMetrics:
+    def test_merged_report_shape_and_skew(self):
+        events = [ins(100 + i, (i % 5, t("8:00") + i * 1000, i)) for i in range(20)]
+        events.append(wm(1000, MAX_TIMESTAMP))
+        query = keyed_engine(events, parallelism=4).query(TUMBLE_SQL)
+        assert query.partition_decision().partitionable
+        report = query.run().metrics
+        assert report.shard_count == 4
+        assert len(report.shard_rows) == 4
+        # every routed row lands on exactly one shard
+        assert sum(report.shard_rows) == 20
+        assert report.skew is not None
+        assert report.skew["max"] >= report.skew["min"]
+        # each merged entry carries the per-shard rows_in breakdown
+        assert all(len(e["shards"]) == 4 for e in report.operators)
+
+    def test_sharded_totals_match_serial(self):
+        events = late_row_events() + [
+            ins(500, (k, t("8:20") + k * 1000, k)) for k in range(6)
+        ] + [wm(600, MAX_TIMESTAMP)]
+        serial = keyed_engine(events).query(TUMBLE_SQL).run().metrics
+        sharded = keyed_engine(events, parallelism=3).query(TUMBLE_SQL).run().metrics
+        st_, sh = serial.totals, sharded.totals
+        for key in ("rows_in", "rows_out", "retracts_in", "retracts_out",
+                    "late_dropped", "expired_rows", "state_rows"):
+            assert sh[key] == st_[key], key
+
+    def test_merge_of_single_report_is_identity(self):
+        report = keyed_engine(late_row_events()).query(TUMBLE_SQL).run().metrics
+        merged = merge_shard_reports([report])
+        assert merged.shard_count == 1
+        assert merged.totals == report.totals
+
+
+@st.composite
+def event_histories(draw):
+    """Random keyed rows with jittered event times and watermark steps."""
+    steps = draw(
+        st.lists(
+            st.tuples(
+                st.booleans(),
+                st.integers(min_value=0, max_value=7),
+                st.integers(min_value=-3, max_value=3),
+                st.integers(min_value=0, max_value=99),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    events = []
+    ptime = 1_000_000
+    wm_value = 0
+    for is_row, a, b, c in steps:
+        ptime += MINUTE // 4
+        if is_row:
+            events.append(ins(ptime, (a, max(0, wm_value + b * MINUTE), c)))
+        else:
+            wm_value += a * MINUTE
+            events.append(wm(ptime, wm_value))
+    return events
+
+
+@settings(max_examples=25, deadline=None)
+@given(events=event_histories(), shards=st.integers(min_value=2, max_value=5))
+def test_property_sharded_metric_totals_equal_serial(events, shards):
+    """Flow counters are routing-invariant: summed over shards they equal
+    the serial run's, for every history.  (State *peaks* are excluded —
+    a sum of per-shard maxima is not the maximum of sums.)"""
+    serial = keyed_engine(events).query(TUMBLE_SQL).run()
+    sharded = keyed_engine(events, parallelism=shards).query(TUMBLE_SQL).run()
+    st_, sh = serial.metrics.totals, sharded.metrics.totals
+    for key in ("rows_in", "rows_out", "retracts_in", "retracts_out",
+                "late_dropped", "expired_rows", "state_rows"):
+        assert sh[key] == st_[key], key
+    assert sharded.late_dropped == serial.late_dropped
+    assert sum(sharded.metrics.shard_rows) == sum(
+        1 for e in events if isinstance(e, RowEvent)
+    )
+
+
+class TestCheckpointRoundtrip:
+    def test_serial_checkpoint_preserves_counters(self):
+        events = late_row_events()
+        query = keyed_engine(events).query(TUMBLE_SQL)
+        uninterrupted = query.run()
+
+        first = query.dataflow()
+        for event in events[:2]:
+            first.process(event, "S")
+        blob = first.checkpoint()
+        del first
+
+        recovered = query.dataflow()
+        recovered.restore(blob)
+        for event in events[2:]:
+            recovered.process(event, "S")
+        result = recovered.finish()
+        assert result.late_dropped == uninterrupted.late_dropped == 1
+        assert result.metrics.totals == uninterrupted.metrics.totals
+
+    def test_sharded_checkpoint_preserves_counters(self):
+        events = late_row_events() + [
+            ins(500 + k, (k, t("8:20") + k * 1000, k)) for k in range(6)
+        ] + [wm(600, MAX_TIMESTAMP)]
+        query = keyed_engine(events, parallelism=3).query(TUMBLE_SQL)
+        uninterrupted = query.run()
+
+        first = query.sharded_dataflow()
+        for event in events[:4]:
+            first.process(event, "S")
+        blob = first.checkpoint()
+        del first
+
+        recovered = query.sharded_dataflow()
+        recovered.restore(blob)
+        for event in events[4:]:
+            recovered.process(event, "S")
+        result = recovered.finish()
+        assert result.metrics.totals == uninterrupted.metrics.totals
+        assert result.late_dropped == uninterrupted.late_dropped
+
+
+class TestTraceHooks:
+    def test_collector_sees_batches_and_watermarks(self):
+        events = late_row_events()
+        query = keyed_engine(events).query(TUMBLE_SQL)
+        dataflow = query.dataflow()
+        trace = TraceCollector()
+        dataflow.trace = trace
+        dataflow.run()
+        assert trace.batches >= 1
+        assert trace.changes >= 1
+        assert trace.watermark_advances >= 1
+        summary = trace.summary()
+        assert summary["batches"] == trace.batches
+        assert summary["watermark_advances"] == trace.watermark_advances
+        kinds = {event.kind for event in trace.events}
+        assert kinds <= {"batch", "watermark"}

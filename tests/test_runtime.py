@@ -130,6 +130,35 @@ class TestFrontier:
         with pytest.raises(WatermarkError):
             WatermarkFrontier(0)
 
+    @pytest.mark.parametrize(
+        "snapshot",
+        [
+            # merged minimum runs ahead of a shard's own watermark
+            {"values": [10, 80], "merged_pairs": [(100, 50)]},
+            # merged pairs regress in value
+            {"values": [50, 80], "merged_pairs": [(100, 50), (200, 40)]},
+            # merged pairs regress in processing time
+            {"values": [50, 80], "merged_pairs": [(100, 50), (50, 60)]},
+            # shard value is not a timestamp
+            {"values": [50, "corrupt"], "merged_pairs": []},
+            {"values": [50, None], "merged_pairs": []},
+        ],
+    )
+    def test_corrupt_snapshot_rejected(self, snapshot):
+        f = WatermarkFrontier(2)
+        with pytest.raises(WatermarkError):
+            f.restore(snapshot)
+
+    def test_rejected_restore_leaves_state_untouched(self):
+        f = WatermarkFrontier(2)
+        f.observe(0, 100, 50)
+        f.observe(1, 110, 70)
+        with pytest.raises(WatermarkError):
+            f.restore({"values": [10, 80], "merged_pairs": [(100, 50)]})
+        assert f.shard_value(0) == 50
+        assert f.shard_value(1) == 70
+        assert f.merged.as_pairs() == [(110, 50)]
+
 
 class TestAnalyzer:
     """The analyzer's accept/reject decisions, surfaced via explain()."""

@@ -42,6 +42,23 @@ class TestParse:
         with pytest.raises(ValueError):
             t(bad)
 
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "-1:30",  # negative hour parsed fine by int(), but not a clock
+            "1:-5",
+            "+2:00",
+            " 3:00",
+            "8:1_0",
+            "8:07:-3",
+            "8:07:01.-5",
+            "8:07:aa",
+        ],
+    )
+    def test_rejects_signed_and_malformed_parts(self, bad):
+        with pytest.raises(ValueError):
+            t(bad)
+
 
 class TestFormat:
     def test_round_trip_minutes(self):
@@ -56,6 +73,12 @@ class TestFormat:
     def test_sentinels(self):
         assert fmt_time(MIN_TIMESTAMP) == "-inf"
         assert fmt_time(MAX_TIMESTAMP) == "+inf"
+
+    def test_sentinels_clamp_symmetrically(self):
+        """Both out-of-domain sides render as infinities — a value past
+        MIN_TIMESTAMP used to fall through to the numeric renderer."""
+        assert fmt_time(MIN_TIMESTAMP - 1) == "-inf"
+        assert fmt_time(MAX_TIMESTAMP + 1) == "+inf"
 
     def test_negative(self):
         assert fmt_time(-t("1:30")) == "-1:30"
