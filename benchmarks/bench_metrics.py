@@ -8,7 +8,12 @@ attached, and writes ``BENCH_metrics.json`` — the artifact CI uploads:
   always on, so these times *include* its cost);
 * the per-operator flow totals from the :class:`MetricsReport`;
 * rows routed per shard and the max/min skew summary;
-* the trace summary (batches, changes, watermark advances).
+* the trace summary (batches, changes, watermark advances);
+* per-query emit-latency and watermark-lag percentiles (``latency``),
+  identical across configurations by the routing invariance argument.
+
+``schema_version`` is bumped whenever the artifact layout changes so
+downstream dashboards can dispatch on it (currently 2: adds latency).
 
 Runs under plain pytest (no pytest-benchmark fixtures) and as a
 script::
@@ -38,6 +43,15 @@ SQL = """
 """
 
 ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_metrics.json"
+SCHEMA_VERSION = 2
+
+
+def _latency(report) -> dict:
+    """The run's latency telemetry as plain JSON-able percentiles."""
+    telemetry = report.telemetry
+    if telemetry is None:  # pragma: no cover — every dataflow attaches one
+        return {}
+    return telemetry.summary()
 
 
 def _workload():
@@ -62,6 +76,7 @@ def _run_serial_traced(streams) -> dict:
         "totals": result.metrics.totals,
         "late_dropped": result.late_dropped,
         "expired_rows": result.expired_rows,
+        "latency": _latency(result.metrics),
         "trace": trace.summary(),
     }
 
@@ -83,6 +98,7 @@ def _run_sharded(streams, shards: int) -> dict:
         "totals": report.totals,
         "late_dropped": result.late_dropped,
         "expired_rows": result.expired_rows,
+        "latency": _latency(report),
         "shard_rows": report.shard_rows,
         "skew": report.skew,
     }
@@ -95,6 +111,7 @@ def collect() -> dict:
     for shards in SHARD_SWEEP[1:]:
         runs.append(_run_sharded(streams, shards))
     return {
+        "schema_version": SCHEMA_VERSION,
         "workload": {"events": NUM_EVENTS, "seed": 42, "query": " ".join(SQL.split())},
         "runs": runs,
     }
@@ -110,13 +127,18 @@ def test_metrics_bench_produces_artifact():
     agree on the flow totals (routing-invariant counters), and the
     artifact must land on disk for CI to upload."""
     payload = collect()
+    assert payload["schema_version"] == SCHEMA_VERSION
     serial = payload["runs"][0]
+    assert serial["latency"]["emit_latency"]["count"] > 0
     for run in payload["runs"][1:]:
         for key in ("rows_in", "rows_out", "late_dropped", "expired_rows"):
             assert run["totals"][key] == serial["totals"][key], key
         assert sum(run["shard_rows"]) == sum(
             payload["runs"][1]["shard_rows"]
         )  # every row routed exactly once, regardless of width
+        # Routing invariance: shard-merged latency histograms hold exactly
+        # the serial run's samples.
+        assert run["latency"] == serial["latency"]
     assert serial["trace"]["batches"] > 0
     assert serial["trace"]["watermark_advances"] > 0
     path = write_artifact(payload)

@@ -73,7 +73,8 @@ from .core import (
 from .engine import PreparedQuery, StreamEngine
 from .exec import DeltaChange, StateReport, StreamChange
 from .io import format_script, parse_script
-from .obs import MetricsReport, TraceCollector, TraceEvent
+from .obs import Histogram, MetricsReport, RunTelemetry, TraceCollector, TraceEvent
+from .obs.export import JsonLinesExporter, PrometheusExporter, make_exporter
 
 __version__ = "1.0.0"
 
@@ -84,8 +85,13 @@ __all__ = [
     "DeltaChange",
     "StateReport",
     "MetricsReport",
+    "Histogram",
+    "RunTelemetry",
     "TraceEvent",
     "TraceCollector",
+    "JsonLinesExporter",
+    "PrometheusExporter",
+    "make_exporter",
     "parse_script",
     "format_script",
     # re-exported core API

@@ -1,6 +1,47 @@
-"""Entry point: ``python -m repro`` starts the interactive SQL shell."""
+"""Entry point: ``python -m repro`` starts the interactive SQL shell.
 
+Flags configure the engine behind the shell::
+
+    python -m repro --parallelism 4 --backend threads \\
+                    --telemetry prometheus:metrics.prom
+
+``--telemetry`` takes the same spec strings as
+``StreamEngine(telemetry=...)``: ``jsonl:PATH`` writes every trace
+event as one JSON object per line; ``prometheus:PATH`` rewrites a text
+exposition file after each query run.
+"""
+
+import argparse
+
+from .engine import StreamEngine
 from .shell import Shell
 
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Interactive streaming-SQL shell.",
+    )
+    parser.add_argument(
+        "--parallelism", type=int, default=1,
+        help="number of shards for key-partitionable queries (default 1)",
+    )
+    parser.add_argument(
+        "--backend", default="threads",
+        help="shard worker pool: threads (default), processes, or sync",
+    )
+    parser.add_argument(
+        "--telemetry", default=None, metavar="SPEC",
+        help="telemetry exporter: jsonl:PATH or prometheus:PATH",
+    )
+    args = parser.parse_args(argv)
+    engine = StreamEngine(
+        parallelism=args.parallelism,
+        backend=args.backend,
+        telemetry=args.telemetry,
+    )
+    Shell(engine).run()
+
+
 if __name__ == "__main__":
-    Shell().run()
+    main()

@@ -32,6 +32,7 @@ from .exec.materialize import (
     stream_view,
     table_view,
 )
+from .obs.export import TelemetryExporter, make_exporter
 from .plan.logical import SortNode
 from .plan.optimizer import optimize
 from .plan.partition import PartitionDecision, analyze_partitioning
@@ -60,9 +61,21 @@ class StreamEngine:
     serial engine, falling back to serial for queries the partition
     analyzer rejects.  ``backend`` picks the shard worker pool:
     ``"threads"`` (default), ``"processes"``, or ``"sync"``.
+
+    ``telemetry`` plugs an exporter into every query execution: a
+    :class:`~repro.obs.export.TelemetryExporter` instance, or a spec
+    string — ``"jsonl:PATH"`` (trace-event log, one JSON object per
+    line) or ``"prometheus:PATH"`` (text exposition written after each
+    run).  Latency telemetry is always *recorded* (it rides on the
+    metrics report); the exporter only controls where it goes.
     """
 
-    def __init__(self, parallelism: int = 1, backend: str = "threads") -> None:
+    def __init__(
+        self,
+        parallelism: int = 1,
+        backend: str = "threads",
+        telemetry=None,
+    ) -> None:
         if parallelism < 1:
             raise ValidationError("parallelism must be at least 1")
         if backend not in BACKENDS:
@@ -71,6 +84,10 @@ class StreamEngine:
             )
         self.parallelism = parallelism
         self.backend = backend
+        try:
+            self.telemetry: Optional[TelemetryExporter] = make_exporter(telemetry)
+        except ValueError as exc:
+            raise ValidationError(str(exc)) from exc
         self._catalog = Catalog()
         self._registry = default_registry()
         self._sources: dict[str, TimeVaryingRelation] = {}
@@ -260,21 +277,29 @@ class PreparedQuery:
         return self._cached
 
     def _execute(self) -> RunResult:
+        exporter = self._engine.telemetry
+        flow = None
         if self._engine.parallelism > 1:
             decision = self.partition_decision()
             if decision.partitionable:
-                return ShardedDataflow(
+                flow = ShardedDataflow(
                     self.plan,
                     self._engine._sources,
                     decision.spec,
                     self._engine.parallelism,
                     self.allowed_lateness,
                     backend=self._engine.backend,
-                ).run()
-        dataflow = Dataflow(
-            self.plan, self._engine._sources, self.allowed_lateness
-        )
-        return dataflow.run()
+                )
+        if flow is None:
+            flow = Dataflow(
+                self.plan, self._engine._sources, self.allowed_lateness
+            )
+        if exporter is not None:
+            flow.trace = exporter.on_event
+        result = flow.run()
+        if exporter is not None:
+            exporter.export(result)
+        return result
 
     def dataflow(self) -> Dataflow:
         """A fresh, un-run serial dataflow (for incremental feeding / benchmarks)."""

@@ -29,6 +29,7 @@ from ..core.times import MAX_TIMESTAMP, MIN_TIMESTAMP, Timestamp
 from ..core.tvr import RowEvent, StreamEvent, TimeVaryingRelation, WatermarkEvent
 from ..core.watermark import WatermarkTrack
 from ..obs.metrics import MetricsRegistry, MetricsReport
+from ..obs.telemetry import RunTelemetry
 from ..obs.trace import TraceEvent
 from ..plan.planner import QueryPlan
 from .compile import CompiledPlan, compile_plan
@@ -126,6 +127,11 @@ class Dataflow:
         #: :class:`~repro.obs.trace.TraceEvent` on every root change
         #: batch and root watermark advance.
         self.trace: Optional[Callable[[TraceEvent], None]] = None
+        #: latency telemetry sampled at the root: emit latency against
+        #: the plan's completion columns, watermark lag at emission.
+        self.telemetry = RunTelemetry()
+        self._completion = plan.root.completion_indices
+        self._root_name = self._compiled.root.name()
         # processing-time timer service: (deadline, seq, operator)
         self._timers: list[tuple[Timestamp, int, Operator]] = []
         self._timer_seq = 0
@@ -160,6 +166,17 @@ class Dataflow:
     def total_state_rows(self) -> int:
         """Rows currently retained across all operator state."""
         return sum(op.state_size() for op in self._compiled.operators)
+
+    def rows_ingested(self) -> int:
+        """Rows delivered to this dataflow's scan leaves so far.
+
+        On a shard this is exactly the rows the hash router assigned to
+        it — the per-shard skew signal the dashboard and the merged
+        metrics report display.
+        """
+        return sum(
+            sum(leaf.counters.rows_in) for leaf in self._compiled.leaves
+        )
 
     def state_report(self):
         """Per-operator state breakdown (the Section 5 feedback lesson)."""
@@ -200,6 +217,7 @@ class Dataflow:
                 for when, seq, op in self._timers
             ],
             "timer_seq": self._timer_seq,
+            "telemetry": self.telemetry.snapshot(),
         }
         return pickle.dumps(payload)
 
@@ -227,6 +245,9 @@ class Dataflow:
         ]
         heapq.heapify(self._timers)
         self._timer_seq = payload["timer_seq"]
+        telemetry = payload.get("telemetry")
+        if telemetry is not None:
+            self.telemetry.restore(telemetry)
 
     def run(self, until: Optional[Timestamp] = None) -> RunResult:
         """Replay all source events (up to ``until``) and collect the result.
@@ -319,7 +340,7 @@ class Dataflow:
                 visit(child, depth + 1)
 
         visit(self._compiled.root, 0)
-        return MetricsReport(operators=entries)
+        return MetricsReport(operators=entries, telemetry=self.telemetry)
 
     # -- internals ---------------------------------------------------------------
 
@@ -383,7 +404,12 @@ class Dataflow:
             self._root_wms.advance(ptime, out_wm)
             if self.trace is not None:
                 self.trace(
-                    TraceEvent(kind="watermark", ptime=ptime, value=out_wm)
+                    TraceEvent(
+                        kind="watermark",
+                        ptime=ptime,
+                        value=out_wm,
+                        operator=self._root_name,
+                    )
                 )
             return
         parent, parent_port = parent_entry
@@ -391,12 +417,29 @@ class Dataflow:
 
     def _collect_root(self, changes: list[Change]) -> None:
         self._root_changes.extend(changes)
+        root_wm = self._root_wms.current
+        completion = self._completion
+        for change in changes:
+            completion_time: Optional[Timestamp] = None
+            if completion is not None:
+                # Completion columns hold event-time bounds, but outer
+                # joins may emit NULLs there; a row with no bound yields
+                # no emit-latency sample.
+                bounds = [
+                    change.values[i]
+                    for i in completion
+                    if isinstance(change.values[i], int)
+                ]
+                if bounds:
+                    completion_time = max(bounds)
+            self.telemetry.record_emit(change.ptime, completion_time, root_wm)
         if self.trace is not None:
             self.trace(
                 TraceEvent(
                     kind="batch",
                     ptime=changes[-1].ptime,
                     count=len(changes),
+                    operator=self._root_name,
                 )
             )
 

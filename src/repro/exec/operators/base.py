@@ -112,6 +112,8 @@ class Operator:
     ) -> tuple[list[Change], Optional[Timestamp]]:
         changes, out_wm = self.on_watermark(port, value, ptime)
         self.counters.record_out(changes)
+        if out_wm is not None:
+            self.counters.record_wm_advance()
         return changes, out_wm
 
     def process_timer(self, when: Timestamp) -> list[Change]:
@@ -200,6 +202,7 @@ class Operator:
             "state_rows": self.state_size(),
             "peak_state_rows": counters.peak_state_rows,
             "watermark_lag": watermark_lag(self.input_watermark, self._output_wm),
+            "wm_advances": counters.wm_advances,
         }
         block.update(self._extra_metrics())
         return block

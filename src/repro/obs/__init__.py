@@ -1,10 +1,14 @@
-"""Observability: uniform operator metrics, reports, and trace hooks.
+"""Observability: operator metrics, latency telemetry, traces, exporters.
 
-See :mod:`repro.obs.metrics` for the counter/report layer and
-:mod:`repro.obs.trace` for the event-callback API; docs/OBSERVABILITY.md
-has the user-facing catalogue.
+See :mod:`repro.obs.metrics` for the counter/report layer,
+:mod:`repro.obs.histogram` / :mod:`repro.obs.telemetry` for the
+latency-distribution layer, :mod:`repro.obs.trace` for the
+event-callback API, and :mod:`repro.obs.export` for the JSONL and
+Prometheus exporters; docs/OBSERVABILITY.md has the user-facing
+catalogue (including the stable Prometheus metric names).
 """
 
+from .histogram import BUCKET_BOUNDS, Histogram
 from .metrics import (
     MetricsRegistry,
     MetricsReport,
@@ -12,6 +16,7 @@ from .metrics import (
     merge_shard_reports,
     watermark_lag,
 )
+from .telemetry import RunTelemetry, render_dashboard
 from .trace import TraceCollector, TraceEvent
 
 __all__ = [
@@ -20,6 +25,10 @@ __all__ = [
     "MetricsReport",
     "merge_shard_reports",
     "watermark_lag",
+    "Histogram",
+    "BUCKET_BOUNDS",
+    "RunTelemetry",
+    "render_dashboard",
     "TraceCollector",
     "TraceEvent",
 ]

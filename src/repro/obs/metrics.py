@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 from ..core.times import MAX_TIMESTAMP, MIN_TIMESTAMP
+from .telemetry import RunTelemetry
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.changelog import Change
@@ -53,7 +54,7 @@ class OperatorCounters:
     """
 
     __slots__ = ("rows_in", "retracts_in", "rows_out", "retracts_out",
-                 "peak_state_rows")
+                 "peak_state_rows", "wm_advances")
 
     def __init__(self, arity: int):
         self.rows_in = [0] * arity
@@ -61,6 +62,7 @@ class OperatorCounters:
         self.rows_out = 0
         self.retracts_out = 0
         self.peak_state_rows = 0
+        self.wm_advances = 0
 
     # -- recording (hot path) ------------------------------------------------
 
@@ -81,6 +83,9 @@ class OperatorCounters:
         if size > self.peak_state_rows:
             self.peak_state_rows = size
 
+    def record_wm_advance(self) -> None:
+        self.wm_advances += 1
+
     # -- checkpointing -------------------------------------------------------
 
     def snapshot(self) -> dict:
@@ -90,6 +95,7 @@ class OperatorCounters:
             "rows_out": self.rows_out,
             "retracts_out": self.retracts_out,
             "peak_state_rows": self.peak_state_rows,
+            "wm_advances": self.wm_advances,
         }
 
     def restore(self, snapshot: dict) -> None:
@@ -98,6 +104,8 @@ class OperatorCounters:
         self.rows_out = snapshot["rows_out"]
         self.retracts_out = snapshot["retracts_out"]
         self.peak_state_rows = snapshot["peak_state_rows"]
+        # Absent in pre-telemetry checkpoints; start the count fresh.
+        self.wm_advances = snapshot.get("wm_advances", 0)
 
 
 def watermark_lag(input_wm: int, output_wm: int) -> int:
@@ -160,12 +168,15 @@ class MetricsReport:
     reads like the ``EXPLAIN`` plan annotated with counters.  For
     sharded runs ``shard_count > 1``, each entry carries a ``"shards"``
     per-shard ``rows_in`` breakdown and ``shard_rows`` records rows
-    routed per shard (the skew signal).
+    routed per shard (the skew signal).  ``telemetry`` is the run's
+    latency telemetry (emit-latency and watermark-lag histograms),
+    merged over shards for sharded runs.
     """
 
     operators: list[dict]
     shard_count: int = 1
     shard_rows: list[int] = field(default_factory=list)
+    telemetry: Optional[RunTelemetry] = None
 
     # -- lookups ---------------------------------------------------------------
 
@@ -228,6 +239,8 @@ class MetricsReport:
                 f"shard skew: rows routed per shard {self.shard_rows} "
                 f"(max={skew['max']}, min={skew['min']})"
             )
+        if self.telemetry is not None and not self.telemetry.empty:
+            lines.append(self.telemetry.render())
         return "\n".join(lines)
 
     def __str__(self) -> str:
@@ -256,10 +269,13 @@ def _describe(entry: dict) -> str:
         )
     if entry["watermark_lag"]:
         parts.append(f"wm_lag={entry['watermark_lag']}ms")
+    if entry.get("wm_advances"):
+        parts.append(f"wm_advances={entry['wm_advances']}")
     for key, value in entry.items():
         if key in _IDENTITY_KEYS or key in _MAX_KEYS or key in (
             "rows_in", "retracts_in", "rows_out", "retracts_out",
             "late_dropped", "expired_rows", "state_rows", "shards",
+            "wm_advances",
         ):
             continue
         parts.append(f"{key}={value}")
@@ -289,12 +305,16 @@ def merge_shard_reports(reports: Sequence[MetricsReport]) -> MetricsReport:
     """
     if not reports:
         return MetricsReport(operators=[])
+    telemetry = RunTelemetry.merged(
+        report.telemetry for report in reports if report.telemetry is not None
+    )
     if len(reports) == 1:
         only = reports[0]
         return MetricsReport(
             operators=[dict(entry) for entry in only.operators],
             shard_count=1,
             shard_rows=[_routed_rows(only)],
+            telemetry=telemetry,
         )
     merged: list[dict] = []
     for entries in zip(*(report.operators for report in reports)):
@@ -310,6 +330,7 @@ def merge_shard_reports(reports: Sequence[MetricsReport]) -> MetricsReport:
         operators=merged,
         shard_count=len(reports),
         shard_rows=[_routed_rows(report) for report in reports],
+        telemetry=telemetry,
     )
 
 

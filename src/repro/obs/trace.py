@@ -1,23 +1,34 @@
 """Trace hooks: a callback stream of dataflow progress events.
 
 Metrics answer "how much"; traces answer "when".  A trace callback
-attached to a :class:`~repro.exec.executor.Dataflow` fires on the two
-events that define a streaming run's shape:
+attached to a :class:`~repro.exec.executor.Dataflow` (or a
+:class:`~repro.runtime.sharded.ShardedDataflow`) fires on the events
+that define a streaming run's shape:
 
 * ``"batch"`` — a batch of output changes reached the root (one routed
   input event's worth of output);
 * ``"watermark"`` — the root output watermark advanced, i.e. the result
-  became complete up to a new event-time boundary.
+  became complete up to a new event-time boundary;
+* ``"frontier"`` — one *shard's* root watermark advanced (sharded runs
+  only).  The merged minimum advancing is reported as a ``"watermark"``
+  event; the per-shard ``"frontier"`` events in between are the
+  propagation timeline that makes skewed and straggler shards visible.
+
+Every event carries provenance: ``operator`` names the operator the
+event was observed at (the root operator for batch/watermark events)
+and ``shard`` is the shard index, or ``None`` on a serial run.  Both
+are defaulted, so pre-existing callbacks and constructors keep working.
 
 The bench harness attaches a :class:`TraceCollector` and turns the
-event stream into the ``BENCH_metrics.json`` artifact; anything else —
-progress bars, backpressure monitors, debuggers — can attach its own
-callable instead.
+event stream into the ``BENCH_metrics.json`` artifact; the exporters in
+:mod:`repro.obs.export` write the same stream as JSON lines; anything
+else — progress bars, backpressure monitors, debuggers — can attach its
+own callable instead.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from ..core.times import Timestamp
@@ -29,15 +40,24 @@ __all__ = ["TraceEvent", "TraceCollector"]
 class TraceEvent:
     """One observed dataflow event.
 
-    ``kind`` is ``"batch"`` (``count`` output changes reached the root)
-    or ``"watermark"`` (the root watermark advanced to ``value``);
-    ``ptime`` is the processing time of the event.
+    ``kind`` is ``"batch"`` (``count`` output changes reached the root),
+    ``"watermark"`` (the root watermark advanced to ``value``), or
+    ``"frontier"`` (shard ``shard``'s root watermark advanced to
+    ``value``); ``ptime`` is the processing time of the event.
+    ``operator`` and ``shard`` attribute the event to its source; both
+    are defaulted so events constructed by older code stay valid.
     """
 
     kind: str
     ptime: Timestamp
     count: int = 0
     value: Optional[Timestamp] = None
+    operator: str = ""
+    shard: Optional[int] = None
+
+    def at_shard(self, shard: int) -> "TraceEvent":
+        """This event re-attributed to ``shard`` (sharded-run tagging)."""
+        return replace(self, shard=shard)
 
 
 class TraceCollector:
@@ -61,9 +81,18 @@ class TraceCollector:
     def watermark_advances(self) -> int:
         return sum(1 for e in self.events if e.kind == "watermark")
 
+    @property
+    def frontier_advances(self) -> int:
+        return sum(1 for e in self.events if e.kind == "frontier")
+
+    def shard_timeline(self, shard: int) -> list[TraceEvent]:
+        """Events attributed to one shard, in arrival order."""
+        return [e for e in self.events if e.shard == shard]
+
     def summary(self) -> dict:
         return {
             "batches": self.batches,
             "changes": self.changes,
             "watermark_advances": self.watermark_advances,
+            "frontier_advances": self.frontier_advances,
         }

@@ -13,9 +13,12 @@ per-shard values and publishes the merged minimum as a
 
 from __future__ import annotations
 
+from typing import Callable, Optional
+
 from ..core.errors import WatermarkError
 from ..core.times import MIN_TIMESTAMP, Timestamp
 from ..core.watermark import WatermarkTrack
+from ..obs.trace import TraceEvent
 
 __all__ = ["WatermarkFrontier"]
 
@@ -28,6 +31,12 @@ class WatermarkFrontier:
             raise WatermarkError("frontier needs at least one shard")
         self._values: list[Timestamp] = [MIN_TIMESTAMP] * shard_count
         self._merged = WatermarkTrack()
+        #: optional trace hook: receives a ``"frontier"`` event per
+        #: per-shard advance and a ``"watermark"`` event whenever the
+        #: published minimum moves — the propagation timeline that makes
+        #: straggler shards visible (a fast shard's frontier events run
+        #: far ahead of the merged watermark events).
+        self.trace: Optional[Callable[[TraceEvent], None]] = None
 
     @property
     def shard_count(self) -> int:
@@ -58,10 +67,30 @@ class WatermarkFrontier:
                 f"shard {shard} watermark regressed from "
                 f"{self._values[shard]} to {value}"
             )
+        advanced = value > self._values[shard]
         self._values[shard] = value
+        if advanced and self.trace is not None:
+            self.trace(
+                TraceEvent(
+                    kind="frontier",
+                    ptime=ptime,
+                    value=value,
+                    operator="frontier",
+                    shard=shard,
+                )
+            )
         merged = min(self._values)
         if merged > self._merged.current:
             self._merged.advance(ptime, merged)
+            if self.trace is not None:
+                self.trace(
+                    TraceEvent(
+                        kind="watermark",
+                        ptime=ptime,
+                        value=merged,
+                        operator="frontier",
+                    )
+                )
             return merged
         return None
 

@@ -53,17 +53,24 @@ def merge_tagged_changes(
 def replay_frontier(
     frontier: WatermarkFrontier,
     observations: list[list[WatermarkObservation]],
-) -> None:
+) -> list[tuple[Timestamp, Timestamp]]:
     """Feed per-shard watermark observations into the frontier.
 
     Observations are applied in (global sequence, shard index) order —
     the same order the synchronous path produces them — so the merged
-    track's (ptime, value) steps are identical either way.
+    track's (ptime, value) steps are identical either way, and a trace
+    callback on the frontier sees the same per-shard ``"frontier"`` /
+    merged ``"watermark"`` timeline a synchronous run would produce.
+    Returns the ``(ptime, value)`` advances the replay published.
     """
     by_seq: dict[int, list[tuple[int, Timestamp, Timestamp]]] = {}
     for shard, obs in enumerate(observations):
         for seq, ptime, value in obs:
             by_seq.setdefault(seq, []).append((shard, ptime, value))
+    published: list[tuple[Timestamp, Timestamp]] = []
     for seq in sorted(by_seq):
         for shard, ptime, value in sorted(by_seq[seq]):
-            frontier.observe(shard, ptime, value)
+            merged = frontier.observe(shard, ptime, value)
+            if merged is not None:
+                published.append((ptime, merged))
+    return published

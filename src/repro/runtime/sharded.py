@@ -26,7 +26,7 @@ of the same plan and shard count.
 from __future__ import annotations
 
 import pickle
-from typing import Optional
+from typing import Callable, Optional
 
 from ..core.changelog import Change
 from ..core.errors import ExecutionError
@@ -34,6 +34,8 @@ from ..core.times import MIN_TIMESTAMP, Timestamp
 from ..core.tvr import RowEvent, StreamEvent, TimeVaryingRelation, WatermarkEvent
 from ..exec.executor import Dataflow, RunResult, merge_source_events
 from ..obs.metrics import merge_shard_reports
+from ..obs.telemetry import RunTelemetry
+from ..obs.trace import TraceEvent
 from ..plan.partition import PartitionSpec
 from .backends import run_shards
 from .frontier import WatermarkFrontier
@@ -67,6 +69,30 @@ class ShardedDataflow:
         self._frontier = WatermarkFrontier(shards)
         self._merged_changes: list[Change] = []
         self._last_ptime: Timestamp = MIN_TIMESTAMP
+        self._trace: Optional[Callable[[TraceEvent], None]] = None
+
+    @property
+    def trace(self) -> Optional[Callable[[TraceEvent], None]]:
+        """Trace hook over the whole sharded run.
+
+        When set, the callback receives shard-tagged ``"batch"`` events
+        from every shard, a ``"frontier"`` event per shard watermark
+        advance, and a ``"watermark"`` event when the merged minimum
+        moves — per-shard root-watermark events are folded into the
+        frontier timeline rather than reported twice.  With the
+        ``threads`` backend, batch events arrive from worker threads;
+        the callback must tolerate concurrent calls (appending to a
+        list is fine).  With the ``processes`` backend, events observed
+        inside forked shard workers do not reach the parent's callback.
+        """
+        return self._trace
+
+    @trace.setter
+    def trace(self, callback: Optional[Callable[[TraceEvent], None]]) -> None:
+        self._trace = callback
+        self._frontier.trace = callback
+        for index, shard in enumerate(self._shards):
+            shard.trace = _shard_batch_tagger(callback, index)
 
     @property
     def shard_count(self) -> int:
@@ -80,6 +106,30 @@ class ShardedDataflow:
     @property
     def frontier(self) -> WatermarkFrontier:
         return self._frontier
+
+    @property
+    def output_size(self) -> int:
+        """Merged root changes produced so far (mirrors ``Dataflow``)."""
+        return len(self._merged_changes)
+
+    @property
+    def root_watermark(self) -> Timestamp:
+        """The merged (minimum) root watermark across all shards."""
+        return self._frontier.current
+
+    @property
+    def telemetry(self) -> RunTelemetry:
+        """Latency telemetry merged over shards.
+
+        Watermarks are broadcast and every root change is produced by
+        exactly one shard, so this merge reproduces the serial run's
+        distributions sample for sample.
+        """
+        return RunTelemetry.merged(shard.telemetry for shard in self._shards)
+
+    def shard_routed_rows(self) -> list[int]:
+        """Rows delivered to each shard's scan leaves (the skew signal)."""
+        return [shard.rows_ingested() for shard in self._shards]
 
     def total_state_rows(self) -> int:
         """Rows currently retained across all shards' operator state."""
@@ -257,6 +307,26 @@ class ShardedDataflow:
         self._frontier.restore(payload["frontier"])
         self._merged_changes = list(payload["merged_changes"])
         self._last_ptime = payload["last_ptime"]
+
+
+def _shard_batch_tagger(
+    callback: Optional[Callable[[TraceEvent], None]], shard: int
+) -> Optional[Callable[[TraceEvent], None]]:
+    """Forward a shard's batch events, tagged with its index.
+
+    Shard-local watermark events are swallowed: the frontier reports
+    the same advances as ``"frontier"`` events, with the merged-minimum
+    ``"watermark"`` events layered on top, so a collector's
+    ``watermark_advances`` means the same thing serial or sharded.
+    """
+    if callback is None:
+        return None
+
+    def forward(event: TraceEvent) -> None:
+        if event.kind == "batch":
+            callback(event.at_shard(shard))
+
+    return forward
 
 
 def _drive_shard(

@@ -36,6 +36,7 @@ Commands:
   \\until TIME         set the stream-view horizon
   \\explain SQL;       show the optimized plan
   \\analyze SQL;       run a query and show the plan with operator metrics
+  \\watch SQL;         run a query with a live telemetry dashboard
   \\state SQL;         run a query and show per-operator state
   \\view NAME SQL;     register a view (expanded wherever referenced)
   \\quit               exit
@@ -58,6 +59,9 @@ class Shell:
         self.until: int | None = None
         self.done = False
         self._buffer: list[str] = []
+        #: where ``\watch`` writes its refreshing frames; ``run()`` points
+        #: this at its stdout, tests leave it None and get the final frame.
+        self.watch_sink: Optional[TextIO] = None
 
     # -- driving ---------------------------------------------------------------
 
@@ -82,6 +86,7 @@ class Shell:
     def run(self, stdin: TextIO = sys.stdin, stdout: TextIO = sys.stdout) -> None:
         """Interactive loop until EOF or ``\\quit``."""
         stdout.write("repro streaming SQL shell — \\help for help\n")
+        self.watch_sink = stdout
         while not self.done:
             stdout.write(self.prompt)
             stdout.flush()
@@ -139,6 +144,11 @@ class Shell:
             if name == "\\analyze":
                 sql = line.split(None, 1)[1].rstrip(";")
                 return self.engine.explain_analyze(sql)
+            if name == "\\watch":
+                if len(parts) < 2:
+                    return "usage: \\watch SELECT ...;"
+                sql = line.split(None, 1)[1].rstrip(";")
+                return self._watch(sql)
             if name == "\\save":
                 if len(args) != 2:
                     return "usage: \\save NAME PATH"
@@ -162,6 +172,59 @@ class Shell:
             return f"unknown command {name} (\\help for help)"
         except (ReproError, OSError, KeyError, ValueError) as exc:
             return f"error: {exc}"
+
+    def _watch(self, sql: str, frames: int = 8) -> str:
+        """Run ``sql`` incrementally under a live telemetry dashboard.
+
+        Events are replayed one at a time through the incremental
+        dataflow API; every ``total/frames`` events a one-screen frame
+        (rows/sec, watermark, lag percentiles, per-shard skew) is
+        written to :attr:`watch_sink` with an ANSI clear so the view
+        refreshes in place.  The final frame is returned either way,
+        so the command is fully testable without a terminal.
+        """
+        import time
+
+        from .exec.executor import merge_source_events
+        from .obs.telemetry import render_dashboard
+
+        query = self.engine.query(sql)
+        use_sharded = (
+            self.engine.parallelism > 1
+            and query.partition_decision().partitionable
+        )
+        flow = query.sharded_dataflow() if use_sharded else query.dataflow()
+        exporter = self.engine.telemetry
+        if exporter is not None:
+            flow.trace = exporter.on_event
+        events = merge_source_events(self.engine._sources)
+        total = len(events)
+        interval = max(1, total // frames)
+        start = time.perf_counter()
+
+        def frame(done: int, final: bool) -> str:
+            return render_dashboard(
+                title=sql,
+                events_done=done,
+                events_total=total,
+                rows_emitted=flow.output_size,
+                elapsed=time.perf_counter() - start,
+                watermark=flow.root_watermark,
+                telemetry=flow.telemetry,
+                shard_rows=flow.shard_routed_rows() if use_sharded else None,
+                final=final,
+            )
+
+        sink = self.watch_sink
+        for done, (event, source) in enumerate(events, start=1):
+            flow.process(event, source)
+            if sink is not None and done < total and done % interval == 0:
+                sink.write("\x1b[2J\x1b[H" + frame(done, final=False) + "\n")
+                sink.flush()
+        result = flow.finish()
+        if exporter is not None:
+            exporter.export(result)
+        return frame(total, final=True)
 
     def _run_sql(self, sql: str) -> str:
         try:

@@ -1,0 +1,114 @@
+"""Shell observability commands: ``\\analyze`` and ``\\watch``.
+
+``Shell.feed`` returns printable output, so both commands are testable
+without a terminal: ``\\analyze`` must render the plan with operator
+counters and the latency section, and ``\\watch`` must return the final
+dashboard frame (and stream intermediate frames to ``watch_sink`` when
+one is attached).
+"""
+
+import io
+
+from repro import StreamEngine
+from repro.core.schema import Schema, int_col, timestamp_col
+from repro.core.times import t
+from repro.core.tvr import TimeVaryingRelation, ins, wm
+from repro.shell import Shell
+
+KEYED_SCHEMA = Schema(
+    [int_col("k"), timestamp_col("ts", event_time=True), int_col("v")]
+)
+
+TUMBLE_SQL = (
+    "SELECT k, wend, COUNT(*) AS n "
+    "FROM Tumble(data => TABLE(S), timecol => DESCRIPTOR(ts), "
+    "dur => INTERVAL '2' MINUTE) TS "
+    "GROUP BY k, wend"
+)
+
+
+def make_shell(parallelism=1):
+    engine = StreamEngine(parallelism=parallelism, backend="sync")
+    events = [
+        ins(100, (1, t("8:00"), 10)),
+        ins(200, (2, t("8:01"), 20)),
+        wm(300, t("8:02")),
+        ins(400, (1, t("8:03"), 30)),
+        wm(500, t("8:10")),
+    ]
+    engine.register_stream("S", TimeVaryingRelation(KEYED_SCHEMA, events))
+    return Shell(engine)
+
+
+# ---------------------------------------------------------------------------
+# \analyze
+# ---------------------------------------------------------------------------
+
+
+def test_analyze_renders_plan_with_metrics():
+    out = make_shell().feed(f"\\analyze {TUMBLE_SQL};")
+    assert "GroupAggregate" in out or "Aggregate" in out
+    assert "rows_in" in out
+
+
+def test_analyze_includes_latency_section():
+    out = make_shell().feed(f"\\analyze {TUMBLE_SQL};")
+    assert "emit latency" in out
+    assert "watermark lag" in out
+
+
+def test_analyze_unknown_relation_is_an_error():
+    out = make_shell().feed("\\analyze SELECT * FROM Nope;")
+    assert out.startswith("error:")
+    assert "Nope" in out or "nope" in out
+
+
+# ---------------------------------------------------------------------------
+# \watch
+# ---------------------------------------------------------------------------
+
+
+def test_watch_renders_final_dashboard():
+    out = make_shell().feed(f"\\watch {TUMBLE_SQL};")
+    assert "watch [done]" in out
+    assert "rows/sec" in out
+    assert "events/sec" in out
+    assert "watermark" in out
+    assert "emit lat" in out
+
+
+def test_watch_sharded_shows_per_shard_skew():
+    out = make_shell(parallelism=4).feed(f"\\watch {TUMBLE_SQL};")
+    assert "shards" in out
+    assert "s0" in out and "s3" in out
+
+
+def test_watch_serial_has_no_shard_section():
+    out = make_shell().feed(f"\\watch {TUMBLE_SQL};")
+    assert "s0" not in out
+
+
+def test_watch_streams_frames_to_sink():
+    shell = make_shell()
+    sink = io.StringIO()
+    shell.watch_sink = sink
+    final = shell.feed(f"\\watch {TUMBLE_SQL};")
+    frames = sink.getvalue()
+    assert "\x1b[2J" in frames  # ANSI clear between refreshes
+    assert "watch [running]" in frames
+    assert "watch [done]" in final and final not in frames
+
+
+def test_watch_without_sql_prints_usage():
+    assert make_shell().feed("\\watch") == "usage: \\watch SELECT ...;"
+
+
+def test_watch_unknown_relation_is_an_error():
+    out = make_shell().feed("\\watch SELECT * FROM Nope;")
+    assert out.startswith("error:")
+
+
+def test_help_mentions_watch_and_analyze():
+    out = make_shell().feed("\\help")
+    assert "\\watch" in out
+    assert "\\analyze" in out
