@@ -10,7 +10,7 @@ import random
 
 import pytest
 
-from repro import StreamEngine
+from repro import ExecutionConfig, StreamEngine
 from repro.core.schema import Schema, int_col, timestamp_col
 from repro.core.times import seconds, t
 from repro.core.tvr import TimeVaryingRelation
@@ -45,7 +45,9 @@ def disordered_stream():
 def run_with_lateness(stream, lateness):
     engine = StreamEngine()
     engine.register_stream("S", stream)
-    dataflow = engine.query(SQL, allowed_lateness=lateness).dataflow()
+    dataflow = engine.query(
+        SQL, config=ExecutionConfig(allowed_lateness=lateness)
+    ).dataflow()
     result = dataflow.run()
     return result
 

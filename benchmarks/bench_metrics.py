@@ -27,7 +27,7 @@ import json
 import time
 from pathlib import Path
 
-from repro import StreamEngine, TraceCollector
+from repro import ExecutionConfig, StreamEngine, TraceCollector
 from repro.nexmark import NexmarkConfig, generate
 
 NUM_EVENTS = 5_000
@@ -82,7 +82,9 @@ def _run_serial_traced(streams) -> dict:
 
 
 def _run_sharded(streams, shards: int) -> dict:
-    engine = StreamEngine(parallelism=shards, backend="threads")
+    engine = StreamEngine(
+        config=ExecutionConfig(parallelism=shards, backend="threads")
+    )
     streams.register_on(engine)
     query = engine.query(SQL)
     assert query.partition_decision().partitionable

@@ -10,7 +10,7 @@ import time
 
 import pytest
 
-from repro import StreamEngine
+from repro import ExecutionConfig, StreamEngine
 from repro.core.times import seconds
 from repro.nexmark import NexmarkConfig, generate
 from repro.nexmark.queries import Q0_PASSTHROUGH, q7_highest_bid
@@ -54,7 +54,9 @@ SHARD_SWEEP = [1, 2, 4, 8]
 
 
 def _run_sharded(streams, shards, backend="threads"):
-    engine = StreamEngine(parallelism=shards, backend=backend)
+    engine = StreamEngine(
+        config=ExecutionConfig(parallelism=shards, backend=backend)
+    )
     streams.register_on(engine)
     query = engine.query(SHARDED_SQL)
     if shards == 1:

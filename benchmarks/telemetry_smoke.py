@@ -11,17 +11,26 @@ workload with the Prometheus and JSON-lines exporters attached, then:
 * writes both artifacts (``TELEMETRY_smoke.prom``,
   ``TELEMETRY_events.jsonl``) for CI to upload.
 
+With ``--fault-plan`` the run goes through the supervised recovery path:
+the plan is injected into every shard worker, workers restart from
+checkpoints, and the check additionally asserts that restarts actually
+fired (``repro_recovery_shard_restarts_total > 0``) and that the JSONL
+log carries the ``"recovery"`` trace events annotating them.
+
 Runs under plain pytest and as a script::
 
     PYTHONPATH=src python benchmarks/telemetry_smoke.py
+    PYTHONPATH=src python benchmarks/telemetry_smoke.py \\
+        --fault-plan crash-after-checkpoint
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 from pathlib import Path
 
-from repro import StreamEngine
+from repro import ExecutionConfig, RetryPolicy, StreamEngine
 from repro.obs.export import (
     JsonLinesExporter,
     PrometheusExporter,
@@ -57,6 +66,14 @@ REQUIRED_FAMILIES = {
     "repro_root_watermark_lag_ms": "histogram",
 }
 
+# Additionally required when the run executes under a fault plan.
+RECOVERY_FAMILIES = {
+    "repro_recovery_shard_restarts_total": "counter",
+    "repro_recovery_rows_replayed_total": "counter",
+    "repro_recovery_dedup_drops_total": "counter",
+    "repro_recovery_wm_regressions_total": "counter",
+}
+
 
 class _Tee:
     """Fan one run's callbacks out to several exporters."""
@@ -77,19 +94,27 @@ class _Tee:
             exporter.close()
 
 
-def run_smoke() -> dict:
+def run_smoke(fault_plan: str | None = None) -> dict:
     """Execute the query with both exporters; return the validated pieces."""
     prom = PrometheusExporter(str(PROM_ARTIFACT))
     jsonl = JsonLinesExporter(str(JSONL_ARTIFACT))
-    engine = StreamEngine(
-        parallelism=SHARDS, backend="threads", telemetry=_Tee(prom, jsonl)
+    config = ExecutionConfig(
+        parallelism=SHARDS,
+        backend="threads",
+        telemetry=_Tee(prom, jsonl),
+        retry=RetryPolicy(max_restarts=4, checkpoint_interval=50),
+        fault_plan=fault_plan,
     )
+    engine = StreamEngine(config=config)
     generate(NexmarkConfig(num_events=NUM_EVENTS, seed=42)).register_on(engine)
     result = engine.query(SQL).run()
     engine.telemetry.close()
 
+    required = dict(REQUIRED_FAMILIES)
+    if fault_plan is not None:
+        required.update(RECOVERY_FAMILIES)
     families = parse_exposition(PROM_ARTIFACT.read_text())
-    for name, kind in REQUIRED_FAMILIES.items():
+    for name, kind in required.items():
         if name not in families:
             raise AssertionError(f"exposition is missing family {name}")
         if families[name]["type"] != kind:
@@ -110,6 +135,32 @@ def run_smoke() -> dict:
     if not any(event.kind == "batch" for event in events):
         raise AssertionError("JSONL log has no batch events")
 
+    if fault_plan is not None:
+        recovery = result.metrics.recovery
+        if recovery is None or recovery.shard_restarts < 1:
+            raise AssertionError(
+                f"fault plan {fault_plan!r} produced no shard restarts — "
+                "the injected faults never fired"
+            )
+        recoveries = [event for event in events if event.kind == "recovery"]
+        if len(recoveries) < recovery.shard_restarts:
+            raise AssertionError(
+                "JSONL log is missing recovery events: "
+                f"{len(recoveries)} logged vs {recovery.shard_restarts} restarts"
+            )
+        # The faulted run must still produce the fault-free answer.
+        baseline_engine = StreamEngine(
+            config=ExecutionConfig(parallelism=1, backend="sync")
+        )
+        generate(NexmarkConfig(num_events=NUM_EVENTS, seed=42)).register_on(
+            baseline_engine
+        )
+        baseline = baseline_engine.query(SQL).run()
+        if result.changes != baseline.changes:
+            raise AssertionError(
+                "recovered output diverged from the fault-free serial run"
+            )
+
     return {"result": result, "families": families, "events": events}
 
 
@@ -121,13 +172,31 @@ def test_telemetry_smoke():
     assert JSONL_ARTIFACT.exists() and JSONL_ARTIFACT.stat().st_size > 0
 
 
-if __name__ == "__main__":
-    pieces = run_smoke()
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fault-plan", default=None, metavar="PLAN",
+        help="run under a deterministic fault plan (e.g. "
+             "'crash-after-checkpoint') and assert recovery happened",
+    )
+    args = parser.parse_args(argv)
+    pieces = run_smoke(args.fault_plan)
     telemetry = pieces["result"].metrics.telemetry
     print(
         f"ok: {len(pieces['families'])} metric families, "
         f"{len(pieces['events'])} trace events, "
         f"emit-latency n={telemetry.emit_latency.count}"
     )
+    recovery = pieces["result"].metrics.recovery
+    if args.fault_plan is not None and recovery is not None:
+        print(
+            f"recovery: {recovery.shard_restarts} restart(s), "
+            f"{recovery.rows_replayed} rows replayed, "
+            f"{recovery.dedup_drops} dedup drops"
+        )
     print(f"wrote {PROM_ARTIFACT}")
     print(f"wrote {JSONL_ARTIFACT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -70,17 +70,32 @@ from .core import (
     timestamp_col,
     wm,
 )
+from .config import ExecutionConfig
 from .engine import PreparedQuery, StreamEngine
 from .exec import DeltaChange, StateReport, StreamChange
 from .io import format_script, parse_script
-from .obs import Histogram, MetricsReport, RunTelemetry, TraceCollector, TraceEvent
+from .obs import (
+    Histogram,
+    MetricsReport,
+    RecoveryStats,
+    RunTelemetry,
+    TraceCollector,
+    TraceEvent,
+)
 from .obs.export import JsonLinesExporter, PrometheusExporter, make_exporter
+from .runtime.faults import FaultPlan, FaultSpec
+from .runtime.supervisor import RetryPolicy
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "StreamEngine",
     "PreparedQuery",
+    "ExecutionConfig",
+    "RetryPolicy",
+    "FaultPlan",
+    "FaultSpec",
+    "RecoveryStats",
     "StreamChange",
     "DeltaChange",
     "StateReport",

@@ -1,45 +1,120 @@
 """Entry point: ``python -m repro`` starts the interactive SQL shell.
 
-Flags configure the engine behind the shell::
+Flags mirror the fields of :class:`~repro.config.ExecutionConfig` and
+build the engine-layer config behind the shell::
 
     python -m repro --parallelism 4 --backend threads \\
-                    --telemetry prometheus:metrics.prom
+                    --telemetry prometheus:metrics.prom \\
+                    --max-restarts 3 --checkpoint-interval 50
 
 ``--telemetry`` takes the same spec strings as
-``StreamEngine(telemetry=...)``: ``jsonl:PATH`` writes every trace
+``ExecutionConfig(telemetry=...)``: ``jsonl:PATH`` writes every trace
 event as one JSON object per line; ``prometheus:PATH`` rewrites a text
-exposition file after each query run.
+exposition file after each query run.  ``--fault-plan`` injects
+deterministic shard failures (testing/demo), e.g.
+``crash-after-checkpoint:shard=1,at=2`` — see ``docs/RUNTIME.md``.
 """
 
 import argparse
 
+from .config import ExecutionConfig
 from .engine import StreamEngine
+from .runtime.faults import FAULT_KINDS
+from .runtime.supervisor import RetryPolicy
 from .shell import Shell
 
 
-def main(argv=None) -> None:
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Interactive streaming-SQL shell.",
+        description=(
+            "Interactive streaming-SQL shell. Flags map one-to-one onto "
+            "repro.ExecutionConfig fields (see docs/API.md)."
+        ),
     )
     parser.add_argument(
-        "--parallelism", type=int, default=1,
+        "--parallelism", type=int, default=None,
         help="number of shards for key-partitionable queries (default 1)",
     )
     parser.add_argument(
-        "--backend", default="threads",
+        "--backend", default=None,
         help="shard worker pool: threads (default), processes, or sync",
     )
     parser.add_argument(
         "--telemetry", default=None, metavar="SPEC",
         help="telemetry exporter: jsonl:PATH or prometheus:PATH",
     )
-    args = parser.parse_args(argv)
-    engine = StreamEngine(
+    parser.add_argument(
+        "--allowed-lateness", type=int, default=None, metavar="MS",
+        help="milliseconds of state retention past the watermark for "
+             "late-row updates (default 0)",
+    )
+    recovery = parser.add_argument_group(
+        "fault tolerance (ExecutionConfig.retry / .fault_plan)"
+    )
+    recovery.add_argument(
+        "--max-restarts", type=int, default=None, metavar="N",
+        help="restart budget per shard worker before the failure "
+             "propagates (default 2)",
+    )
+    recovery.add_argument(
+        "--backoff-base-ms", type=int, default=None, metavar="MS",
+        help="base delay before the first restart, doubled per retry "
+             "(default 0: restart immediately)",
+    )
+    recovery.add_argument(
+        "--checkpoint-interval", type=int, default=None, metavar="N",
+        help="checkpoint each shard every N input events so restarts "
+             "replay less (default 0: start-of-run state only)",
+    )
+    recovery.add_argument(
+        "--fault-plan", default=None, metavar="PLAN",
+        help="inject deterministic shard failures, e.g. "
+             "'crash-after-checkpoint:shard=1,at=2;slow-shard:shard=0'; "
+             f"kinds: {', '.join(FAULT_KINDS)}",
+    )
+    return parser
+
+
+def build_config(args: argparse.Namespace) -> ExecutionConfig:
+    """Translate parsed CLI flags into the engine-layer ExecutionConfig."""
+    retry = None
+    if (
+        args.max_restarts is not None
+        or args.backoff_base_ms is not None
+        or args.checkpoint_interval is not None
+    ):
+        defaults = RetryPolicy()
+        retry = RetryPolicy(
+            max_restarts=(
+                args.max_restarts
+                if args.max_restarts is not None
+                else defaults.max_restarts
+            ),
+            backoff_base_ms=(
+                args.backoff_base_ms
+                if args.backoff_base_ms is not None
+                else defaults.backoff_base_ms
+            ),
+            checkpoint_interval=(
+                args.checkpoint_interval
+                if args.checkpoint_interval is not None
+                else defaults.checkpoint_interval
+            ),
+        )
+    return ExecutionConfig(
         parallelism=args.parallelism,
         backend=args.backend,
         telemetry=args.telemetry,
+        allowed_lateness=args.allowed_lateness,
+        retry=retry,
+        fault_plan=args.fault_plan,
     )
+
+
+def main(argv=None) -> None:
+    args = build_parser().parse_args(argv)
+    engine = StreamEngine(config=build_config(args))
     Shell(engine).run()
 
 

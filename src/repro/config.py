@@ -1,0 +1,172 @@
+"""The one execution-configuration object: :class:`ExecutionConfig`.
+
+The standardization retrospective the roadmap leans on (*Lessons
+Learned from Efforts to Standardize Streaming In SQL*) argues that a
+small, stable public configuration surface is what lets query semantics
+survive engine evolution.  Before this module, execution knobs were
+scattered: ``StreamEngine(parallelism=..., backend=..., telemetry=...)``,
+``engine.query(sql, allowed_lateness=...)``, and a parallel set of CLI
+flags.  Now every way of running a query accepts the same frozen
+:class:`ExecutionConfig`::
+
+    from repro import ExecutionConfig, StreamEngine
+
+    config = ExecutionConfig(parallelism=4, backend="processes")
+    engine = StreamEngine(config=config)
+    query = engine.query(sql)
+    query.run()                                        # engine config
+    query.run(config=ExecutionConfig(parallelism=1))   # call-site override
+
+**Precedence** is *call-site > engine > defaults*, merged field by
+field: every field defaults to ``None`` meaning "inherit from the next
+layer down", and :meth:`ExecutionConfig.resolved` fills whatever is
+still unset from :data:`EXECUTION_DEFAULTS`.  (``python -m repro``
+flags build the engine-layer config.)
+
+The old keyword arguments keep working through shims that emit one
+:class:`DeprecationWarning` per keyword per process; see ``docs/API.md``
+for the deprecation policy.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields
+from typing import Any, Optional
+
+from .core.errors import ValidationError
+from .runtime.backends import BACKENDS
+from .runtime.faults import FaultPlan
+from .runtime.supervisor import RetryPolicy
+
+__all__ = ["ExecutionConfig", "EXECUTION_DEFAULTS", "RetryPolicy", "FaultPlan"]
+
+
+#: The bottom layer of the precedence chain: what an unset field means.
+EXECUTION_DEFAULTS: dict[str, Any] = {
+    "parallelism": 1,
+    "backend": "threads",
+    "telemetry": None,
+    "allowed_lateness": 0,
+    "retry": RetryPolicy(),
+    "fault_plan": None,
+}
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How a query executes: parallelism, backend, telemetry, recovery.
+
+    Fields (``None`` = inherit from the next precedence layer):
+
+    * ``parallelism`` — shard count for key-partitionable queries
+      (default 1: serial).
+    * ``backend`` — shard worker pool: ``"threads"``, ``"processes"``,
+      or ``"sync"``.
+    * ``telemetry`` — a :class:`~repro.obs.export.TelemetryExporter`
+      instance or a ``"jsonl:PATH"`` / ``"prometheus:PATH"`` spec
+      string (default: record latency telemetry, export nowhere).
+    * ``allowed_lateness`` — milliseconds of per-group state retention
+      past the watermark, so late rows update results instead of being
+      dropped.
+    * ``retry`` — the :class:`~repro.runtime.supervisor.RetryPolicy`
+      governing supervised shard restarts (budget, backoff, checkpoint
+      interval).
+    * ``fault_plan`` — a :class:`~repro.runtime.faults.FaultPlan` (or
+      its spec string, e.g. ``"crash-after-checkpoint"``) injected into
+      sharded batch runs; testing/CI only.
+
+    Instances are frozen and hashable; derive variants with
+    :meth:`dataclasses.replace` or by merging layers via
+    :meth:`merged_over`.
+    """
+
+    parallelism: Optional[int] = None
+    backend: Optional[str] = None
+    telemetry: Any = None
+    allowed_lateness: Optional[int] = None
+    retry: Optional[RetryPolicy] = None
+    fault_plan: Optional[FaultPlan] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.fault_plan, str):
+            object.__setattr__(self, "fault_plan", FaultPlan.parse(self.fault_plan))
+        self.validate()
+
+    # -- layering ----------------------------------------------------------------
+
+    def merged_over(self, base: "ExecutionConfig") -> "ExecutionConfig":
+        """This config with unset fields inherited from ``base``.
+
+        The precedence combinator: ``call_site.merged_over(engine_cfg)``
+        keeps every field the call site pinned and fills the rest from
+        the engine layer.
+        """
+        values = {}
+        for spec in fields(self):
+            mine = getattr(self, spec.name)
+            values[spec.name] = (
+                mine if mine is not None else getattr(base, spec.name)
+            )
+        return ExecutionConfig(**values)
+
+    def resolved(self) -> "ExecutionConfig":
+        """All fields concrete: unset ones filled from :data:`EXECUTION_DEFAULTS`."""
+        values = {
+            spec.name: (
+                getattr(self, spec.name)
+                if getattr(self, spec.name) is not None
+                else EXECUTION_DEFAULTS[spec.name]
+            )
+            for spec in fields(self)
+        }
+        return ExecutionConfig(**values)
+
+    # -- validation --------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Reject impossible settings; unset (``None``) fields pass."""
+        if self.parallelism is not None and self.parallelism < 1:
+            raise ValidationError("parallelism must be at least 1")
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise ValidationError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if self.allowed_lateness is not None and self.allowed_lateness < 0:
+            raise ValidationError("allowed_lateness must be >= 0 milliseconds")
+        if self.retry is not None and not isinstance(self.retry, RetryPolicy):
+            raise ValidationError(
+                f"retry must be a RetryPolicy, got {self.retry!r}"
+            )
+        if self.fault_plan is not None and not isinstance(
+            self.fault_plan, FaultPlan
+        ):
+            raise ValidationError(
+                f"fault_plan must be a FaultPlan or spec string, "
+                f"got {self.fault_plan!r}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# deprecation shims
+# ---------------------------------------------------------------------------
+
+_WARNED: set[str] = set()
+
+
+def warn_deprecated_kwarg(name: str, instead: str) -> None:
+    """Emit one ``DeprecationWarning`` per deprecated keyword per process.
+
+    The test suite runs with ``-W error::DeprecationWarning`` (outside
+    the dedicated shim tests), so any internal use of a deprecated
+    keyword fails CI loudly instead of lingering.
+    """
+    if name in _WARNED:
+        return
+    _WARNED.add(name)
+    warnings.warn(
+        f"the {name!r} keyword is deprecated; pass "
+        f"ExecutionConfig({instead}) via config= instead (see docs/API.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )

@@ -3,7 +3,7 @@
 :class:`StreamEngine` owns a catalog of time-varying relations (streams
 and tables), a function registry, and the plan/execute pipeline::
 
-    engine = StreamEngine()
+    engine = StreamEngine(config=ExecutionConfig(parallelism=4))
     engine.register_stream("Bid", bid_tvr)
     query = engine.query("SELECT ... EMIT STREAM AFTER WATERMARK")
     query.table(at="8:21")      # Listing 12 style point-in-time view
@@ -11,12 +11,24 @@ and tables), a function registry, and the plan/execute pipeline::
 
 Both renderings come from one execution of the query as a time-varying
 relation — the paper's stream/table duality made literal.
+
+All execution knobs travel in one frozen :class:`~repro.config.ExecutionConfig`,
+accepted at three layers with *call-site > engine > defaults* precedence::
+
+    engine = StreamEngine(config=ExecutionConfig(parallelism=4))
+    query.run()                                      # engine's config
+    query.run(config=ExecutionConfig(backend="sync"))  # override one field
+
+The pre-config keyword arguments (``parallelism=``, ``backend=``,
+``telemetry=``, ``allowed_lateness=``) still work but emit a
+``DeprecationWarning`` once per process; see ``docs/API.md``.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Optional, Sequence
 
+from .config import ExecutionConfig, warn_deprecated_kwarg
 from .core.emit import EmitSpec
 from .core.errors import ValidationError
 from .core.relation import Relation
@@ -37,7 +49,6 @@ from .plan.logical import SortNode
 from .plan.optimizer import optimize
 from .plan.partition import PartitionDecision, analyze_partitioning
 from .plan.planner import Catalog, Planner, QueryPlan
-from .runtime.backends import BACKENDS
 from .runtime.sharded import ShardedDataflow
 from .sql.functions import FunctionRegistry, default_registry
 
@@ -51,46 +62,86 @@ def _as_ptime(value: Timestamp | str) -> Timestamp:
     return value
 
 
+def _coerce_config(config: Optional[ExecutionConfig]) -> ExecutionConfig:
+    if config is None:
+        return ExecutionConfig()
+    if not isinstance(config, ExecutionConfig):
+        raise ValidationError(
+            f"config must be an ExecutionConfig, got {config!r}"
+        )
+    return config
+
+
 class StreamEngine:
     """A streaming SQL engine over time-varying relations.
 
-    ``parallelism`` selects the execution runtime: ``1`` (the default)
-    runs every query on the serial :class:`~repro.exec.executor.Dataflow`;
-    ``N > 1`` runs key-partitionable queries on ``N`` hash-routed shards
-    (:mod:`repro.runtime`) with output guaranteed identical to the
-    serial engine, falling back to serial for queries the partition
-    analyzer rejects.  ``backend`` picks the shard worker pool:
-    ``"threads"`` (default), ``"processes"``, or ``"sync"``.
+    ``config`` — an :class:`~repro.config.ExecutionConfig` — sets this
+    engine's execution defaults; any field left unset falls back to the
+    library defaults (serial, ``threads`` backend, telemetry recorded
+    but not exported, zero lateness, default retry policy, no faults).
 
-    ``telemetry`` plugs an exporter into every query execution: a
-    :class:`~repro.obs.export.TelemetryExporter` instance, or a spec
+    ``config.parallelism`` selects the execution runtime: ``1`` (the
+    default) runs every query on the serial
+    :class:`~repro.exec.executor.Dataflow`; ``N > 1`` runs
+    key-partitionable queries on ``N`` hash-routed shards
+    (:mod:`repro.runtime`) under supervision — failed shard workers
+    restart from their last checkpoint — with output guaranteed
+    identical to the serial engine, falling back to serial for queries
+    the partition analyzer rejects.
+
+    ``config.telemetry`` plugs an exporter into every query execution:
+    a :class:`~repro.obs.export.TelemetryExporter` instance, or a spec
     string — ``"jsonl:PATH"`` (trace-event log, one JSON object per
     line) or ``"prometheus:PATH"`` (text exposition written after each
     run).  Latency telemetry is always *recorded* (it rides on the
     metrics report); the exporter only controls where it goes.
+
+    The ``parallelism=`` / ``backend=`` / ``telemetry=`` keywords are
+    deprecated spellings of the corresponding config fields.
     """
 
     def __init__(
         self,
-        parallelism: int = 1,
-        backend: str = "threads",
+        config: Optional[ExecutionConfig] = None,
+        *,
+        parallelism: Optional[int] = None,
+        backend: Optional[str] = None,
         telemetry=None,
     ) -> None:
-        if parallelism < 1:
-            raise ValidationError("parallelism must be at least 1")
-        if backend not in BACKENDS:
-            raise ValidationError(
-                f"unknown backend {backend!r}; expected one of {BACKENDS}"
-            )
-        self.parallelism = parallelism
-        self.backend = backend
+        config = _coerce_config(config)
+        overrides: dict[str, Any] = {}
+        if parallelism is not None:
+            warn_deprecated_kwarg("parallelism", f"parallelism={parallelism!r}")
+            overrides["parallelism"] = parallelism
+        if backend is not None:
+            warn_deprecated_kwarg("backend", f"backend={backend!r}")
+            overrides["backend"] = backend
+        if telemetry is not None:
+            warn_deprecated_kwarg("telemetry", f"telemetry={telemetry!r}")
+            overrides["telemetry"] = telemetry
+        if overrides:
+            config = ExecutionConfig(**overrides).merged_over(config)
+        #: the engine-layer config, fully resolved (no unset fields).
+        self.config = config.resolved()
         try:
-            self.telemetry: Optional[TelemetryExporter] = make_exporter(telemetry)
+            self.telemetry: Optional[TelemetryExporter] = make_exporter(
+                self.config.telemetry
+            )
         except ValueError as exc:
             raise ValidationError(str(exc)) from exc
         self._catalog = Catalog()
         self._registry = default_registry()
         self._sources: dict[str, TimeVaryingRelation] = {}
+
+    @property
+    def parallelism(self) -> int:
+        """Shard count from the engine config (read-only)."""
+        return self.config.parallelism
+
+    @property
+    def backend(self) -> str:
+        """Shard worker pool from the engine config (read-only)."""
+        return self.config.backend
 
     # -- catalog ------------------------------------------------------------
 
@@ -152,17 +203,32 @@ class StreamEngine:
 
     # -- queries ---------------------------------------------------------------
 
-    def query(self, sql: str, allowed_lateness: int = 0) -> "PreparedQuery":
+    def query(
+        self,
+        sql: str,
+        config: Optional[ExecutionConfig] = None,
+        *,
+        allowed_lateness: Optional[int] = None,
+    ) -> "PreparedQuery":
         """Parse, validate, plan, and optimize a SQL query.
 
-        ``allowed_lateness`` (milliseconds) keeps per-group state alive
-        that long past the watermark so late rows update results instead
-        of being dropped — the configurable lateness Extension 2 notes
-        real deployments need.
+        ``config`` pins execution settings for this query, overriding
+        the engine's config field by field (and overridable again per
+        ``run(config=...)`` call).  ``config.allowed_lateness``
+        (milliseconds) keeps per-group state alive that long past the
+        watermark so late rows update results instead of being dropped —
+        the configurable lateness Extension 2 notes real deployments
+        need.  The bare ``allowed_lateness=`` keyword is deprecated.
         """
+        if allowed_lateness is not None:
+            warn_deprecated_kwarg(
+                "allowed_lateness", f"allowed_lateness={allowed_lateness!r}"
+            )
+            shim = ExecutionConfig(allowed_lateness=allowed_lateness)
+            config = shim.merged_over(config) if config is not None else shim
         planner = Planner(self._catalog, self._registry)
         plan = optimize(planner.plan_sql(sql))
-        return PreparedQuery(self, plan, allowed_lateness=allowed_lateness)
+        return PreparedQuery(self, plan, config=config)
 
     def explain(self, sql: str, verbose: bool = False) -> str:
         """The optimized logical plan of ``sql``, as text."""
@@ -181,17 +247,30 @@ class StreamEngine:
 
 
 class PreparedQuery:
-    """A planned query, ready to materialize as a table or a stream."""
+    """A planned query, ready to materialize as a table or a stream.
+
+    Holds an optional query-layer :class:`~repro.config.ExecutionConfig`
+    whose set fields override the engine's; ``run(config=...)`` overrides
+    both for a single execution (call-site > query > engine > defaults).
+    """
 
     def __init__(
         self,
         engine: StreamEngine,
         plan: QueryPlan,
-        allowed_lateness: int = 0,
+        config: Optional[ExecutionConfig] = None,
+        *,
+        allowed_lateness: Optional[int] = None,
     ):
+        if allowed_lateness is not None:
+            warn_deprecated_kwarg(
+                "allowed_lateness", f"allowed_lateness={allowed_lateness!r}"
+            )
+            shim = ExecutionConfig(allowed_lateness=allowed_lateness)
+            config = shim.merged_over(config) if config is not None else shim
         self._engine = engine
         self.plan = plan
-        self.allowed_lateness = allowed_lateness
+        self.config = config if config is not None else ExecutionConfig()
         self._cached: Optional[RunResult] = None
         self._cached_fingerprint: Optional[tuple] = None
         self._decision: Optional[PartitionDecision] = None
@@ -206,14 +285,29 @@ class PreparedQuery:
     def emit(self) -> EmitSpec:
         return self.plan.emit
 
+    @property
+    def allowed_lateness(self) -> int:
+        """The effective lateness window (query over engine over default)."""
+        return self._effective().allowed_lateness
+
+    def _effective(
+        self, config: Optional[ExecutionConfig] = None
+    ) -> ExecutionConfig:
+        """Resolve the full precedence chain into a concrete config."""
+        layered = self.config
+        if config is not None:
+            layered = _coerce_config(config).merged_over(layered)
+        return layered.merged_over(self._engine.config).resolved()
+
     def explain(self, verbose: bool = False) -> str:
         text = self.plan.explain(verbose=verbose)
-        if self._engine.parallelism > 1:
+        effective = self._effective()
+        if effective.parallelism > 1:
             decision = self.partition_decision()
             if decision.partitionable:
                 note = (
-                    f"Runtime: sharded({self._engine.parallelism}) by "
-                    f"{decision.spec.description} [{self._engine.backend}]"
+                    f"Runtime: sharded({effective.parallelism}) by "
+                    f"{decision.spec.description} [{effective.backend}]"
                 )
             else:
                 note = f"Runtime: serial — {decision.reason}"
@@ -253,7 +347,6 @@ class PreparedQuery:
             "late_dropped": result.late_dropped,
             "expired_rows": result.expired_rows,
             "peak_state_rows": result.peak_state_rows,
-            "final_state_rows": report.total_rows,
             "watermark_steps": len(result.watermarks.as_pairs()),
             "state_report": report,
             "metrics": result.metrics,
@@ -261,38 +354,59 @@ class PreparedQuery:
 
     # -- execution ------------------------------------------------------------
 
-    def run(self) -> RunResult:
+    def run(self, config: Optional[ExecutionConfig] = None) -> RunResult:
         """Execute the dataflow over all currently registered events.
 
-        The run is cached and transparently refreshed when any source
-        has grown since the last execution.
+        ``config`` overrides the query- and engine-level configs for
+        this call (field-wise, highest precedence).  The run is cached
+        per effective config and transparently refreshed when any
+        source has grown since the last execution.
         """
-        fingerprint = tuple(
+        effective = self._effective(config)
+        fingerprint = (effective,) + tuple(
             (name, tvr.last_ptime, len(tvr.events()))
             for name, tvr in sorted(self._engine._sources.items())
         )
         if self._cached is None or fingerprint != self._cached_fingerprint:
-            self._cached = self._execute()
+            self._cached = self._execute(effective)
             self._cached_fingerprint = fingerprint
         return self._cached
 
-    def _execute(self) -> RunResult:
-        exporter = self._engine.telemetry
+    def _resolve_exporter(
+        self, effective: ExecutionConfig
+    ) -> Optional[TelemetryExporter]:
+        """The exporter for one run, reusing the engine's when unchanged.
+
+        Reuse matters for file-backed exporters: a ``jsonl:`` exporter
+        truncates its file on construction, so re-resolving the same
+        spec per run would wipe the log each time.
+        """
+        if effective.telemetry == self._engine.config.telemetry:
+            return self._engine.telemetry
+        try:
+            return make_exporter(effective.telemetry)
+        except ValueError as exc:
+            raise ValidationError(str(exc)) from exc
+
+    def _execute(self, effective: ExecutionConfig) -> RunResult:
+        exporter = self._resolve_exporter(effective)
         flow = None
-        if self._engine.parallelism > 1:
+        if effective.parallelism > 1:
             decision = self.partition_decision()
             if decision.partitionable:
                 flow = ShardedDataflow(
                     self.plan,
                     self._engine._sources,
                     decision.spec,
-                    self._engine.parallelism,
-                    self.allowed_lateness,
-                    backend=self._engine.backend,
+                    effective.parallelism,
+                    effective.allowed_lateness,
+                    backend=effective.backend,
+                    retry=effective.retry,
+                    fault_plan=effective.fault_plan,
                 )
         if flow is None:
             flow = Dataflow(
-                self.plan, self._engine._sources, self.allowed_lateness
+                self.plan, self._engine._sources, effective.allowed_lateness
             )
         if exporter is not None:
             flow.trace = exporter.on_event
@@ -303,17 +417,38 @@ class PreparedQuery:
 
     def dataflow(self) -> Dataflow:
         """A fresh, un-run serial dataflow (for incremental feeding / benchmarks)."""
-        return Dataflow(self.plan, self._engine._sources, self.allowed_lateness)
+        return Dataflow(
+            self.plan, self._engine._sources, self.allowed_lateness
+        )
 
     def sharded_dataflow(
-        self, shards: Optional[int] = None, backend: Optional[str] = None
+        self,
+        config: Optional[ExecutionConfig] = None,
+        *,
+        shards: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> ShardedDataflow:
         """A fresh, un-run sharded dataflow for this query.
 
-        Raises :class:`~repro.core.errors.ValidationError` when the
-        partition analyzer rejects the plan — check
-        :meth:`partition_decision` first to branch gracefully.
+        ``config`` overrides the query/engine configs for this dataflow
+        (``parallelism``, ``backend``, ``retry``, ``fault_plan``,
+        ``allowed_lateness``); the bare ``shards=`` / ``backend=``
+        keywords are deprecated spellings of the first two.  Raises
+        :class:`~repro.core.errors.ValidationError` when the partition
+        analyzer rejects the plan — check :meth:`partition_decision`
+        first to branch gracefully.
         """
+        overrides: dict[str, Any] = {}
+        if shards is not None:
+            warn_deprecated_kwarg("shards", f"parallelism={shards!r}")
+            overrides["parallelism"] = shards
+        if backend is not None:
+            warn_deprecated_kwarg("backend", f"backend={backend!r}")
+            overrides["backend"] = backend
+        if overrides:
+            shim = ExecutionConfig(**overrides)
+            config = shim.merged_over(config) if config is not None else shim
+        effective = self._effective(config)
         decision = self.partition_decision()
         if not decision.partitionable:
             raise ValidationError(
@@ -323,15 +458,24 @@ class PreparedQuery:
             self.plan,
             self._engine._sources,
             decision.spec,
-            shards if shards is not None else self._engine.parallelism,
-            self.allowed_lateness,
-            backend=backend if backend is not None else self._engine.backend,
+            effective.parallelism,
+            effective.allowed_lateness,
+            backend=effective.backend,
+            retry=effective.retry,
+            fault_plan=effective.fault_plan,
         )
 
     # -- renderings --------------------------------------------------------------
 
     def table(self, at: Timestamp | str = MAX_TIMESTAMP) -> Relation:
-        """The result as a point-in-time relation at processing time ``at``."""
+        """The *snapshot* encoding of the result TVR at processing time ``at``.
+
+        A time-varying relation can be rendered as the sequence of its
+        point-in-time snapshots or as the changelog connecting them
+        (Section 3); ``table()`` is the snapshot side: one classic
+        relation holding exactly the rows the result contains at ``at``,
+        with no change metadata.
+        """
         result = self.run()
         sort_keys, limit = self._sort_spec()
         return table_view(
@@ -345,7 +489,17 @@ class PreparedQuery:
         )
 
     def stream(self, until: Timestamp | str = MAX_TIMESTAMP) -> list[StreamChange]:
-        """The result as a changelog stream with undo/ptime/ver metadata."""
+        """The *changelog* encoding of the result TVR, up to ptime ``until``.
+
+        The other side of the duality: the totally-ordered sequence of
+        changes that carries the result from empty to its ``until``
+        snapshot.  Each :class:`~repro.exec.materialize.StreamChange`
+        is a row plus the change metadata of Listing 13 — ``ptime``
+        (when it took effect), ``undo`` (retraction flag), and ``ver``
+        (version within its group) — so replaying the changelog
+        reconstructs every intermediate snapshot ``table(at=...)`` would
+        show.
+        """
         if isinstance(self.plan.root, SortNode):
             raise ValidationError(
                 "ORDER BY / LIMIT define a table ordering and cannot be "
@@ -365,9 +519,10 @@ class PreparedQuery:
     ) -> list[DeltaChange]:
         """The changelog as per-aggregate numeric deltas (Section 6.5.1).
 
-        Available for grouped queries whose non-key outputs are numeric;
-        each update carries only the difference against the group's
-        previous version instead of a retract/insert pair.
+        A compressed changelog encoding, available for grouped queries
+        whose non-key outputs are numeric: each update carries only the
+        difference against the group's previous version instead of a
+        retract/insert pair.
         """
         result = self.run()
         return delta_view(
@@ -379,7 +534,13 @@ class PreparedQuery:
         )
 
     def stream_table(self, until: Timestamp | str = MAX_TIMESTAMP) -> Relation:
-        """The stream rendering as a printable relation (Listing 9 style)."""
+        """The changelog encoding rendered as a printable relation.
+
+        Same changes as :meth:`stream`, materialized Listing 9 style:
+        one row per change with ``ptime``/``undo``/``ver`` as ordinary
+        columns, so the stream rendering can itself be inspected as a
+        table — the duality applied to its own output.
+        """
         changes = self.stream(until)
         return Relation(
             stream_schema(self.schema), [c.as_tuple() for c in changes]

@@ -13,6 +13,7 @@ from .metrics import (
     MetricsRegistry,
     MetricsReport,
     OperatorCounters,
+    RecoveryStats,
     merge_shard_reports,
     watermark_lag,
 )
@@ -23,6 +24,7 @@ __all__ = [
     "OperatorCounters",
     "MetricsRegistry",
     "MetricsReport",
+    "RecoveryStats",
     "merge_shard_reports",
     "watermark_lag",
     "Histogram",

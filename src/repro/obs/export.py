@@ -224,6 +224,21 @@ def render_exposition(report: MetricsReport) -> str:
             "repro_shard_routed_rows" + _labels({"shard": shard}) + f" {rows}"
         )
 
+    recovery = report.recovery
+    if recovery is not None:
+        for name, value, help_text in (
+            ("repro_recovery_shard_restarts_total", recovery.shard_restarts,
+             "Supervised shard workers restarted from a checkpoint"),
+            ("repro_recovery_rows_replayed_total", recovery.rows_replayed,
+             "Input rows re-processed while catching restarted shards up"),
+            ("repro_recovery_dedup_drops_total", recovery.dedup_drops,
+             "Re-emitted output changes dropped by sequence-number dedup"),
+            ("repro_recovery_wm_regressions_total", recovery.wm_regressions,
+             "Restored shard watermarks clamped to already-observed values"),
+        ):
+            family(name, "counter", help_text)
+            lines.append(f"{name} {value}")
+
     telemetry = report.telemetry
     if telemetry is not None:
         for name, attr, help_text in _HISTOGRAMS:

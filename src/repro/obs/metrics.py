@@ -38,9 +38,65 @@ __all__ = [
     "OperatorCounters",
     "MetricsRegistry",
     "MetricsReport",
+    "RecoveryStats",
     "merge_shard_reports",
     "watermark_lag",
 ]
+
+
+@dataclass
+class RecoveryStats:
+    """What fault recovery cost one run: restarts, replay, dedup.
+
+    Attached to the :class:`MetricsReport` of supervised sharded runs
+    (zero-valued when no fault fired, ``None`` for serial runs):
+
+    * ``shard_restarts`` — shard workers restarted by the supervisor;
+    * ``rows_replayed`` — row events re-processed after restoring from
+      a checkpoint (the replay tail a tighter checkpoint interval
+      shrinks);
+    * ``dedup_drops`` — re-emitted output changes dropped by the
+      sequence-number dedup before the merge stage;
+    * ``wm_regressions`` — restarted-shard watermark values the
+      frontier clamped instead of letting the merged minimum regress.
+    """
+
+    shard_restarts: int = 0
+    rows_replayed: int = 0
+    dedup_drops: int = 0
+    wm_regressions: int = 0
+
+    @property
+    def any(self) -> bool:
+        return bool(
+            self.shard_restarts
+            or self.rows_replayed
+            or self.dedup_drops
+            or self.wm_regressions
+        )
+
+    def merge(self, other: "RecoveryStats") -> "RecoveryStats":
+        self.shard_restarts += other.shard_restarts
+        self.rows_replayed += other.rows_replayed
+        self.dedup_drops += other.dedup_drops
+        self.wm_regressions += other.wm_regressions
+        return self
+
+    def as_dict(self) -> dict:
+        return {
+            "shard_restarts": self.shard_restarts,
+            "rows_replayed": self.rows_replayed,
+            "dedup_drops": self.dedup_drops,
+            "wm_regressions": self.wm_regressions,
+        }
+
+    def render(self) -> str:
+        return (
+            f"recovery: shard_restarts={self.shard_restarts} "
+            f"rows_replayed={self.rows_replayed} "
+            f"dedup_drops={self.dedup_drops} "
+            f"wm_regressions={self.wm_regressions}"
+        )
 
 
 class OperatorCounters:
@@ -177,6 +233,8 @@ class MetricsReport:
     shard_count: int = 1
     shard_rows: list[int] = field(default_factory=list)
     telemetry: Optional[RunTelemetry] = None
+    #: recovery accounting for supervised sharded runs (``None`` serial).
+    recovery: Optional[RecoveryStats] = None
 
     # -- lookups ---------------------------------------------------------------
 
@@ -239,6 +297,8 @@ class MetricsReport:
                 f"shard skew: rows routed per shard {self.shard_rows} "
                 f"(max={skew['max']}, min={skew['min']})"
             )
+        if self.recovery is not None and self.recovery.any:
+            lines.append(self.recovery.render())
         if self.telemetry is not None and not self.telemetry.empty:
             lines.append(self.telemetry.render())
         return "\n".join(lines)

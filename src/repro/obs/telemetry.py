@@ -156,13 +156,16 @@ def render_dashboard(
     watermark: Timestamp,
     telemetry: RunTelemetry,
     shard_rows: Optional[Sequence[int]] = None,
+    recovery=None,
     final: bool = False,
 ) -> str:
     """One refreshing screen of a running query, as plain text.
 
     Used by the shell's ``\\watch`` command: every frame is a full
     render, so a terminal redraw is "clear + print" and a test is just
-    a substring assertion on the returned string.
+    a substring assertion on the returned string.  ``recovery`` — a
+    :class:`~repro.obs.metrics.RecoveryStats` — adds a restart line
+    when any shard worker recovered during the run.
     """
     width = 62
     rule = "=" * width
@@ -196,6 +199,12 @@ def render_dashboard(
         for index, rows in enumerate(shard_rows):
             bar = "#" * max(1 if rows else 0, round(_BAR_WIDTH * rows / most))
             lines.append(f"  s{index:<3} {bar:<{_BAR_WIDTH}} {rows}")
+    if recovery is not None and recovery.any:
+        lines.append(
+            f"recovery  {recovery.shard_restarts} restart(s)   "
+            f"{recovery.rows_replayed} rows replayed   "
+            f"{recovery.dedup_drops} dedup drops"
+        )
     lines.append(rule)
     return "\n".join(lines)
 

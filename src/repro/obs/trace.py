@@ -13,6 +13,11 @@ that define a streaming run's shape:
   only).  The merged minimum advancing is reported as a ``"watermark"``
   event; the per-shard ``"frontier"`` events in between are the
   propagation timeline that makes skewed and straggler shards visible.
+* ``"recovery"`` — a supervised shard worker failed and restarted from
+  its last checkpoint (sharded batch runs only).  ``shard`` is the
+  restarted worker, ``count`` the restart attempt number (1-based), and
+  ``operator`` is ``"supervisor:<failure>"`` naming what the supervisor
+  caught (``crash``, ``hang``, or an exception class name).
 
 Every event carries provenance: ``operator`` names the operator the
 event was observed at (the root operator for batch/watermark events)
@@ -41,9 +46,11 @@ class TraceEvent:
     """One observed dataflow event.
 
     ``kind`` is ``"batch"`` (``count`` output changes reached the root),
-    ``"watermark"`` (the root watermark advanced to ``value``), or
+    ``"watermark"`` (the root watermark advanced to ``value``),
     ``"frontier"`` (shard ``shard``'s root watermark advanced to
-    ``value``); ``ptime`` is the processing time of the event.
+    ``value``), or ``"recovery"`` (shard ``shard``'s worker restarted;
+    ``count`` is the attempt number); ``ptime`` is the processing time
+    of the event.
     ``operator`` and ``shard`` attribute the event to its source; both
     are defaulted so events constructed by older code stay valid.
     """
@@ -85,6 +92,10 @@ class TraceCollector:
     def frontier_advances(self) -> int:
         return sum(1 for e in self.events if e.kind == "frontier")
 
+    @property
+    def recoveries(self) -> int:
+        return sum(1 for e in self.events if e.kind == "recovery")
+
     def shard_timeline(self, shard: int) -> list[TraceEvent]:
         """Events attributed to one shard, in arrival order."""
         return [e for e in self.events if e.shard == shard]
@@ -95,4 +106,5 @@ class TraceCollector:
             "changes": self.changes,
             "watermark_advances": self.watermark_advances,
             "frontier_advances": self.frontier_advances,
+            "recoveries": self.recoveries,
         }

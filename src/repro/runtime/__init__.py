@@ -8,13 +8,45 @@ dataflows with hash routing and broadcast watermarks, a
 shards, and the deterministic merge stage reassembles the shard
 changelogs into the exact serial output.
 
+Batch runs are fault tolerant: every shard worker executes under a
+:class:`ShardSupervisor` (:mod:`repro.runtime.supervisor`) that
+restarts it from its last checkpoint on failure, replays its input,
+and relies on sequence-number dedup to keep the merged output exact;
+:mod:`repro.runtime.faults` is the deterministic fault-injection
+harness (:class:`FaultPlan`) that makes every recovery path testable.
+
 Guarantee: for any partitionable query, the sharded result — values,
 ``ptime``, ``undo``, ``ver``, and ordering — is identical to the serial
-engine's (see ``docs/RUNTIME.md`` for the argument).
+engine's, with or without worker failures along the way (see
+``docs/RUNTIME.md`` for the argument).
 """
 
 from .backends import run_shards
+from .faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    InjectedFault,
+    InjectedHang,
+)
 from .frontier import WatermarkFrontier
 from .sharded import ShardedDataflow
+from .supervisor import RetryPolicy, ShardSupervisor, SupervisedOutcome
 
-__all__ = ["ShardedDataflow", "WatermarkFrontier", "run_shards"]
+__all__ = [
+    "ShardedDataflow",
+    "WatermarkFrontier",
+    "run_shards",
+    "RetryPolicy",
+    "ShardSupervisor",
+    "SupervisedOutcome",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
+    "FAULT_KINDS",
+    "InjectedFault",
+    "InjectedCrash",
+    "InjectedHang",
+]

@@ -31,6 +31,10 @@ class WatermarkFrontier:
             raise WatermarkError("frontier needs at least one shard")
         self._values: list[Timestamp] = [MIN_TIMESTAMP] * shard_count
         self._merged = WatermarkTrack()
+        #: restored shard watermarks clamped instead of letting the
+        #: merged minimum regress below a value already reported in a
+        #: ``frontier`` trace event (mid-run shard restarts).
+        self.wm_regressions = 0
         #: optional trace hook: receives a ``"frontier"`` event per
         #: per-shard advance and a ``"watermark"`` event whenever the
         #: published minimum moves — the propagation timeline that makes
@@ -94,12 +98,33 @@ class WatermarkFrontier:
             return merged
         return None
 
+    def restore_shard(self, shard: int, value: Timestamp) -> Timestamp:
+        """Re-seat one shard's watermark after a mid-run restart.
+
+        A shard restored from a checkpoint resumes with the watermark
+        it had *then*, which is at or behind everything this frontier
+        has already observed — and possibly reported in ``frontier``
+        trace events — for that shard.  Regressing the tracked value
+        would let the merged minimum move backwards, un-asserting a
+        completeness boundary downstream consumers may have acted on.
+        Instead the restored value is clamped to the already-observed
+        one, ``wm_regressions`` is counted, and the clamped value is
+        returned (the shard's replay then re-advances it monotonically).
+        """
+        prior = self._values[shard]
+        if value < prior:
+            self.wm_regressions += 1
+            value = prior
+        self._values[shard] = value
+        return value
+
     # -- checkpointing -------------------------------------------------------
 
     def snapshot(self) -> dict:
         return {
             "values": list(self._values),
             "merged_pairs": self._merged.as_pairs(),
+            "wm_regressions": self.wm_regressions,
         }
 
     def restore(self, snapshot: dict) -> None:
@@ -135,7 +160,24 @@ class WatermarkFrontier:
                     f"frontier snapshot is corrupt: merged watermark "
                     f"{merged.current} runs ahead of shard {shard} at {value}"
                 )
-        self._values = list(values)
+        # A snapshot older than this frontier's live state (a mid-run
+        # restart restoring an earlier checkpoint) must not regress what
+        # was already observed — and possibly already reported in
+        # ``frontier``/``watermark`` trace events.  Clamp each shard to
+        # its observed floor and keep the further-along published track,
+        # counting every clamp as a wm_regression instead of erroring.
+        self.wm_regressions = snapshot.get("wm_regressions", 0)
+        clamped = []
+        for shard, value in enumerate(values):
+            floor = self._values[shard]
+            if value < floor:
+                self.wm_regressions += 1
+                value = floor
+            clamped.append(value)
+        if merged.current < self._merged.current:
+            self.wm_regressions += 1
+            merged = self._merged
+        self._values = clamped
         self._merged = merged
 
     def __repr__(self) -> str:

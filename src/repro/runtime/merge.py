@@ -21,13 +21,77 @@ from ..core.errors import ExecutionError
 from ..core.times import Timestamp
 from .frontier import WatermarkFrontier
 
-__all__ = ["merge_tagged_changes", "replay_frontier"]
+__all__ = [
+    "dedup_by_seq",
+    "dedup_observations",
+    "merge_tagged_changes",
+    "replay_frontier",
+]
 
 #: One shard's tagged output: (global event seq, changes it caused).
 TaggedSlice = tuple[int, list[Change]]
 
 #: One shard's watermark observation: (global event seq, ptime, value).
 WatermarkObservation = tuple[int, Timestamp, Timestamp]
+
+
+def dedup_by_seq(slices: list[TaggedSlice]) -> tuple[list[TaggedSlice], int]:
+    """Collapse re-emitted output slices from restarted shard workers.
+
+    A supervised worker keeps every emission in its log, duplicates
+    included — exactly what a worker that crashed *after* shipping
+    output but *before* its next checkpoint produces on replay.  Each
+    output slice is keyed by the global sequence number of the event
+    that caused it, and replay is deterministic, so the first
+    occurrence is kept and later occurrences are dropped, returning
+    ``(unique slices, changes dropped)``.  A re-emission that does not
+    match the original byte for byte means replay diverged — a bug, not
+    a duplicate — and raises instead of being silently merged.
+
+    Idempotent: deduping a deduped log drops nothing further (property-
+    tested in ``tests/test_faults.py``).
+    """
+    seen: dict[int, list[Change]] = {}
+    unique: list[TaggedSlice] = []
+    drops = 0
+    for seq, changes in slices:
+        prior = seen.get(seq)
+        if prior is None:
+            seen[seq] = changes
+            unique.append((seq, changes))
+        else:
+            if changes != prior:
+                raise ExecutionError(
+                    f"replay diverged: event #{seq} re-emitted different "
+                    "output after a shard restart"
+                )
+            drops += len(changes)
+    return unique, drops
+
+
+def dedup_observations(
+    observations: list[WatermarkObservation],
+) -> list[WatermarkObservation]:
+    """Drop re-observed watermark values from replayed input.
+
+    Watermark observations are keyed by global sequence number; replay
+    after a restart re-observes the same (ptime, value) pairs, which
+    must not be fed to the frontier twice.  Divergent re-observations
+    raise, mirroring :func:`dedup_by_seq`.
+    """
+    seen: dict[int, WatermarkObservation] = {}
+    unique: list[WatermarkObservation] = []
+    for obs in observations:
+        prior = seen.get(obs[0])
+        if prior is None:
+            seen[obs[0]] = obs
+            unique.append(obs)
+        elif prior != obs:
+            raise ExecutionError(
+                f"replay diverged: event #{obs[0]} re-observed a different "
+                "watermark after a shard restart"
+            )
+    return unique
 
 
 def merge_tagged_changes(

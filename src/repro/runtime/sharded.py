@@ -15,8 +15,11 @@ Two driving modes share that merge invariant:
 * :meth:`process` — the incremental API: route, run, splice inline.
 * :meth:`run` — the batch API: split the merged source sequence into
   per-shard subsequences, run them on a worker-pool backend
-  (:mod:`repro.runtime.backends`), then merge the tagged output slices
-  and replay the watermark observations into the frontier.
+  (:mod:`repro.runtime.backends`) under a per-shard supervisor
+  (:mod:`repro.runtime.supervisor`) that restarts failed workers from
+  their last checkpoint, then dedup re-emitted slices by sequence
+  number, merge the tagged output slices, and replay the watermark
+  observations into the frontier.
 
 Checkpoints nest the shard checkpoints plus the frontier and merged
 changelog, so a sharded run restores onto a fresh ``ShardedDataflow``
@@ -33,14 +36,21 @@ from ..core.errors import ExecutionError
 from ..core.times import MIN_TIMESTAMP, Timestamp
 from ..core.tvr import RowEvent, StreamEvent, TimeVaryingRelation, WatermarkEvent
 from ..exec.executor import Dataflow, RunResult, merge_source_events
-from ..obs.metrics import merge_shard_reports
+from ..obs.metrics import RecoveryStats, merge_shard_reports
 from ..obs.telemetry import RunTelemetry
 from ..obs.trace import TraceEvent
 from ..plan.partition import PartitionSpec
 from .backends import run_shards
+from .faults import FaultInjector, FaultPlan
 from .frontier import WatermarkFrontier
-from .merge import merge_tagged_changes, replay_frontier
-from .routing import ShardEvent, partition_events
+from .merge import (
+    dedup_by_seq,
+    dedup_observations,
+    merge_tagged_changes,
+    replay_frontier,
+)
+from .routing import partition_events
+from .supervisor import RetryPolicy, ShardSupervisor
 
 __all__ = ["ShardedDataflow"]
 
@@ -56,12 +66,18 @@ class ShardedDataflow:
         shards: int,
         allowed_lateness: int = 0,
         backend: str = "threads",
+        retry: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if shards < 1:
             raise ExecutionError("a sharded dataflow needs at least one shard")
         self.plan = plan
         self.spec = spec
         self.backend = backend
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.fault_plan = fault_plan
+        self._allowed_lateness = allowed_lateness
+        self._raw_sources = sources
         self._sources = {name.lower(): tvr for name, tvr in sources.items()}
         self._shards = [
             Dataflow(plan, sources, allowed_lateness) for _ in range(shards)
@@ -70,6 +86,7 @@ class ShardedDataflow:
         self._merged_changes: list[Change] = []
         self._last_ptime: Timestamp = MIN_TIMESTAMP
         self._trace: Optional[Callable[[TraceEvent], None]] = None
+        self._recovery = RecoveryStats()
 
     @property
     def trace(self) -> Optional[Callable[[TraceEvent], None]]:
@@ -205,9 +222,17 @@ class ShardedDataflow:
     # -- batch API ---------------------------------------------------------------
 
     def run(self, until: Optional[Timestamp] = None) -> RunResult:
-        """Replay all source events (up to ``until``) on the worker pool."""
+        """Replay all source events (up to ``until``) on the worker pool.
+
+        Batch runs are *supervised*: each shard worker restarts from
+        its last checkpoint on failure (including faults injected by
+        ``fault_plan``) with the retries, backoff, and replay dedup the
+        :class:`~repro.runtime.supervisor.ShardSupervisor` implements.
+        The ``sync`` backend drives the incremental reference path
+        unless a fault plan demands supervision.
+        """
         events = merge_source_events(self._sources, until)
-        if self.backend == "sync":
+        if self.backend == "sync" and self.fault_plan is None:
             for event, source in events:
                 self.process(event, source)
             return self.finish(until)
@@ -219,36 +244,76 @@ class ShardedDataflow:
     ) -> None:
         tasks = partition_events(events, self.spec, len(self._shards))
         transfer_state = self.backend == "processes"
+        injector = FaultInjector(self.fault_plan)
+        trace = self._trace
 
-        def make_worker(index: int):
-            shard = self._shards[index]
-            shard_tasks = tasks[index]
+        def make_supervisor(index: int) -> ShardSupervisor:
+            def make_dataflow() -> Dataflow:
+                flow = Dataflow(
+                    self.plan, self._raw_sources, self._allowed_lateness
+                )
+                flow.trace = _shard_batch_tagger(trace, index)
+                return flow
 
-            def worker():
-                slices, observations = _drive_shard(shard, shard_tasks, until)
-                state = shard.checkpoint() if transfer_state else None
-                return slices, observations, state
+            return ShardSupervisor(
+                shard=index,
+                dataflow=self._shards[index],
+                make_dataflow=make_dataflow,
+                tasks=tasks[index],
+                until=until,
+                policy=self.retry,
+                injector=injector,
+                transfer_state=transfer_state,
+            )
 
-            return worker
-
+        supervisors = [make_supervisor(i) for i in range(len(self._shards))]
         outcomes = run_shards(
-            [make_worker(i) for i in range(len(self._shards))], self.backend
+            [supervisor.run for supervisor in supervisors], self.backend
         )
-        if transfer_state:
-            # Fork-based workers mutated copies; pull each shard's final
-            # state back via its checkpoint bytes.
-            for shard, (_, _, state) in zip(self._shards, outcomes):
-                if state is not None:
-                    shard.restore(state)
-        self._merged_changes.extend(
-            merge_tagged_changes([slices for slices, _, _ in outcomes])
-        )
+        for index, (supervisor, outcome) in enumerate(
+            zip(supervisors, outcomes)
+        ):
+            if transfer_state:
+                # Fork-based workers mutated copies; pull each shard's
+                # final state back via its checkpoint bytes.
+                if outcome.state is not None:
+                    self._shards[index].restore(outcome.state)
+            else:
+                # Thread workers may have replaced a restarted shard's
+                # dataflow with the restored instance.
+                self._shards[index] = supervisor.final_flow
+            self._recovery.merge(outcome.stats)
+            # Recovery trace events are forwarded post-hoc in shard
+            # order, so the annotated trace log is deterministic across
+            # backends (forked workers cannot reach the parent's hook).
+            if trace is not None:
+                for event in outcome.events:
+                    trace(event)
+        deduped_slices = []
+        for outcome in outcomes:
+            unique, drops = dedup_by_seq(outcome.slices)
+            self._recovery.dedup_drops += drops
+            deduped_slices.append(unique)
+        self._merged_changes.extend(merge_tagged_changes(deduped_slices))
         replay_frontier(
-            self._frontier, [observations for _, observations, _ in outcomes]
+            self._frontier,
+            [dedup_observations(outcome.observations) for outcome in outcomes],
         )
         for event, _ in events:
             if event.ptime > self._last_ptime:
                 self._last_ptime = event.ptime
+
+    @property
+    def recovery(self) -> RecoveryStats:
+        """Recovery accounting so far (restarts, replay, dedup, clamps)."""
+        stats = RecoveryStats(
+            shard_restarts=self._recovery.shard_restarts,
+            rows_replayed=self._recovery.rows_replayed,
+            dedup_drops=self._recovery.dedup_drops,
+            wm_regressions=self._recovery.wm_regressions
+            + self._frontier.wm_regressions,
+        )
+        return stats
 
     # -- results -----------------------------------------------------------------
 
@@ -276,10 +341,18 @@ class ShardedDataflow:
         )
 
     def metrics_report(self):
-        """Per-operator totals over shards, plus per-shard breakdowns."""
-        return merge_shard_reports(
+        """Per-operator totals over shards, plus per-shard breakdowns.
+
+        The merged report also carries the run's recovery accounting
+        (shard restarts, rows replayed, dedup drops, watermark clamps)
+        — zero-valued for a fault-free run, ``None`` only on serial
+        reports.
+        """
+        report = merge_shard_reports(
             [shard.metrics_report() for shard in self._shards]
         )
+        report.recovery = self.recovery
+        return report
 
     # -- checkpointing -----------------------------------------------------------
 
@@ -291,6 +364,7 @@ class ShardedDataflow:
             "frontier": self._frontier.snapshot(),
             "merged_changes": list(self._merged_changes),
             "last_ptime": self._last_ptime,
+            "recovery": self._recovery.as_dict(),
         }
         return pickle.dumps(payload)
 
@@ -307,6 +381,8 @@ class ShardedDataflow:
         self._frontier.restore(payload["frontier"])
         self._merged_changes = list(payload["merged_changes"])
         self._last_ptime = payload["last_ptime"]
+        # Absent in pre-supervisor checkpoints; start the ledger fresh.
+        self._recovery = RecoveryStats(**payload.get("recovery", {}))
 
 
 def _shard_batch_tagger(
@@ -327,35 +403,3 @@ def _shard_batch_tagger(
             callback(event.at_shard(shard))
 
     return forward
-
-
-def _drive_shard(
-    shard: Dataflow,
-    tasks: list[ShardEvent],
-    until: Optional[Timestamp],
-) -> tuple[list[tuple[int, list[Change]]], list[tuple[int, Timestamp, Timestamp]]]:
-    """Run one shard's subsequence, tagging outputs by global sequence."""
-    slices: list[tuple[int, list[Change]]] = []
-    observations: list[tuple[int, Timestamp, Timestamp]] = []
-    for seq, event, source in tasks:
-        before = shard.output_size
-        shard.process(event, source)
-        produced = shard.output_slice(before)
-        if produced:
-            if isinstance(event, WatermarkEvent):
-                raise ExecutionError(
-                    "watermark advance produced output in a shard; the "
-                    "partition analyzer admitted a watermark-triggered "
-                    "operator it should not have"
-                )
-            slices.append((seq, produced))
-        if isinstance(event, WatermarkEvent):
-            observations.append((seq, event.ptime, shard.root_watermark))
-    before = shard.output_size
-    shard.finish(until)
-    if shard.output_slice(before):
-        raise ExecutionError(
-            "timer drain produced output in a shard; the partition "
-            "analyzer admitted a timer-driven operator it should not have"
-        )
-    return slices, observations

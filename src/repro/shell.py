@@ -182,6 +182,12 @@ class Shell:
         written to :attr:`watch_sink` with an ANSI clear so the view
         refreshes in place.  The final frame is returned either way,
         so the command is fully testable without a terminal.
+
+        When the effective config carries a fault plan and the query is
+        sharded, the run goes through the supervised batch path instead
+        (faults fire, workers restart from checkpoints) and the final
+        frame shows the recovery line: restarts, rows replayed, dedup
+        drops.
         """
         import time
 
@@ -212,10 +218,19 @@ class Shell:
                 watermark=flow.root_watermark,
                 telemetry=flow.telemetry,
                 shard_rows=flow.shard_routed_rows() if use_sharded else None,
+                recovery=getattr(flow, "recovery", None),
                 final=final,
             )
 
         sink = self.watch_sink
+        supervised = use_sharded and flow.fault_plan is not None
+        if supervised:
+            # Fault injection only fires on the supervised batch path,
+            # so drive the whole run at once and show the outcome frame.
+            result = flow.run()
+            if exporter is not None:
+                exporter.export(result)
+            return frame(total, final=True)
         for done, (event, source) in enumerate(events, start=1):
             flow.process(event, source)
             if sink is not None and done < total and done % interval == 0:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import StreamEngine
+from repro import ExecutionConfig, StreamEngine
 from repro.core.schema import Schema, int_col, timestamp_col
 from repro.core.times import minutes, seconds, t
 from repro.core.tvr import TimeVaryingRelation
@@ -36,13 +36,18 @@ class TestAllowedLateness:
 
     def test_lateness_keeps_state_and_updates(self):
         engine = make_engine()
-        query = engine.query(SQL, allowed_lateness=minutes(10))
+        query = engine.query(
+            SQL, config=ExecutionConfig(allowed_lateness=minutes(10))
+        )
         assert query.table().tuples == [(t("8:10"), 2)]
         assert query.run().late_dropped == 0
 
     def test_late_firing_appears_in_changelog(self):
         engine = make_engine()
-        out = engine.query(SQL + " EMIT STREAM", allowed_lateness=minutes(10)).stream()
+        out = engine.query(
+            SQL + " EMIT STREAM",
+            config=ExecutionConfig(allowed_lateness=minutes(10)),
+        ).stream()
         # initial count, then the late correction (retract + insert)
         assert [(c.values[1], c.undo, c.ptime) for c in out] == [
             (1, False, 100),
@@ -54,7 +59,9 @@ class TestAllowedLateness:
         engine = make_engine()
         # the row is 7 minutes past its window end; 2 minutes of slack
         # does not save it (watermark 8:12 >= wend 8:10 + 2min)
-        query = engine.query(SQL, allowed_lateness=minutes(2))
+        query = engine.query(
+            SQL, config=ExecutionConfig(allowed_lateness=minutes(2))
+        )
         assert query.table().tuples == [(t("8:10"), 1)]
         assert query.run().late_dropped == 1
 
@@ -64,7 +71,7 @@ class TestAllowedLateness:
         engine = make_engine()
         out = engine.query(
             SQL + " EMIT STREAM AFTER WATERMARK",
-            allowed_lateness=minutes(10),
+            config=ExecutionConfig(allowed_lateness=minutes(10)),
         ).stream()
         values = [(c.values[1], c.undo) for c in out]
         assert values == [(1, False), (1, True), (2, False)]
@@ -79,7 +86,7 @@ class TestAllowedLateness:
         strict = engine.query(q7_paper()).dataflow()
         strict.run()
         lenient = engine.query(
-            q7_paper(), allowed_lateness=minutes(30)
+            q7_paper(), config=ExecutionConfig(allowed_lateness=minutes(30))
         ).dataflow()
         lenient.run()
         # same results, but the lenient run retains more join state

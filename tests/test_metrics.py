@@ -12,7 +12,7 @@ counters across the operator zoo, (c) serial/sharded agreement, and
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import StreamEngine
+from repro import ExecutionConfig, StreamEngine
 from repro.core.schema import Schema, int_col, string_col, timestamp_col
 from repro.core.times import MAX_TIMESTAMP, minutes, t
 from repro.core.tvr import RowEvent, TimeVaryingRelation, ins, wm
@@ -67,7 +67,9 @@ SELF_JOIN_SQL = "SELECT a.k, a.v, b.v FROM S a JOIN S b ON a.k = b.k"
 
 
 def keyed_engine(events, parallelism=1):
-    engine = StreamEngine(parallelism=parallelism, backend="sync")
+    engine = StreamEngine(
+        config=ExecutionConfig(parallelism=parallelism, backend="sync")
+    )
     engine.register_stream("S", TimeVaryingRelation(KEYED_SCHEMA, events))
     return engine
 
@@ -89,7 +91,9 @@ def tick_engine(parallelism=1):
     tvr.advance_watermark(300, t("9:10"))
     tvr.insert(400, ("A", t("9:02"), 95))  # late: behind the 9:10 watermark
     tvr.advance_watermark(500, MAX_TIMESTAMP)
-    engine = StreamEngine(parallelism=parallelism, backend="sync")
+    engine = StreamEngine(
+        config=ExecutionConfig(parallelism=parallelism, backend="sync")
+    )
     engine.register_stream("Ticks", tvr)
     return engine
 

@@ -10,7 +10,7 @@ surfaced in ``explain()``.
 
 import pytest
 
-from repro import StreamEngine
+from repro import ExecutionConfig, StreamEngine
 from repro.core.errors import ExecutionError, ValidationError, WatermarkError
 from repro.core.schema import Schema, int_col, string_col, timestamp_col
 from repro.core.times import MIN_TIMESTAMP, t
@@ -60,14 +60,18 @@ TUMBLED_BY_WINDOW = """
 
 
 def paper_engine(parallelism=1, backend="threads"):
-    eng = StreamEngine(parallelism=parallelism, backend=backend)
+    eng = StreamEngine(
+        config=ExecutionConfig(parallelism=parallelism, backend=backend)
+    )
     eng.register_stream("Bid", paper_bid_stream())
     return eng
 
 
 def two_stream_engine(parallelism=1, backend="threads"):
     """Two keyed streams for join partitioning tests."""
-    eng = StreamEngine(parallelism=parallelism, backend=backend)
+    eng = StreamEngine(
+        config=ExecutionConfig(parallelism=parallelism, backend=backend)
+    )
     left = TimeVaryingRelation(
         Schema([int_col("k"), string_col("lv")]),
         [
@@ -207,7 +211,7 @@ class TestAnalyzer:
             assert hint in note
 
     def test_global_aggregate_falls_back(self):
-        eng = StreamEngine(parallelism=4)
+        eng = StreamEngine(config=ExecutionConfig(parallelism=4))
         eng.register_table("T", Schema([int_col("v")]), [(1,), (2,), (3,)])
         query = eng.query("SELECT SUM(v) FROM T")
         decision = query.partition_decision()
@@ -251,11 +255,11 @@ class TestAnalyzer:
 class TestEngineConfig:
     def test_parallelism_validated(self):
         with pytest.raises(ValidationError):
-            StreamEngine(parallelism=0)
+            StreamEngine(config=ExecutionConfig(parallelism=0))
 
     def test_backend_validated(self):
         with pytest.raises(ValidationError):
-            StreamEngine(parallelism=2, backend="fibers")
+            StreamEngine(config=ExecutionConfig(parallelism=2, backend="fibers"))
 
     def test_unknown_backend_rejected_by_pool(self):
         from repro.runtime import run_shards
@@ -292,8 +296,9 @@ class TestPaperListingEquality:
         assert sharded.stream_deltas() == serial.stream_deltas()
 
     def test_allowed_lateness_late_drops_match(self):
-        serial = paper_engine(1).query(TUMBLED_BY_ITEM, allowed_lateness=60_000)
-        sharded = paper_engine(3).query(TUMBLED_BY_ITEM, allowed_lateness=60_000)
+        late = ExecutionConfig(allowed_lateness=60_000)
+        serial = paper_engine(1).query(TUMBLED_BY_ITEM, config=late)
+        sharded = paper_engine(3).query(TUMBLED_BY_ITEM, config=late)
         assert_identical_results(serial, sharded)
 
     def test_join_equality(self):
@@ -351,7 +356,7 @@ class TestNexmarkEquality:
     and either way the output matches the serial engine exactly."""
 
     def _engine(self, nexmark_small, parallelism, recorded):
-        eng = StreamEngine(parallelism=parallelism)
+        eng = StreamEngine(config=ExecutionConfig(parallelism=parallelism))
         if recorded:
             nexmark_small.register_recorded_on(eng)
         else:
@@ -414,7 +419,7 @@ class TestShardedCheckpoint:
         first.run()
         expected = first.result()
 
-        recovered = query.sharded_dataflow(backend="sync")
+        recovered = query.sharded_dataflow(ExecutionConfig(backend="sync"))
         recovered.restore(first.checkpoint())
         result = recovered.result()
         assert result.changes == expected.changes
@@ -423,10 +428,12 @@ class TestShardedCheckpoint:
     def test_shard_count_mismatch_rejected(self):
         engine = paper_engine(3)
         query = engine.query(TUMBLED_BY_ITEM)
-        first = query.sharded_dataflow(shards=3)
+        first = query.sharded_dataflow(ExecutionConfig(parallelism=3))
         first.run()
         with pytest.raises(ExecutionError, match="shards"):
-            query.sharded_dataflow(shards=2).restore(first.checkpoint())
+            query.sharded_dataflow(
+                ExecutionConfig(parallelism=2)
+            ).restore(first.checkpoint())
 
     def test_incremental_matches_batch(self):
         engine = paper_engine(4)

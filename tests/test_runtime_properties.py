@@ -12,7 +12,7 @@ random crash point.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import StreamEngine
+from repro import ExecutionConfig, StreamEngine
 from repro.core.schema import Schema, int_col, timestamp_col
 from repro.core.tvr import TimeVaryingRelation, ins, wm
 
@@ -76,14 +76,20 @@ def event_histories(draw):
 
 
 def build_engine(events, parallelism, backend="sync", allowed_lateness=0):
-    eng = StreamEngine(parallelism=parallelism, backend=backend)
+    eng = StreamEngine(
+        config=ExecutionConfig(
+            parallelism=parallelism,
+            backend=backend,
+            allowed_lateness=allowed_lateness,
+        )
+    )
     eng.register_stream("S", TimeVaryingRelation(SCHEMA, events))
     return eng
 
 
 def run_query(events, sql, parallelism, backend="sync", allowed_lateness=0):
-    eng = build_engine(events, parallelism, backend)
-    return eng.query(sql, allowed_lateness=allowed_lateness)
+    eng = build_engine(events, parallelism, backend, allowed_lateness)
+    return eng.query(sql)
 
 
 @settings(max_examples=30, deadline=None)

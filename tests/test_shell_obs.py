@@ -9,7 +9,7 @@ one is attached).
 
 import io
 
-from repro import StreamEngine
+from repro import ExecutionConfig, StreamEngine
 from repro.core.schema import Schema, int_col, timestamp_col
 from repro.core.times import t
 from repro.core.tvr import TimeVaryingRelation, ins, wm
@@ -27,8 +27,10 @@ TUMBLE_SQL = (
 )
 
 
-def make_shell(parallelism=1):
-    engine = StreamEngine(parallelism=parallelism, backend="sync")
+def make_shell(parallelism=1, **kwargs):
+    engine = StreamEngine(
+        config=ExecutionConfig(parallelism=parallelism, backend="sync", **kwargs)
+    )
     events = [
         ins(100, (1, t("8:00"), 10)),
         ins(200, (2, t("8:01"), 20)),

@@ -22,7 +22,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import StreamEngine
+from repro import ExecutionConfig, StreamEngine
 from repro.core.errors import ValidationError
 from repro.core.schema import Schema, int_col, timestamp_col
 from repro.core.times import t
@@ -66,7 +66,9 @@ NEXMARK_TUMBLE_SQL = """
 
 
 def keyed_engine(events, parallelism=1, **kwargs):
-    engine = StreamEngine(parallelism=parallelism, backend="sync", **kwargs)
+    engine = StreamEngine(
+        config=ExecutionConfig(parallelism=parallelism, backend="sync", **kwargs)
+    )
     engine.register_stream("S", TimeVaryingRelation(KEYED_SCHEMA, events))
     return engine
 
@@ -82,7 +84,9 @@ def windowed_events():
 
 
 def nexmark_engine(parallelism=1, backend="sync", num_events=1500):
-    engine = StreamEngine(parallelism=parallelism, backend=backend)
+    engine = StreamEngine(
+        config=ExecutionConfig(parallelism=parallelism, backend=backend)
+    )
     generate(NexmarkConfig(num_events=num_events, seed=11)).register_on(engine)
     register_udfs(engine)
     return engine
@@ -394,4 +398,4 @@ def test_make_exporter_specs(tmp_path):
 
 def test_engine_rejects_bad_telemetry_spec():
     with pytest.raises(ValidationError):
-        StreamEngine(telemetry="sparkline:/tmp/x")
+        StreamEngine(config=ExecutionConfig(telemetry="sparkline:/tmp/x"))
