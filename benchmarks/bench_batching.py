@@ -1,0 +1,241 @@
+"""Micro-batching benchmark: throughput sweep and compaction savings.
+
+Sweeps ``batch_size`` x ``coalesce_updates`` over three NEXMark-shaped
+workloads on a *bursty* generated stream (``events_per_instant=64``,
+so same-instant runs actually exist for the scheduler to batch) and
+writes ``BENCH_batching.json`` — the artifact CI uploads:
+
+* **tumble** — tumbling-window count grouped by window end only, the
+  single-hot-group shape where intra-instant insert/retract churn is
+  maximal (every bid in a burst updates the same running count);
+* **q3** — NEXMark Q3, an incremental two-stream join;
+* **q7** — NEXMark Q7, whose plan scans ``Bid`` twice; its multi-leaf
+  source is deliberately *excluded* from batching by the scheduler, so
+  it benchmarks the fallback path and proves it stays correct.
+
+Every default-mode run (``coalesce_updates=False``) is asserted
+change-for-change identical to the ``batch_size=1`` baseline — the
+batching invariant of ``docs/RUNTIME.md`` section 7 — including a
+sharded (N=4, threads) run per partitionable workload.  Coalesced runs
+are asserted snapshot-equivalent at every distinct processing instant,
+with the churn they removed reported as ``changes_coalesced``.
+
+``batch_size=0`` in the sweep is shorthand for *per-instant* batching
+(no size cap: one batch per same-instant run), spelled
+``PER_INSTANT_BATCH`` at the execution layer.
+
+Runs under plain pytest (no pytest-benchmark fixtures) and as a
+script::
+
+    PYTHONPATH=src python benchmarks/bench_batching.py
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro import ExecutionConfig, StreamEngine
+from repro.nexmark import NexmarkConfig, generate
+from repro.nexmark.queries import Q3_LOCAL_ITEM_SUGGESTION, q7_highest_bid
+
+NUM_EVENTS = 5_000
+EVENTS_PER_INSTANT = 64
+SEED = 42
+
+#: sweep values; 0 means "per-instant" (no cap on the same-instant run).
+BATCH_SWEEP = [1, 16, 64, 256, 0]
+PER_INSTANT_BATCH = 1 << 30
+
+TUMBLE_SQL = """
+    SELECT TB.wend, COUNT(*) AS bids
+    FROM Tumble(
+      data    => TABLE(Bid),
+      timecol => DESCRIPTOR(bidtime),
+      dur     => INTERVAL '10' SECONDS) TB
+    GROUP BY TB.wend
+"""
+
+WORKLOADS = {
+    "tumble": TUMBLE_SQL,
+    "q3": Q3_LOCAL_ITEM_SUGGESTION,
+    "q7": q7_highest_bid(),
+}
+
+ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_batching.json"
+SCHEMA_VERSION = 1
+
+
+def _streams():
+    return generate(
+        NexmarkConfig(
+            num_events=NUM_EVENTS,
+            seed=SEED,
+            events_per_instant=EVENTS_PER_INSTANT,
+        )
+    )
+
+
+def _engine(streams, **config) -> StreamEngine:
+    engine = StreamEngine(config=ExecutionConfig(**config))
+    streams.register_on(engine)
+    return engine
+
+
+def _run(streams, sql: str, batch_size: int, coalesce: bool) -> tuple:
+    """One serial configuration; returns (record, RunResult)."""
+    effective = batch_size if batch_size >= 1 else PER_INSTANT_BATCH
+    engine = _engine(
+        streams, batch_size=effective, coalesce_updates=coalesce
+    )
+    flow = engine.query(sql).dataflow()
+    start = time.perf_counter()
+    result = flow.run()
+    elapsed = time.perf_counter() - start
+    totals = result.metrics.totals
+    record = {
+        "batch_size": batch_size or "per-instant",
+        "coalesce_updates": coalesce,
+        "backend": "serial",
+        "seconds": elapsed,
+        "events_per_second": NUM_EVENTS / elapsed,
+        "root_changes": len(result.changes),
+        "rows_out": totals["rows_out"],
+        "retracts_out": totals["retracts_out"],
+        "changes_coalesced": totals["changes_coalesced"],
+    }
+    return record, result
+
+
+def _run_sharded(streams, sql: str, batch_size: int) -> tuple:
+    """Sharded default-mode run (None when the plan is not partitionable)."""
+    engine = _engine(
+        streams, parallelism=4, backend="threads", batch_size=batch_size
+    )
+    query = engine.query(sql)
+    if not query.partition_decision().partitionable:
+        return None, None
+    start = time.perf_counter()
+    result = query.run()
+    elapsed = time.perf_counter() - start
+    record = {
+        "batch_size": batch_size,
+        "coalesce_updates": False,
+        "backend": "threads(4)",
+        "seconds": elapsed,
+        "events_per_second": NUM_EVENTS / elapsed,
+        "root_changes": len(result.changes),
+    }
+    return record, result
+
+
+def _assert_identical(baseline, result, label: str) -> None:
+    assert result.changes == baseline.changes, f"{label}: changelog diverged"
+    assert result.watermarks.as_pairs() == baseline.watermarks.as_pairs(), (
+        f"{label}: watermark track diverged"
+    )
+
+
+def _assert_snapshot_equivalent(baseline, result, label: str) -> None:
+    instants = sorted(
+        {c.ptime for c in baseline.changes} | {c.ptime for c in result.changes}
+    )
+    for at in instants:
+        assert baseline.snapshot(at) == result.snapshot(at), (
+            f"{label}: snapshot diverged at ptime {at}"
+        )
+
+
+def collect() -> dict:
+    streams = _streams()
+    workloads = []
+    for name, sql in WORKLOADS.items():
+        baseline = None
+        runs = []
+        for batch_size in BATCH_SWEEP:
+            for coalesce in (False, True):
+                record, result = _run(streams, sql, batch_size, coalesce)
+                label = f"{name} batch={record['batch_size']} coalesce={coalesce}"
+                if baseline is None:
+                    baseline = result  # batch_size=1, coalesce=False
+                elif not coalesce:
+                    _assert_identical(baseline, result, label)
+                else:
+                    _assert_snapshot_equivalent(baseline, result, label)
+                runs.append(record)
+        sharded, sharded_result = _run_sharded(streams, sql, batch_size=64)
+        if sharded is not None:
+            _assert_identical(baseline, sharded_result, f"{name} sharded")
+            runs.append(sharded)
+        workloads.append(
+            {
+                "name": name,
+                "query": " ".join(sql.split()),
+                "events": NUM_EVENTS,
+                "seed": SEED,
+                "events_per_instant": EVENTS_PER_INSTANT,
+                "runs": runs,
+            }
+        )
+    return {"schema_version": SCHEMA_VERSION, "workloads": workloads}
+
+
+def write_artifact(payload: dict) -> Path:
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    return ARTIFACT
+
+
+def _find(workload: dict, batch_size, coalesce: bool) -> dict:
+    for run in workload["runs"]:
+        if (
+            run["batch_size"] == batch_size
+            and run["coalesce_updates"] is coalesce
+            and run["backend"] == "serial"
+        ):
+            return run
+    raise AssertionError(f"missing run batch={batch_size} coalesce={coalesce}")
+
+
+def test_batching_bench_produces_artifact():
+    """The bench is also the regression gate: batching must actually
+    pay (>= 2x events/s on the tumble workload at batch 64), coalescing
+    must actually shrink the changelog (>= 30% fewer propagated changes
+    on tumble), and the artifact must land on disk for CI to upload.
+    The change-for-change and snapshot equivalence checks already ran
+    inside :func:`collect`."""
+    payload = collect()
+    assert payload["schema_version"] == SCHEMA_VERSION
+    tumble = payload["workloads"][0]
+    assert tumble["name"] == "tumble"
+
+    serial = _find(tumble, 1, False)
+    batched = _find(tumble, 64, False)
+    speedup = batched["events_per_second"] / serial["events_per_second"]
+    assert speedup >= 2.0, f"batch=64 speedup only {speedup:.2f}x"
+
+    coalesced = _find(tumble, 64, True)
+    before = serial["rows_out"] + serial["retracts_out"]
+    after = coalesced["rows_out"] + coalesced["retracts_out"]
+    reduction = 1 - after / before
+    assert coalesced["changes_coalesced"] > 0
+    assert reduction >= 0.30, f"coalesce reduction only {reduction:.1%}"
+
+    path = write_artifact(payload)
+    assert path.exists() and path.stat().st_size > 0
+
+
+if __name__ == "__main__":
+    data = collect()
+    path = write_artifact(data)
+    for workload in data["workloads"]:
+        print(f"== {workload['name']}")
+        for run in workload["runs"]:
+            print(
+                f"  batch={run['batch_size']!s:>11} "
+                f"coalesce={str(run['coalesce_updates']):<5} "
+                f"({run['backend']:>10}): {run['seconds']:.3f}s  "
+                f"{run['events_per_second']:>9,.0f} ev/s  "
+                f"changes={run['root_changes']}"
+            )
+    print(f"wrote {path}")

@@ -13,7 +13,9 @@ attached, and writes ``BENCH_metrics.json`` — the artifact CI uploads:
   identical across configurations by the routing invariance argument.
 
 ``schema_version`` is bumped whenever the artifact layout changes so
-downstream dashboards can dispatch on it (currently 2: adds latency).
+downstream dashboards can dispatch on it (currently 3: the workload
+stanza records the execution knobs ``batch_size``/``coalesce_updates``
+so runs at different settings are never compared as equals).
 
 Runs under plain pytest (no pytest-benchmark fixtures) and as a
 script::
@@ -43,7 +45,7 @@ SQL = """
 """
 
 ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_metrics.json"
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 def _latency(report) -> dict:
@@ -114,7 +116,13 @@ def collect() -> dict:
         runs.append(_run_sharded(streams, shards))
     return {
         "schema_version": SCHEMA_VERSION,
-        "workload": {"events": NUM_EVENTS, "seed": 42, "query": " ".join(SQL.split())},
+        "workload": {
+            "events": NUM_EVENTS,
+            "seed": 42,
+            "query": " ".join(SQL.split()),
+            "batch_size": 1,
+            "coalesce_updates": False,
+        },
         "runs": runs,
     }
 
@@ -130,6 +138,8 @@ def test_metrics_bench_produces_artifact():
     artifact must land on disk for CI to upload."""
     payload = collect()
     assert payload["schema_version"] == SCHEMA_VERSION
+    assert payload["workload"]["batch_size"] == 1
+    assert payload["workload"]["coalesce_updates"] is False
     serial = payload["runs"][0]
     assert serial["latency"]["emit_latency"]["count"] > 0
     for run in payload["runs"][1:]:

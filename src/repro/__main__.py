@@ -49,6 +49,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="milliseconds of state retention past the watermark for "
              "late-row updates (default 0)",
     )
+    parser.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="row events delivered per micro-batch; output is "
+             "byte-identical at any value (default 1: per-change)",
+    )
+    parser.add_argument(
+        "--coalesce-updates", action="store_true", default=None,
+        help="compact intra-instant insert/retract churn (snapshot-"
+             "preserving; EMIT STREAM renders fewer rows)",
+    )
     recovery = parser.add_argument_group(
         "fault tolerance (ExecutionConfig.retry / .fault_plan)"
     )
@@ -109,6 +119,8 @@ def build_config(args: argparse.Namespace) -> ExecutionConfig:
         allowed_lateness=args.allowed_lateness,
         retry=retry,
         fault_plan=args.fault_plan,
+        batch_size=args.batch_size,
+        coalesce_updates=args.coalesce_updates,
     )
 
 

@@ -50,6 +50,8 @@ EXECUTION_DEFAULTS: dict[str, Any] = {
     "allowed_lateness": 0,
     "retry": RetryPolicy(),
     "fault_plan": None,
+    "batch_size": 1,
+    "coalesce_updates": False,
 }
 
 
@@ -75,6 +77,16 @@ class ExecutionConfig:
     * ``fault_plan`` — a :class:`~repro.runtime.faults.FaultPlan` (or
       its spec string, e.g. ``"crash-after-checkpoint"``) injected into
       sharded batch runs; testing/CI only.
+    * ``batch_size`` — maximum row events delivered through the operator
+      tree per micro-batch (default 1: per-change execution).  Batches
+      never span processing-time instants or watermark events, so the
+      output changelog is byte-identical to per-change execution at any
+      value; larger values only trade latency granularity for throughput.
+    * ``coalesce_updates`` — opt-in intra-instant compaction: drop
+      insert/retract pairs that cancel within one processing-time
+      instant.  Per-instant snapshots are preserved, but the changelog
+      row count shrinks, so ``EMIT STREAM`` renderings see fewer rows
+      (see docs/API.md).
 
     Instances are frozen and hashable; derive variants with
     :meth:`dataclasses.replace` or by merging layers via
@@ -87,6 +99,8 @@ class ExecutionConfig:
     allowed_lateness: Optional[int] = None
     retry: Optional[RetryPolicy] = None
     fault_plan: Optional[FaultPlan] = None
+    batch_size: Optional[int] = None
+    coalesce_updates: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.fault_plan, str):
@@ -145,6 +159,8 @@ class ExecutionConfig:
                 f"fault_plan must be a FaultPlan or spec string, "
                 f"got {self.fault_plan!r}"
             )
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValidationError("batch_size must be at least 1")
 
 
 # ---------------------------------------------------------------------------
@@ -168,5 +184,30 @@ def warn_deprecated_kwarg(name: str, instead: str) -> None:
         f"the {name!r} keyword is deprecated; pass "
         f"ExecutionConfig({instead}) via config= instead (see docs/API.md)",
         DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def warn_coalesce_emit_stream() -> None:
+    """Warn once per process that compaction thins EMIT STREAM output.
+
+    ``coalesce_updates=True`` preserves every per-instant snapshot but
+    drops intra-instant insert/retract churn, so a materialization that
+    explicitly renders the changelog (``EMIT STREAM``, with its
+    ``undo``/``ver`` metadata columns) sees fewer rows and renumbered
+    ``ver`` values than a per-change run.  A ``UserWarning`` (not a
+    ``DeprecationWarning`` — the combination is supported, just
+    semantics-bending) flags the first such query per process; see
+    docs/API.md for the semantics note.
+    """
+    if "coalesce_updates+emit_stream" in _WARNED:
+        return
+    _WARNED.add("coalesce_updates+emit_stream")
+    warnings.warn(
+        "coalesce_updates=True compacts intra-instant changes, so this "
+        "EMIT STREAM query renders fewer changelog rows (and different "
+        "ver numbering) than per-change execution; per-instant snapshots "
+        "are unchanged (see docs/API.md)",
+        UserWarning,
         stacklevel=3,
     )

@@ -29,6 +29,7 @@ __all__ = [
     "Changelog",
     "UpsertKind",
     "Upsert",
+    "compact_intra_instant",
     "diff_bags",
     "to_upserts",
     "upserts_to_changes",
@@ -172,6 +173,53 @@ def diff_bags(
                 Change(ChangeKind.INSERT, values, ptime) for _ in range(delta)
             )
     return changes
+
+
+def compact_intra_instant(
+    changes: Sequence[Change],
+) -> tuple[list[Change], int]:
+    """Drop insert/retract pairs that cancel within one instant.
+
+    A changelog that inserts and retracts the same row at the same
+    processing time describes a row the TVR never contained at any
+    observable instant (Section 3.3.1: snapshots are taken *between*
+    instants, not inside them), so both halves of such a pair can be
+    dropped without changing any per-instant snapshot.  The cancellation
+    is bracket-style — a change cancels against the *most recent*
+    surviving opposite-kind change with the same ``(values, ptime)`` —
+    so survivors keep their original order and every prefix of the
+    compacted sequence applies the same net deltas as the corresponding
+    uncompacted prefix restricted to survivors, which keeps downstream
+    bag arithmetic non-negative.
+
+    Returns ``(survivors, dropped)`` where ``dropped`` counts removed
+    changes (always even).  Compaction changes the changelog row count,
+    which is why it is opt-in (``coalesce_updates``) and verified by
+    snapshot equivalence rather than changelog equality.
+    """
+    if len(changes) < 2:
+        return list(changes), 0
+    kept: list[Change | None] = list(changes)
+    # Per (values, ptime): indices of surviving changes, all of one
+    # kind — opposite kinds cannot coexist, they would have cancelled.
+    stacks: dict[tuple, list[int]] = {}
+    kinds: dict[tuple, ChangeKind] = {}
+    dropped = 0
+    for i, change in enumerate(changes):
+        key = (change.values, change.ptime)
+        stack = stacks.get(key)
+        if not stack:
+            stacks[key] = [i]
+            kinds[key] = change.kind
+        elif kinds[key] is change.kind:
+            stack.append(i)
+        else:
+            kept[stack.pop()] = None
+            kept[i] = None
+            dropped += 2
+    if not dropped:
+        return list(changes), 0
+    return [c for c in kept if c is not None], dropped
 
 
 class UpsertKind(enum.Enum):

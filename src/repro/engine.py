@@ -28,7 +28,11 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Optional, Sequence
 
-from .config import ExecutionConfig, warn_deprecated_kwarg
+from .config import (
+    ExecutionConfig,
+    warn_coalesce_emit_stream,
+    warn_deprecated_kwarg,
+)
 from .core.emit import EmitSpec
 from .core.errors import ValidationError
 from .core.relation import Relation
@@ -388,8 +392,20 @@ class PreparedQuery:
         except ValueError as exc:
             raise ValidationError(str(exc)) from exc
 
+    def _maybe_warn_coalesce(self, effective: ExecutionConfig) -> None:
+        """Flag compaction under an explicit EMIT STREAM materialization.
+
+        Compaction keeps every per-instant snapshot but thins the
+        changelog, so a query that renders the changelog itself (EMIT
+        STREAM's ``undo``/``ver`` columns) sees different rows; warn
+        once per process (see docs/API.md).
+        """
+        if effective.coalesce_updates and self.plan.emit.stream:
+            warn_coalesce_emit_stream()
+
     def _execute(self, effective: ExecutionConfig) -> RunResult:
         exporter = self._resolve_exporter(effective)
+        self._maybe_warn_coalesce(effective)
         flow = None
         if effective.parallelism > 1:
             decision = self.partition_decision()
@@ -403,10 +419,16 @@ class PreparedQuery:
                     backend=effective.backend,
                     retry=effective.retry,
                     fault_plan=effective.fault_plan,
+                    batch_size=effective.batch_size,
+                    coalesce_updates=effective.coalesce_updates,
                 )
         if flow is None:
             flow = Dataflow(
-                self.plan, self._engine._sources, effective.allowed_lateness
+                self.plan,
+                self._engine._sources,
+                effective.allowed_lateness,
+                batch_size=effective.batch_size,
+                coalesce_updates=effective.coalesce_updates,
             )
         if exporter is not None:
             flow.trace = exporter.on_event
@@ -415,10 +437,20 @@ class PreparedQuery:
             exporter.export(result)
         return result
 
-    def dataflow(self) -> Dataflow:
-        """A fresh, un-run serial dataflow (for incremental feeding / benchmarks)."""
+    def dataflow(self, config: Optional[ExecutionConfig] = None) -> Dataflow:
+        """A fresh, un-run serial dataflow (for incremental feeding / benchmarks).
+
+        ``config`` overrides the query/engine configs for this dataflow
+        (``allowed_lateness``, ``batch_size``, ``coalesce_updates``).
+        """
+        effective = self._effective(config)
+        self._maybe_warn_coalesce(effective)
         return Dataflow(
-            self.plan, self._engine._sources, self.allowed_lateness
+            self.plan,
+            self._engine._sources,
+            effective.allowed_lateness,
+            batch_size=effective.batch_size,
+            coalesce_updates=effective.coalesce_updates,
         )
 
     def sharded_dataflow(
@@ -454,6 +486,7 @@ class PreparedQuery:
             raise ValidationError(
                 f"query is not key-partitionable: {decision.reason}"
             )
+        self._maybe_warn_coalesce(effective)
         return ShardedDataflow(
             self.plan,
             self._engine._sources,
@@ -463,6 +496,8 @@ class PreparedQuery:
             backend=effective.backend,
             retry=effective.retry,
             fault_plan=effective.fault_plan,
+            batch_size=effective.batch_size,
+            coalesce_updates=effective.coalesce_updates,
         )
 
     # -- renderings --------------------------------------------------------------

@@ -19,9 +19,9 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Iterator, Optional, Sequence
 
-from ..core.changelog import Change
+from ..core.changelog import Change, compact_intra_instant
 from ..core.errors import ExecutionError
 from ..core.relation import Relation
 from ..core.schema import Schema
@@ -36,7 +36,7 @@ from .compile import CompiledPlan, compile_plan
 from .operators.base import Operator
 from .operators.stateless import ScanOperator
 
-__all__ = ["Dataflow", "RunResult", "merge_source_events"]
+__all__ = ["Dataflow", "RunResult", "iter_event_runs", "merge_source_events"]
 
 
 def merge_source_events(
@@ -50,15 +50,63 @@ def merge_source_events(
     sharded runtime routes the *same* sequence through its shards, which
     is what lets its merged output reproduce the serial changelog
     byte for byte.
+
+    Each source's events are already ptime-ordered (the ``until``
+    cutoff has always relied on that), so the merge is a k-way heap
+    merge over the per-source streams — O(n log k) with no second
+    materialize-and-sort pass over the combined sequence.
     """
-    tagged: list[tuple[Timestamp, int, int, StreamEvent, str]] = []
-    for source_idx, (name, tvr) in enumerate(sources.items()):
+
+    def tagged(
+        source_idx: int, name: str, tvr: TimeVaryingRelation
+    ) -> Iterator[tuple[Timestamp, int, int, StreamEvent, str]]:
         for event_idx, event in enumerate(tvr.events()):
             if until is not None and event.ptime > until:
-                break
-            tagged.append((event.ptime, source_idx, event_idx, event, name))
-    tagged.sort(key=lambda item: (item[0], item[1], item[2]))
-    return [(event, name) for _, _, _, event, name in tagged]
+                return
+            yield (event.ptime, source_idx, event_idx, event, name)
+
+    streams = [
+        tagged(source_idx, name, tvr)
+        for source_idx, (name, tvr) in enumerate(sources.items())
+    ]
+    # (ptime, source_idx, event_idx) is unique per item, so the merge
+    # never falls through to comparing the event objects themselves.
+    merged = heapq.merge(*streams, key=lambda item: (item[0], item[1], item[2]))
+    return [(event, name) for _, _, _, event, name in merged]
+
+
+def iter_event_runs(
+    events: list[tuple[StreamEvent, str]],
+    batch_size: int,
+    batchable_source: Callable[[str], bool],
+) -> Iterator[tuple[int, int]]:
+    """Yield ``(start, end)`` slices of a replay stream forming micro-batches.
+
+    A run may only contain consecutive row events with the same ptime
+    and the same source, capped at ``batch_size``, and only for sources
+    ``batchable_source`` admits (those feeding exactly one scan leaf; a
+    multi-scan source delivers each event to all its scans before the
+    next event, so batching would reorder the interleaving).  Watermark
+    events always break runs, so no operator ever sees its input
+    watermark move inside a batch.  Shared by :meth:`Dataflow.run` and
+    the shell's ``\\watch`` replay loop.
+    """
+    i, n = 0, len(events)
+    while i < n:
+        event, source = events[i]
+        j = i + 1
+        if isinstance(event, RowEvent) and batchable_source(source):
+            ptime = event.ptime
+            while (
+                j < n
+                and j - i < batch_size
+                and events[j][1] == source
+                and isinstance(events[j][0], RowEvent)
+                and events[j][0].ptime == ptime
+            ):
+                j += 1
+        yield i, j
+        i = j
 
 
 @dataclass
@@ -102,8 +150,16 @@ class Dataflow:
         plan: QueryPlan,
         sources: dict[str, TimeVaryingRelation],
         allowed_lateness: int = 0,
+        batch_size: int = 1,
+        coalesce_updates: bool = False,
     ):
+        if batch_size < 1:
+            raise ExecutionError("batch_size must be >= 1")
         self.plan = plan
+        #: maximum row events delivered per micro-batch; 1 = per-change.
+        self.batch_size = batch_size
+        #: whether intra-instant insert/retract churn is compacted.
+        self.coalesce_updates = coalesce_updates
         self._compiled: CompiledPlan = compile_plan(
             plan.root, allowed_lateness=allowed_lateness
         )
@@ -252,16 +308,38 @@ class Dataflow:
     def run(self, until: Optional[Timestamp] = None) -> RunResult:
         """Replay all source events (up to ``until``) and collect the result.
 
+        With ``batch_size > 1`` the replay stream is grouped into
+        micro-batches — maximal runs of row events that share one
+        processing-time instant and one (single-scan) source, capped at
+        ``batch_size`` and broken at watermark events — and each batch
+        is delivered through the operator tree in one pass.  The
+        grouping rule makes the batched changelog byte-identical to the
+        per-change one (see :meth:`process_batch`).
+
         After the last event, pending processing-time timers (e.g.
         tail-of-stream expirations) are drained so the returned
         changelog covers the relation's full known future evolution;
         the materializers then truncate to the instant being queried.
         """
         self._open()
-        for event, source in self._merged_events(until):
-            self.process(event, source)
+        events = self._merged_events(until)
+        if self.batch_size <= 1:
+            for event, source in events:
+                self.process(event, source)
+        else:
+            self._run_batched(events)
         self._fire_timers(until if until is not None else MAX_TIMESTAMP)
         return self.result()
+
+    def _run_batched(self, events: list[tuple[StreamEvent, str]]) -> None:
+        """The batching scheduler: deliver the replay stream in runs."""
+        for i, j in iter_event_runs(events, self.batch_size, self.batchable_source):
+            if j == i + 1:
+                self.process(*events[i])
+            else:
+                self.process_batch(
+                    [pair[0] for pair in events[i:j]], events[i][1]
+                )
 
     def process(self, event: StreamEvent, source: str) -> None:
         """Feed one source event through the dataflow (incremental API)."""
@@ -282,6 +360,58 @@ class Dataflow:
         state = self.metrics_registry.observe_state()
         if state > self._peak_state:
             self._peak_state = state
+
+    def process_batch(self, events: Sequence[RowEvent], source: str) -> None:
+        """Feed a run of same-instant row events through the dataflow at once.
+
+        Because every operator's batch output is the ordered
+        concatenation of its per-change outputs (the :meth:`on_batch`
+        contract), delivering a run this way produces — by induction
+        over the operator tree — exactly the root changes that feeding
+        the events one at a time would have produced, in the same
+        order.  Timers due at the batch's instant fire first, as they
+        would have before the run's first event; none can fire *inside*
+        the run, since operators only ever schedule deadlines strictly
+        after the current instant.
+        """
+        if not events:
+            return
+        if len(events) == 1:
+            self.process(events[0], source)
+            return
+        self._open()
+        ptime = events[0].ptime
+        if ptime < self._last_ptime:
+            raise ExecutionError("events must be fed in processing-time order")
+        for event in events:
+            if not isinstance(event, RowEvent) or event.ptime != ptime:
+                raise ExecutionError(
+                    "a batch must hold row events of a single processing-time "
+                    "instant"
+                )
+        self._fire_timers(ptime)
+        self._last_ptime = max(self._last_ptime, ptime)
+        changes = [event.change for event in events]
+        for leaf in self._leaves_by_source.get(source.lower(), []):
+            self._push_changes(leaf, 0, changes)
+        state = self.metrics_registry.observe_state()
+        if state > self._peak_state:
+            self._peak_state = state
+
+    def batchable_source(self, source: str) -> bool:
+        """Whether ``source`` events may be batched without reordering.
+
+        True when the source feeds exactly one scan leaf; a source
+        scanned several times (NEXMark Q7's ``Bid``) must deliver each
+        event to every scan before the next event arrives.
+        """
+        return len(self._leaves_by_source.get(source.lower(), ())) == 1
+
+    def changes_coalesced(self) -> int:
+        """Changes dropped by intra-instant compaction, over all operators."""
+        return sum(
+            op.counters.changes_coalesced for op in self._compiled.operators
+        )
 
     def finish(self, until: Optional[Timestamp] = None) -> RunResult:
         """Drain pending processing-time timers and return the result.
@@ -376,11 +506,15 @@ class Dataflow:
 
     def _push_changes(self, op: Operator, port: int, changes: list[Change]) -> None:
         """Deliver changes into ``op`` and propagate its output upward."""
-        produced: list[Change] = []
-        for change in changes:
-            produced.extend(op.process_change(port, change))
+        produced = op.process_batch(port, changes)
         if not produced:
             return
+        if self.coalesce_updates and len(produced) > 1:
+            produced, dropped = compact_intra_instant(produced)
+            if dropped:
+                op.counters.record_coalesced(dropped)
+                if not produced:
+                    return
         self._emit_up(op, produced)
 
     def _emit_up(self, op: Operator, changes: list[Change]) -> None:
@@ -419,7 +553,8 @@ class Dataflow:
         self._root_changes.extend(changes)
         root_wm = self._root_wms.current
         completion = self._completion
-        for change in changes:
+        if len(changes) == 1:
+            change = changes[0]
             completion_time: Optional[Timestamp] = None
             if completion is not None:
                 # Completion columns hold event-time bounds, but outer
@@ -433,6 +568,11 @@ class Dataflow:
                 if bounds:
                     completion_time = max(bounds)
             self.telemetry.record_emit(change.ptime, completion_time, root_wm)
+        else:
+            # Batched emission: same samples, bulk-recorded.  The root
+            # watermark is constant across the run (batches never span
+            # a watermark event), so one lookup covers every change.
+            self.telemetry.record_emit_run(changes, completion, root_wm)
         if self.trace is not None:
             self.trace(
                 TraceEvent(

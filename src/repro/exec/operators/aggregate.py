@@ -128,6 +128,114 @@ class AggregateOperator(Operator):
         state.emitted = row
         return out
 
+    def on_batch(self, port: int, changes: Sequence[Change]) -> list[Change]:
+        # Same transitions as on_change, with the per-change lookups
+        # hoisted: one group-dict binding, one lateness cutoff (the
+        # input watermark cannot move inside a batch, because watermark
+        # events break batches), one output list.
+        groups = self._groups
+        group_indices = self._group_indices
+        et_positions = self._et_positions
+        lateness = self._allowed_lateness
+        is_global = self._global
+        wm = self.input_watermark if et_positions else MIN_TIMESTAMP
+        retract = ChangeKind.RETRACT
+        insert = ChangeKind.INSERT
+        out: list[Change] = []
+        append = out.append
+        aggs = self._aggs
+        if len(aggs) == 1 and not aggs[0].distinct:
+            # The dominant shape (one non-DISTINCT aggregate, e.g.
+            # COUNT(*) per window): inline the single accumulator's
+            # add/retract/result instead of looping the agg list per
+            # change.  Transitions are identical to the generic loop.
+            agg0 = aggs[0]
+            arg0 = agg0.arg_index
+            add0 = agg0.function.add
+            retract0 = agg0.function.retract
+            result0 = agg0.function.result
+            single_key = group_indices[0] if len(group_indices) == 1 else None
+            for change in changes:
+                values = change.values
+                key = (
+                    (values[single_key],)
+                    if single_key is not None
+                    else tuple(values[i] for i in group_indices)
+                )
+                if et_positions and all(
+                    key[pos] + lateness <= wm for pos in et_positions
+                ):
+                    self.late_dropped += 1
+                    continue
+                state = groups.get(key)
+                if state is None:
+                    state = self._new_group()
+                    groups[key] = state
+                value = values[arg0] if arg0 is not None else None
+                if change.kind is insert:
+                    state.row_count += 1
+                    state.retained += 1
+                    add0(state.accumulators[0], value)
+                else:
+                    if state.row_count <= 0:
+                        raise ExecutionError(
+                            f"retraction for empty group {key!r} in aggregation"
+                        )
+                    state.row_count -= 1
+                    state.retained -= 1
+                    retract0(state.accumulators[0], value)
+                emitted = state.emitted
+                if state.row_count == 0 and not is_global:
+                    if emitted is not None:
+                        append(Change(retract, emitted, change.ptime))
+                    del groups[key]
+                    continue
+                row = key + (result0(state.accumulators[0]),)
+                if row == emitted:
+                    continue
+                if emitted is not None:
+                    append(Change(retract, emitted, change.ptime))
+                append(Change(insert, row, change.ptime))
+                state.emitted = row
+            return out
+        for change in changes:
+            values = change.values
+            key = tuple(values[i] for i in group_indices)
+            if et_positions and all(
+                key[pos] + lateness <= wm for pos in et_positions
+            ):
+                self.late_dropped += 1
+                continue
+            state = groups.get(key)
+            if state is None:
+                state = self._new_group()
+                groups[key] = state
+            if change.kind is insert:
+                state.row_count += 1
+                state.retained += 1
+                self._accumulate(state, values, add=True)
+            else:
+                if state.row_count <= 0:
+                    raise ExecutionError(
+                        f"retraction for empty group {key!r} in aggregation"
+                    )
+                state.row_count -= 1
+                state.retained -= 1
+                self._accumulate(state, values, add=False)
+            if state.row_count == 0 and not is_global:
+                if state.emitted is not None:
+                    append(Change(retract, state.emitted, change.ptime))
+                del groups[key]
+                continue
+            row = self._output_row(key, state)
+            if row == state.emitted:
+                continue
+            if state.emitted is not None:
+                append(Change(retract, state.emitted, change.ptime))
+            append(Change(insert, row, change.ptime))
+            state.emitted = row
+        return out
+
     def _accumulate(self, state: _GroupState, values: tuple, add: bool) -> None:
         for i, agg in enumerate(self._aggs):
             value = values[agg.arg_index] if agg.arg_index is not None else None

@@ -32,7 +32,7 @@ that silently lost OVER and MATCH_RECOGNIZE late drops).
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from ...core.changelog import Change
 from ...core.schema import Schema
@@ -90,6 +90,22 @@ class Operator:
     def on_change(self, port: int, change: Change) -> list[Change]:
         raise NotImplementedError
 
+    def on_batch(self, port: int, changes: Sequence[Change]) -> list[Change]:
+        """Consume a run of same-instant changes on one port.
+
+        The default delegates to :meth:`on_change` per change and
+        concatenates, so the batch output is *by construction* the
+        ordered concatenation of the per-change outputs — the invariant
+        the executor's byte-identical batching mode rests on.  Hot
+        operators override this with a vectorized loop that must
+        preserve exactly that concatenation.
+        """
+        on_change = self.on_change
+        out: list[Change] = []
+        for change in changes:
+            out.extend(on_change(port, change))
+        return out
+
     # -- counted entry points -------------------------------------------------
     #
     # The executor drives operators through these wrappers so the
@@ -104,6 +120,16 @@ class Operator:
     def process_change(self, port: int, change: Change) -> list[Change]:
         self.counters.record_in(port, change)
         out = self.on_change(port, change)
+        self.counters.record_out(out)
+        return out
+
+    def process_batch(self, port: int, changes: Sequence[Change]) -> list[Change]:
+        """Counted batch entry point; counters land exactly as if the
+        batch had been delivered change by change."""
+        if len(changes) == 1:
+            return self.process_change(port, changes[0])
+        self.counters.record_in_batch(port, changes)
+        out = self.on_batch(port, changes)
         self.counters.record_out(out)
         return out
 
@@ -203,6 +229,7 @@ class Operator:
             "peak_state_rows": counters.peak_state_rows,
             "watermark_lag": watermark_lag(self.input_watermark, self._output_wm),
             "wm_advances": counters.wm_advances,
+            "changes_coalesced": counters.changes_coalesced,
         }
         block.update(self._extra_metrics())
         return block

@@ -21,7 +21,7 @@ import copy
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Sequence
 
 from ...core.changelog import Change, ChangeKind
 from ...core.schema import Schema
@@ -107,6 +107,52 @@ class JoinOperator(Operator):
             out.extend(
                 Change(change.kind, combined, change.ptime) for _ in range(count)
             )
+        return out
+
+    def on_batch(self, port: int, changes: Sequence[Change]) -> list[Change]:
+        # The on_change transitions in a tight loop: both sides' state
+        # dicts, the key indices, and the condition are bound once for
+        # the whole batch instead of re-fetched per probe.
+        key_indices = self._keys[port]
+        side = self._state[port]
+        other = self._state[1 - port]
+        condition = self._condition
+        left = port == 0
+        out: list[Change] = []
+        append = out.append
+        extend = out.extend
+        for change in changes:
+            values = change.values
+            key = tuple(values[i] for i in key_indices)
+            bucket = side.get(key)
+            if change.is_insert:
+                if bucket is None:
+                    bucket = Counter()
+                    side[key] = bucket
+                bucket[values] += 1
+            else:
+                if bucket is None or bucket[values] <= 0:
+                    self.expired_rows += 1
+                    continue
+                bucket[values] -= 1
+                if bucket[values] == 0:
+                    del bucket[values]
+                    if not bucket:
+                        del side[key]
+            matches = other.get(key)
+            if not matches:
+                continue
+            kind, ptime = change.kind, change.ptime
+            for other_values, count in matches.items():
+                combined = (
+                    values + other_values if left else other_values + values
+                )
+                if condition is not None and condition(combined) is not True:
+                    continue
+                if count == 1:
+                    append(Change(kind, combined, ptime))
+                else:
+                    extend(Change(kind, combined, ptime) for _ in range(count))
         return out
 
     # -- watermark-driven state expiry -----------------------------------------------

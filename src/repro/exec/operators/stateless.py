@@ -29,6 +29,9 @@ class ScanOperator(Operator):
     def on_change(self, port: int, change: Change) -> list[Change]:
         return [change]
 
+    def on_batch(self, port: int, changes: Sequence[Change]) -> list[Change]:
+        return list(changes)
+
     def name(self) -> str:
         return f"Scan({self.source_name})"
 
@@ -49,6 +52,10 @@ class FilterOperator(Operator):
             return [change]
         return []
 
+    def on_batch(self, port: int, changes: Sequence[Change]) -> list[Change]:
+        predicate = self._predicate
+        return [c for c in changes if predicate(c.values) is True]
+
 
 class ProjectOperator(Operator):
     """Computes the output row from each input row; kind-preserving."""
@@ -62,6 +69,31 @@ class ProjectOperator(Operator):
         projected = tuple(expr(values) for expr in self._exprs)
         return [Change(change.kind, projected, change.ptime)]
 
+    def on_batch(self, port: int, changes: Sequence[Change]) -> list[Change]:
+        exprs = self._exprs
+        make = Change
+        # Unrolled small arities: a tuple display beats the generic
+        # tuple(generator) by a wide margin on the hot projection path.
+        if len(exprs) == 1:
+            (e0,) = exprs
+            return [make(c.kind, (e0(c.values),), c.ptime) for c in changes]
+        if len(exprs) == 2:
+            e0, e1 = exprs
+            return [
+                make(c.kind, (e0(c.values), e1(c.values)), c.ptime)
+                for c in changes
+            ]
+        if len(exprs) == 3:
+            e0, e1, e2 = exprs
+            return [
+                make(c.kind, (e0(c.values), e1(c.values), e2(c.values)), c.ptime)
+                for c in changes
+            ]
+        return [
+            make(c.kind, tuple(expr(c.values) for expr in exprs), c.ptime)
+            for c in changes
+        ]
+
 
 class UnionOperator(Operator):
     """Bag union: forwards changes from every input port."""
@@ -71,6 +103,9 @@ class UnionOperator(Operator):
 
     def on_change(self, port: int, change: Change) -> list[Change]:
         return [change]
+
+    def on_batch(self, port: int, changes: Sequence[Change]) -> list[Change]:
+        return list(changes)
 
 
 class SortOperator(Operator):
@@ -87,3 +122,6 @@ class SortOperator(Operator):
 
     def on_change(self, port: int, change: Change) -> list[Change]:
         return [change]
+
+    def on_batch(self, port: int, changes: Sequence[Change]) -> list[Change]:
+        return list(changes)

@@ -13,6 +13,8 @@ stateful and live in :mod:`.session`.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from ...core.changelog import Change
 from ...core.errors import ExecutionError
 from ...core.schema import Schema
@@ -40,6 +42,25 @@ class TumbleOperator(Operator):
         wstart = align_to_window(ts, self._size, self._offset)
         values = (wstart, wstart + self._size) + change.values
         return [Change(change.kind, values, change.ptime)]
+
+    def on_batch(self, port: int, changes: Sequence[Change]) -> list[Change]:
+        timecol, size, offset = self._timecol, self._size, self._offset
+        make = Change
+        out: list[Change] = []
+        append = out.append
+        for change in changes:
+            ts = change.values[timecol]
+            if ts is None:
+                raise ExecutionError("NULL event timestamp in Tumble input")
+            wstart = align_to_window(ts, size, offset)
+            append(
+                make(
+                    change.kind,
+                    (wstart, wstart + size) + change.values,
+                    change.ptime,
+                )
+            )
+        return out
 
 
 def hop_windows(
@@ -90,4 +111,20 @@ class HopOperator(Operator):
         for wstart, wend in hop_windows(ts, self._size, self._slide, self._offset):
             values = (wstart, wend) + change.values
             out.append(Change(change.kind, values, change.ptime))
+        return out
+
+    def on_batch(self, port: int, changes: Sequence[Change]) -> list[Change]:
+        size, slide, offset = self._size, self._slide, self._offset
+        timecol = self._timecol
+        make = Change
+        out: list[Change] = []
+        append = out.append
+        for change in changes:
+            ts = change.values[timecol]
+            if ts is None:
+                raise ExecutionError("NULL event timestamp in Hop input")
+            for wstart, wend in hop_windows(ts, size, slide, offset):
+                append(
+                    make(change.kind, (wstart, wend) + change.values, change.ptime)
+                )
         return out

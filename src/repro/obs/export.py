@@ -146,6 +146,8 @@ _OPERATOR_COUNTERS = (
     ("repro_operator_late_dropped_total", "late_dropped", "Rows dropped behind the watermark"),
     ("repro_operator_expired_rows_total", "expired_rows", "State rows reclaimed by watermark cleanup"),
     ("repro_operator_wm_advances_total", "wm_advances", "Output watermark advances"),
+    ("repro_operator_changes_coalesced_total", "changes_coalesced",
+     "Changes dropped by intra-instant compaction"),
 )
 _OPERATOR_GAUGES = (
     ("repro_operator_state_rows", "state_rows", "Rows currently retained in operator state"),

@@ -27,12 +27,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
+from ..core.changelog import ChangeKind
 from ..core.times import MAX_TIMESTAMP, MIN_TIMESTAMP
 from .telemetry import RunTelemetry
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.changelog import Change
     from ..exec.operators.base import Operator
+
+_RETRACT = ChangeKind.RETRACT
 
 __all__ = [
     "OperatorCounters",
@@ -110,7 +113,7 @@ class OperatorCounters:
     """
 
     __slots__ = ("rows_in", "retracts_in", "rows_out", "retracts_out",
-                 "peak_state_rows", "wm_advances")
+                 "peak_state_rows", "wm_advances", "changes_coalesced")
 
     def __init__(self, arity: int):
         self.rows_in = [0] * arity
@@ -119,6 +122,7 @@ class OperatorCounters:
         self.retracts_out = 0
         self.peak_state_rows = 0
         self.wm_advances = 0
+        self.changes_coalesced = 0
 
     # -- recording (hot path) ------------------------------------------------
 
@@ -127,13 +131,19 @@ class OperatorCounters:
         if change.is_retract:
             self.retracts_in[port] += 1
 
+    def record_in_batch(self, port: int, changes: Sequence["Change"]) -> None:
+        self.rows_in[port] += len(changes)
+        retracts = sum(1 for c in changes if c.kind is _RETRACT)
+        if retracts:
+            self.retracts_in[port] += retracts
+
     def record_out(self, changes: Sequence["Change"]) -> None:
         if not changes:
             return
         self.rows_out += len(changes)
-        for change in changes:
-            if change.is_retract:
-                self.retracts_out += 1
+        retracts = sum(1 for c in changes if c.kind is _RETRACT)
+        if retracts:
+            self.retracts_out += retracts
 
     def note_state(self, size: int) -> None:
         if size > self.peak_state_rows:
@@ -141,6 +151,18 @@ class OperatorCounters:
 
     def record_wm_advance(self) -> None:
         self.wm_advances += 1
+
+    def record_coalesced(self, dropped: int) -> None:
+        """Account for intra-instant compaction of this operator's output.
+
+        ``dropped`` changes (always insert/retract pairs, so half are
+        retracts) were produced but cancelled before propagating, and
+        the out-counters are walked back so ``rows_out`` keeps meaning
+        "changes this operator sent downstream".
+        """
+        self.changes_coalesced += dropped
+        self.rows_out -= dropped
+        self.retracts_out -= dropped // 2
 
     # -- checkpointing -------------------------------------------------------
 
@@ -152,6 +174,7 @@ class OperatorCounters:
             "retracts_out": self.retracts_out,
             "peak_state_rows": self.peak_state_rows,
             "wm_advances": self.wm_advances,
+            "changes_coalesced": self.changes_coalesced,
         }
 
     def restore(self, snapshot: dict) -> None:
@@ -162,6 +185,8 @@ class OperatorCounters:
         self.peak_state_rows = snapshot["peak_state_rows"]
         # Absent in pre-telemetry checkpoints; start the count fresh.
         self.wm_advances = snapshot.get("wm_advances", 0)
+        # Absent in pre-batching checkpoints; start the count fresh.
+        self.changes_coalesced = snapshot.get("changes_coalesced", 0)
 
 
 def watermark_lag(input_wm: int, output_wm: int) -> int:
@@ -251,7 +276,7 @@ class MetricsReport:
     def totals(self) -> dict:
         """Flow totals summed over every operator."""
         keys = ("rows_out", "retracts_out", "late_dropped", "expired_rows",
-                "state_rows", "peak_state_rows")
+                "state_rows", "peak_state_rows", "changes_coalesced")
         out = {key: sum(entry[key] for entry in self.operators) for key in keys}
         out["rows_in"] = sum(
             sum(entry["rows_in"]) for entry in self.operators
@@ -331,11 +356,13 @@ def _describe(entry: dict) -> str:
         parts.append(f"wm_lag={entry['watermark_lag']}ms")
     if entry.get("wm_advances"):
         parts.append(f"wm_advances={entry['wm_advances']}")
+    if entry.get("changes_coalesced"):
+        parts.append(f"coalesced={entry['changes_coalesced']}")
     for key, value in entry.items():
         if key in _IDENTITY_KEYS or key in _MAX_KEYS or key in (
             "rows_in", "retracts_in", "rows_out", "retracts_out",
             "late_dropped", "expired_rows", "state_rows", "shards",
-            "wm_advances",
+            "wm_advances", "changes_coalesced",
         ):
             continue
         parts.append(f"{key}={value}")

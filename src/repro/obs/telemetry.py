@@ -65,6 +65,42 @@ class RunTelemetry:
         if _is_finite(root_watermark):
             self.watermark_lag.observe(ptime - root_watermark)
 
+    def record_emit_run(
+        self,
+        changes: Sequence,
+        completion: Optional[Sequence[int]],
+        root_watermark: Timestamp,
+    ) -> None:
+        """Record a run of root changes emitted at one watermark state.
+
+        Produces exactly the histograms that calling :meth:`record_emit`
+        once per change would (histograms are order-insensitive), with
+        the per-sample bookkeeping batched.  ``completion`` is the
+        plan's completion column indices, applied to each change's row.
+        """
+        if completion is not None:
+            latencies = []
+            early = 0
+            for change in changes:
+                values = change.values
+                bound = None
+                for i in completion:
+                    v = values[i]
+                    if isinstance(v, int) and (bound is None or v > bound):
+                        bound = v
+                if bound is not None and _is_finite(bound):
+                    latency = change.ptime - bound
+                    if latency < 0:
+                        early += 1
+                    latencies.append(latency)
+            if latencies:
+                self.emit_latency.observe_many(latencies)
+                self.early_emits += early
+        if _is_finite(root_watermark):
+            self.watermark_lag.observe_many(
+                [c.ptime - root_watermark for c in changes]
+            )
+
     # -- merging ---------------------------------------------------------------
 
     def merge(self, other: "RunTelemetry") -> "RunTelemetry":
@@ -157,6 +193,7 @@ def render_dashboard(
     telemetry: RunTelemetry,
     shard_rows: Optional[Sequence[int]] = None,
     recovery=None,
+    coalesced: int = 0,
     final: bool = False,
 ) -> str:
     """One refreshing screen of a running query, as plain text.
@@ -165,7 +202,9 @@ def render_dashboard(
     render, so a terminal redraw is "clear + print" and a test is just
     a substring assertion on the returned string.  ``recovery`` — a
     :class:`~repro.obs.metrics.RecoveryStats` — adds a restart line
-    when any shard worker recovered during the run.
+    when any shard worker recovered during the run.  ``coalesced`` — the
+    dataflow's ``changes_coalesced()`` total — adds a compaction line
+    when intra-instant coalescing dropped any changes.
     """
     width = 62
     rule = "=" * width
@@ -199,6 +238,8 @@ def render_dashboard(
         for index, rows in enumerate(shard_rows):
             bar = "#" * max(1 if rows else 0, round(_BAR_WIDTH * rows / most))
             lines.append(f"  s{index:<3} {bar:<{_BAR_WIDTH}} {rows}")
+    if coalesced:
+        lines.append(f"coalesce  {coalesced} changes compacted away")
     if recovery is not None and recovery.any:
         lines.append(
             f"recovery  {recovery.shard_restarts} restart(s)   "

@@ -68,6 +68,8 @@ class ShardedDataflow:
         backend: str = "threads",
         retry: Optional[RetryPolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
+        batch_size: int = 1,
+        coalesce_updates: bool = False,
     ):
         if shards < 1:
             raise ExecutionError("a sharded dataflow needs at least one shard")
@@ -76,11 +78,20 @@ class ShardedDataflow:
         self.backend = backend
         self.retry = retry if retry is not None else RetryPolicy()
         self.fault_plan = fault_plan
+        self.batch_size = batch_size
+        self.coalesce_updates = coalesce_updates
         self._allowed_lateness = allowed_lateness
         self._raw_sources = sources
         self._sources = {name.lower(): tvr for name, tvr in sources.items()}
         self._shards = [
-            Dataflow(plan, sources, allowed_lateness) for _ in range(shards)
+            Dataflow(
+                plan,
+                sources,
+                allowed_lateness,
+                batch_size=batch_size,
+                coalesce_updates=coalesce_updates,
+            )
+            for _ in range(shards)
         ]
         self._frontier = WatermarkFrontier(shards)
         self._merged_changes: list[Change] = []
@@ -151,6 +162,10 @@ class ShardedDataflow:
     def total_state_rows(self) -> int:
         """Rows currently retained across all shards' operator state."""
         return sum(shard.total_state_rows() for shard in self._shards)
+
+    def changes_coalesced(self) -> int:
+        """Changes dropped by intra-instant compaction, over all shards."""
+        return sum(shard.changes_coalesced() for shard in self._shards)
 
     def state_report(self):
         """Per-operator state breakdown, summed across shards."""
@@ -232,7 +247,11 @@ class ShardedDataflow:
         unless a fault plan demands supervision.
         """
         events = merge_source_events(self._sources, until)
-        if self.backend == "sync" and self.fault_plan is None:
+        if (
+            self.backend == "sync"
+            and self.fault_plan is None
+            and self.batch_size <= 1
+        ):
             for event, source in events:
                 self.process(event, source)
             return self.finish(until)
@@ -250,7 +269,11 @@ class ShardedDataflow:
         def make_supervisor(index: int) -> ShardSupervisor:
             def make_dataflow() -> Dataflow:
                 flow = Dataflow(
-                    self.plan, self._raw_sources, self._allowed_lateness
+                    self.plan,
+                    self._raw_sources,
+                    self._allowed_lateness,
+                    batch_size=self.batch_size,
+                    coalesce_updates=self.coalesce_updates,
                 )
                 flow.trace = _shard_batch_tagger(trace, index)
                 return flow

@@ -8,7 +8,9 @@ that:
 1. drives the shard's routed event subsequence exactly as the plain
    batch driver did (same invariant checks, same tagged output slices);
 2. takes a shard checkpoint every ``RetryPolicy.checkpoint_interval``
-   events, recording the input offset it covers;
+   events, recording the input offset it covers (with micro-batching
+   enabled, checkpoints land on the next batch boundary, so a restart
+   always replays whole batches and re-forms them identically);
 3. on any failure — an operator exception, an injected crash, or a
    simulated hang from the fault harness (:mod:`repro.runtime.faults`)
    — restores a fresh shard dataflow from the last checkpoint (or from
@@ -151,12 +153,50 @@ class ShardSupervisor:
         while True:
             try:
                 checkpoints_this_attempt = 0
+                tasks = self._tasks
+                n = len(tasks)
+                batch_size = flow.batch_size
                 i = offset
-                while i < len(self._tasks):
-                    seq, event, source = self._tasks[i]
-                    self._injector.before_event(self._shard, attempt, i)
+                while i < n:
+                    seq, event, source = tasks[i]
+                    # Micro-batch: extend over consecutive row events
+                    # that share this event's instant and source AND
+                    # carry globally consecutive sequence numbers — a
+                    # seq gap means another shard owns the missing
+                    # event, whose output must interleave between ours,
+                    # so batching across it would break the seq-ordered
+                    # merge.  Checkpoints are only considered at batch
+                    # boundaries, so a restart replays whole batches and
+                    # re-produces identical (seq, slice) tags for the
+                    # dedup stage.
+                    j = i + 1
+                    if (
+                        batch_size > 1
+                        and isinstance(event, RowEvent)
+                        and flow.batchable_source(source)
+                    ):
+                        ptime = event.ptime
+                        prev_seq = seq
+                        while j < n and j - i < batch_size:
+                            next_seq, next_event, next_source = tasks[j]
+                            if (
+                                next_seq != prev_seq + 1
+                                or next_source != source
+                                or not isinstance(next_event, RowEvent)
+                                or next_event.ptime != ptime
+                            ):
+                                break
+                            prev_seq = next_seq
+                            j += 1
+                    for idx in range(i, j):
+                        self._injector.before_event(self._shard, attempt, idx)
                     before = flow.output_size
-                    flow.process(event, source)
+                    if j - i == 1:
+                        flow.process(event, source)
+                    else:
+                        flow.process_batch(
+                            [task[1] for task in tasks[i:j]], source
+                        )
                     produced = flow.output_slice(before)
                     if produced:
                         if isinstance(event, WatermarkEvent):
@@ -171,15 +211,17 @@ class ShardSupervisor:
                         outcome.observations.append(
                             (seq, event.ptime, flow.root_watermark)
                         )
-                    if i <= high_water and isinstance(event, RowEvent):
-                        outcome.stats.rows_replayed += 1
-                    high_water = max(high_water, i)
+                    if isinstance(event, RowEvent):
+                        for idx in range(i, j):
+                            if idx <= high_water:
+                                outcome.stats.rows_replayed += 1
+                    high_water = max(high_water, j - 1)
                     last_ptime = max(last_ptime, event.ptime)
-                    i += 1
+                    i = j
                     interval = policy.checkpoint_interval
                     if (
                         interval
-                        and i < len(self._tasks)
+                        and i < n
                         and (i - checkpoint_offset) >= interval
                     ):
                         checkpoint = flow.checkpoint()

@@ -176,8 +176,10 @@ class Shell:
     def _watch(self, sql: str, frames: int = 8) -> str:
         """Run ``sql`` incrementally under a live telemetry dashboard.
 
-        Events are replayed one at a time through the incremental
-        dataflow API; every ``total/frames`` events a one-screen frame
+        Events are replayed through the incremental dataflow API in the
+        same same-instant runs as ``Dataflow.run()`` (so ``batch_size``
+        and ``coalesce_updates`` shape the dashboard, including the
+        coalesce line); every ``total/frames`` events a one-screen frame
         (rows/sec, watermark, lag percentiles, per-shard skew) is
         written to :attr:`watch_sink` with an ANSI clear so the view
         refreshes in place.  The final frame is returned either way,
@@ -191,7 +193,7 @@ class Shell:
         """
         import time
 
-        from .exec.executor import merge_source_events
+        from .exec.executor import iter_event_runs, merge_source_events
         from .obs.telemetry import render_dashboard
 
         query = self.engine.query(sql)
@@ -219,6 +221,7 @@ class Shell:
                 telemetry=flow.telemetry,
                 shard_rows=flow.shard_routed_rows() if use_sharded else None,
                 recovery=getattr(flow, "recovery", None),
+                coalesced=flow.changes_coalesced(),
                 final=final,
             )
 
@@ -231,11 +234,27 @@ class Shell:
             if exporter is not None:
                 exporter.export(result)
             return frame(total, final=True)
-        for done, (event, source) in enumerate(events, start=1):
-            flow.process(event, source)
-            if sink is not None and done < total and done % interval == 0:
-                sink.write("\x1b[2J\x1b[H" + frame(done, final=False) + "\n")
+        # Serial flows replay through the same run iterator as
+        # Dataflow.run(), so batch_size / coalesce_updates shape the
+        # dashboard exactly as they shape a batch run.  Sharded flows
+        # route per event (cross-shard batching would break the merge
+        # order), which iter_event_runs with batch_size=1 degenerates to.
+        if use_sharded:
+            batch_size, batchable = 1, lambda source: False
+        else:
+            batch_size, batchable = flow.batch_size, flow.batchable_source
+        next_frame = interval
+        for i, j in iter_event_runs(events, batch_size, batchable):
+            if j == i + 1:
+                flow.process(*events[i])
+            else:
+                flow.process_batch(
+                    [pair[0] for pair in events[i:j]], events[i][1]
+                )
+            if sink is not None and j < total and j >= next_frame:
+                sink.write("\x1b[2J\x1b[H" + frame(j, final=False) + "\n")
                 sink.flush()
+                next_frame = (j // interval + 1) * interval
         result = flow.finish()
         if exporter is not None:
             exporter.export(result)
