@@ -1,7 +1,8 @@
-"""Entry point: ``python -m repro`` starts the interactive SQL shell.
+"""Entry point: ``python -m repro`` starts the interactive SQL shell;
+``python -m repro serve`` starts the standing-query service.
 
-Flags mirror the fields of :class:`~repro.config.ExecutionConfig` and
-build the engine-layer config behind the shell::
+Shell flags mirror the fields of :class:`~repro.config.ExecutionConfig`
+and build the engine-layer config behind the shell::
 
     python -m repro --parallelism 4 --backend threads \\
                     --telemetry prometheus:metrics.prom \\
@@ -13,9 +14,22 @@ event as one JSON object per line; ``prometheus:PATH`` rewrites a text
 exposition file after each query run.  ``--fault-plan`` injects
 deterministic shard failures (testing/demo), e.g.
 ``crash-after-checkpoint:shard=1,at=2`` — see ``docs/RUNTIME.md``.
+
+Serve mode adds live sources and multi-tenant admission::
+
+    python -m repro serve --listen 127.0.0.1:7654 \\
+                          --tail Bid=feeds/bids.jsonl \\
+                          --policy tenants.json \\
+                          --checkpoint-dir /var/lib/repro
+
+Clients speak the line-JSON protocol of
+:class:`~repro.service.server.ServiceServer`; see ``docs/SERVICE.md``.
 """
 
 import argparse
+import asyncio
+import json
+import sys
 
 from .config import ExecutionConfig
 from .engine import StreamEngine
@@ -24,14 +38,8 @@ from .runtime.supervisor import RetryPolicy
 from .shell import Shell
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description=(
-            "Interactive streaming-SQL shell. Flags map one-to-one onto "
-            "repro.ExecutionConfig fields (see docs/API.md)."
-        ),
-    )
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    """The flags shared by shell and serve mode (ExecutionConfig fields)."""
     parser.add_argument(
         "--parallelism", type=int, default=None,
         help="number of shards for key-partitionable queries (default 1)",
@@ -75,13 +83,79 @@ def build_parser() -> argparse.ArgumentParser:
     recovery.add_argument(
         "--checkpoint-interval", type=int, default=None, metavar="N",
         help="checkpoint each shard every N input events so restarts "
-             "replay less (default 0: start-of-run state only)",
+             "replay less; in serve mode, also the session checkpoint "
+             "cadence (default 0: start-of-run state only)",
     )
     recovery.add_argument(
         "--fault-plan", default=None, metavar="PLAN",
         help="inject deterministic shard failures, e.g. "
              "'crash-after-checkpoint:shard=1,at=2;slow-shard:shard=0'; "
              f"kinds: {', '.join(FAULT_KINDS)}",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Interactive streaming-SQL shell. Flags map one-to-one onto "
+            "repro.ExecutionConfig fields (see docs/API.md). "
+            "Run 'python -m repro serve --help' for service mode."
+        ),
+    )
+    _add_config_arguments(parser)
+    return parser
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description=(
+            "Standing-query service: keep admitted queries resident and "
+            "push changelog deltas to subscribers as sources advance "
+            "(see docs/SERVICE.md)."
+        ),
+    )
+    _add_config_arguments(parser)
+    service = parser.add_argument_group("service")
+    service.add_argument(
+        "--listen", default="127.0.0.1:7654", metavar="HOST:PORT",
+        help="address for the line-JSON protocol (default 127.0.0.1:7654)",
+    )
+    service.add_argument(
+        "--source", action="append", default=[], metavar="NAME=PATH",
+        help="register a recorded relation from a script/JSONL file "
+             "(repeatable); bounded recordings register as tables",
+    )
+    service.add_argument(
+        "--tail", action="append", default=[], metavar="NAME=PATH",
+        help="follow a growing feed file into source NAME (repeatable); "
+             "the file must lead with its schema line",
+    )
+    service.add_argument(
+        "--policy", default=None, metavar="PATH",
+        help="tenant policy JSON: a list of policies or "
+             '{"tenants": [...], "default": {...}|null}',
+    )
+    service.add_argument(
+        "--queue-capacity", type=int, default=None, metavar="N",
+        help="bounded depth of each live source's event queue "
+             "(default 1024)",
+    )
+    service.add_argument(
+        "--subscriber-capacity", type=int, default=None, metavar="N",
+        help="undrained deltas a subscriber may buffer before "
+             "slow-consumer eviction (default 256)",
+    )
+    service.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="directory for session checkpoints; resumed from on start "
+             "when a manifest exists (default: durability off)",
+    )
+    service.add_argument(
+        "--once", action="store_true",
+        help="read each tail to end-of-file, drain, print the service "
+             "metrics exposition, and exit (smoke-test mode)",
     )
     return parser
 
@@ -121,10 +195,141 @@ def build_config(args: argparse.Namespace) -> ExecutionConfig:
         fault_plan=args.fault_plan,
         batch_size=args.batch_size,
         coalesce_updates=args.coalesce_updates,
+        queue_capacity=getattr(args, "queue_capacity", None),
+        subscriber_capacity=getattr(args, "subscriber_capacity", None),
+        checkpoint_dir=getattr(args, "checkpoint_dir", None),
     )
 
 
+def _split_spec(spec: str, flag: str) -> tuple[str, str]:
+    if "=" not in spec:
+        raise SystemExit(f"{flag} expects NAME=PATH, got {spec!r}")
+    name, path = spec.split("=", 1)
+    return name, path
+
+
+def _register_recorded(service, name: str, path: str) -> int:
+    """Register a fully recorded relation from a script/JSONL file."""
+    from .core.tvr import TimeVaryingRelation
+    from .io import TailParser
+
+    parser = TailParser()
+    with open(path) as handle:
+        events = parser.feed(handle.read())
+    events += parser.close()
+    if parser.schema is None:
+        raise SystemExit(f"{path} declares no schema")
+    tvr = TimeVaryingRelation(parser.schema)
+    for event in events:
+        tvr.apply(event)
+    if tvr.is_bounded:
+        service.register_table(name, tvr)
+    else:
+        service.register_stream(name, tvr)
+    return len(events)
+
+
+def _register_tail_schema(service, name: str, path: str) -> None:
+    """Register an empty stream from a feed file's leading schema line."""
+    from .core.schema import Schema
+    from .core.tvr import TimeVaryingRelation
+    from .io import ScriptError, parse_event_line
+
+    with open(path) as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                parsed = parse_event_line(line, None)
+            except ScriptError:
+                break
+            if isinstance(parsed, Schema):
+                service.register_stream(name, TimeVaryingRelation(parsed))
+                return
+            break
+    raise SystemExit(
+        f"--tail {name}={path}: the feed must lead with its schema line "
+        f"(script 'schema:' or JSONL {{\"schema\": ...}})"
+    )
+
+
+def _load_policies(path: str):
+    from .service.admission import TenantPolicy
+
+    with open(path) as handle:
+        payload = json.load(handle)
+    if isinstance(payload, list):
+        tenants, default = payload, {"name": "*"}
+    else:
+        tenants = payload.get("tenants", [])
+        default = payload.get("default", {"name": "*"})
+    policies = {
+        policy["name"]: TenantPolicy.from_dict(policy) for policy in tenants
+    }
+    default_policy = (
+        None if default is None else TenantPolicy.from_dict(default)
+    )
+    return policies, default_policy
+
+
+def serve_main(argv=None) -> None:
+    from .service import StandingQueryService, run_service
+
+    args = build_serve_parser().parse_args(argv)
+    config = build_config(args).resolved()
+    policies, default_policy = (
+        _load_policies(args.policy) if args.policy else ({}, None)
+    )
+    if args.policy is None:
+        from .service.admission import TenantPolicy
+
+        default_policy = TenantPolicy(name="*")
+    service = StandingQueryService(
+        config=config, policies=policies, default_policy=default_policy
+    )
+    for spec in args.source:
+        name, path = _split_spec(spec, "--source")
+        count = _register_recorded(service, name, path)
+        print(f"registered {name} ({count} recorded events)")
+    tails: dict[str, str] = {}
+    for spec in args.tail:
+        name, path = _split_spec(spec, "--tail")
+        if name.lower() not in service.engine._sources:
+            _register_tail_schema(service, name, path)
+            print(f"registered {name} (live tail)")
+        tails[name] = path
+    restored = service.resume()
+    if restored:
+        print(f"resumed {restored} standing queries from checkpoint")
+    host, _, port = args.listen.rpartition(":")
+    try:
+        port_number = int(port)
+    except ValueError:
+        raise SystemExit(f"--listen expects HOST:PORT, got {args.listen!r}")
+    print(f"listening on {host or '127.0.0.1'}:{port_number}")
+
+    async def drive():
+        server = await run_service(
+            service, host or "127.0.0.1", port_number, tails,
+            follow=not args.once,
+        )
+        if args.once:
+            print(service.scrape(), end="")
+            await server.stop()
+
+    try:
+        asyncio.run(drive())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+
+
 def main(argv=None) -> None:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        serve_main(argv[1:])
+        return
     args = build_parser().parse_args(argv)
     engine = StreamEngine(config=build_config(args))
     Shell(engine).run()

@@ -52,6 +52,9 @@ EXECUTION_DEFAULTS: dict[str, Any] = {
     "fault_plan": None,
     "batch_size": 1,
     "coalesce_updates": False,
+    "queue_capacity": 1024,
+    "subscriber_capacity": 256,
+    "checkpoint_dir": "",
 }
 
 
@@ -87,6 +90,14 @@ class ExecutionConfig:
       instant.  Per-instant snapshots are preserved, but the changelog
       row count shrinks, so ``EMIT STREAM`` renderings see fewer rows
       (see docs/API.md).
+    * ``queue_capacity`` — service mode: bounded depth of each live
+      source's event queue; a full queue blocks the tailer
+      (backpressure) instead of buffering without limit.
+    * ``subscriber_capacity`` — service mode: undrained deltas a
+      subscriber may buffer before it is evicted as a slow consumer.
+    * ``checkpoint_dir`` — service mode: directory for session
+      checkpoints (taken every ``retry.checkpoint_interval`` ingested
+      events); empty string (the default) disables durability.
 
     Instances are frozen and hashable; derive variants with
     :meth:`dataclasses.replace` or by merging layers via
@@ -101,6 +112,9 @@ class ExecutionConfig:
     fault_plan: Optional[FaultPlan] = None
     batch_size: Optional[int] = None
     coalesce_updates: Optional[bool] = None
+    queue_capacity: Optional[int] = None
+    subscriber_capacity: Optional[int] = None
+    checkpoint_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.fault_plan, str):
@@ -161,6 +175,16 @@ class ExecutionConfig:
             )
         if self.batch_size is not None and self.batch_size < 1:
             raise ValidationError("batch_size must be at least 1")
+        if self.queue_capacity is not None and self.queue_capacity < 1:
+            raise ValidationError("queue_capacity must be at least 1")
+        if self.subscriber_capacity is not None and self.subscriber_capacity < 1:
+            raise ValidationError("subscriber_capacity must be at least 1")
+        if self.checkpoint_dir is not None and not isinstance(
+            self.checkpoint_dir, str
+        ):
+            raise ValidationError(
+                f"checkpoint_dir must be a path string, got {self.checkpoint_dir!r}"
+            )
 
 
 # ---------------------------------------------------------------------------

@@ -40,6 +40,7 @@ __all__ = [
     "make_exporter",
     "read_events",
     "render_exposition",
+    "format_labels",
     "parse_exposition",
 ]
 
@@ -166,11 +167,15 @@ def _escape_label(value: str) -> str:
     )
 
 
-def _labels(pairs: dict) -> str:
+def format_labels(pairs: dict) -> str:
+    """Render a Prometheus label set, escaping values (shared helper)."""
     inner = ",".join(
         f'{key}="{_escape_label(str(value))}"' for key, value in pairs.items()
     )
     return "{" + inner + "}"
+
+
+_labels = format_labels
 
 
 def render_exposition(report: MetricsReport) -> str:

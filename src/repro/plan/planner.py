@@ -23,6 +23,7 @@ Streaming-specific planning decisions:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -56,7 +57,7 @@ from .logical import (
     WindowNode,
 )
 
-__all__ = ["Catalog", "QueryPlan", "Planner"]
+__all__ = ["Catalog", "QueryPlan", "Planner", "referenced_tables"]
 
 
 class Catalog:
@@ -1283,3 +1284,48 @@ def _uniquify(names: Sequence[str]) -> list[str]:
         seen.add(candidate.lower())
         out.append(candidate)
     return out
+
+
+def referenced_tables(
+    statement: ast.Statement, catalog: Optional[Catalog] = None
+) -> set[str]:
+    """Every relation name a statement references, lowercased.
+
+    Walks the whole AST — FROM items, joins, TVF ``TABLE(...)``
+    arguments, MATCH_RECOGNIZE inputs, and subqueries in any clause.
+    With a ``catalog``, names that resolve to views are expanded
+    recursively so the result also names the views' underlying base
+    relations — the set an admission layer must check ACLs against
+    *before* any plan is built.
+    """
+    names: set[str] = set()
+    expanding: set[str] = set()
+
+    def expand_view(name: str) -> None:
+        if catalog is None or name in expanding:
+            return
+        view = catalog.lookup_view(name)
+        if view is not None:
+            expanding.add(name)
+            visit(view)
+            expanding.discard(name)
+
+    def visit(node) -> None:
+        if isinstance(node, ast.TableRef):
+            names.add(node.name.lower())
+            expand_view(node.name.lower())
+            return
+        if isinstance(node, ast.TableArg):
+            names.add(node.name.lower())
+            expand_view(node.name.lower())
+            return
+        if isinstance(node, (tuple, list)):
+            for item in node:
+                visit(item)
+            return
+        if dataclasses.is_dataclass(node) and not isinstance(node, type):
+            for spec in dataclasses.fields(node):
+                visit(getattr(node, spec.name))
+
+    visit(statement)
+    return names

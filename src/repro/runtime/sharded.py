@@ -140,6 +140,15 @@ class ShardedDataflow:
         """Merged root changes produced so far (mirrors ``Dataflow``)."""
         return len(self._merged_changes)
 
+    def output_slice(self, start: int = 0) -> list:
+        """Merged root changes from position ``start`` (mirrors ``Dataflow``).
+
+        The merged changelog only grows, so ``output_slice(cursor)``
+        after each :meth:`process` yields every change exactly once —
+        the incremental consumption contract service mode relies on.
+        """
+        return list(self._merged_changes[start:])
+
     @property
     def root_watermark(self) -> Timestamp:
         """The merged (minimum) root watermark across all shards."""

@@ -1,0 +1,158 @@
+"""Service-level observability: the ``repro_service_*`` metric families.
+
+The per-run metrics layer (:mod:`repro.obs`) describes *one execution*;
+a long-lived service needs the complementary view — how many queries
+are resident, how many consumers hang off them, how fast deltas flow,
+and what admission is turning away.  :class:`ServiceMetrics` is that
+ledger, and :func:`render_service_exposition` renders it (plus live
+gauges read off the session manager) in Prometheus text format, ready
+to be concatenated with the per-query expositions the existing
+:class:`~repro.obs.export.PrometheusExporter` produces.
+
+Families (stable names — renaming is a breaking change for scrapers):
+
+* ``repro_service_active_queries`` (gauge) — resident standing queries.
+* ``repro_service_subscribers`` (gauge) — live subscribers, per query.
+* ``repro_service_delivered_deltas_total`` (counter) — deltas buffered
+  to subscribers, per query.
+* ``repro_service_admission_rejects_total`` (counter) — rejections,
+  labelled by structured ``code``.
+* ``repro_service_admitted_total`` (counter) — queries admitted.
+* ``repro_service_events_ingested_total`` (counter) — source events
+  pushed through the resident flows.
+* ``repro_service_queue_depth`` (gauge) — undrained subscriber deltas
+  (the fan-out backpressure signal).
+* ``repro_service_source_queue_depth`` (gauge) — events waiting in the
+  live sources' bounded queues, per source.
+* ``repro_service_slow_evictions_total`` (counter) — subscribers
+  evicted for falling behind.
+* ``repro_service_checkpoints_total`` (counter) — session checkpoints
+  taken.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..obs.export import format_labels
+from .admission import REJECT_CODES
+
+if TYPE_CHECKING:
+    from .session import SessionManager
+
+__all__ = ["ServiceMetrics", "render_service_exposition"]
+
+
+class ServiceMetrics:
+    """Monotonic counters of one service's lifetime."""
+
+    def __init__(self) -> None:
+        self.admitted = 0
+        self.rejects: dict[str, int] = {code: 0 for code in REJECT_CODES}
+        self.subscribes = 0
+
+    def record_admitted(self) -> None:
+        self.admitted += 1
+
+    def record_reject(self, code: str) -> None:
+        self.rejects[code] = self.rejects.get(code, 0) + 1
+
+    def record_subscribe(self) -> None:
+        self.subscribes += 1
+
+    @property
+    def rejected_total(self) -> int:
+        return sum(self.rejects.values())
+
+
+def render_service_exposition(
+    metrics: ServiceMetrics,
+    session: "SessionManager",
+    source_depths: Optional[dict[str, int]] = None,
+) -> str:
+    """The service's Prometheus exposition (format 0.0.4).
+
+    Validates with :func:`repro.obs.export.parse_exposition`; the CI
+    smoke job uploads exactly this text as its scrape artifact.
+    """
+    lines: list[str] = []
+
+    def family(name: str, kind: str, help_text: str) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    queries = session.queries()
+    family("repro_service_active_queries", "gauge",
+           "Standing queries currently resident")
+    lines.append(f"repro_service_active_queries {len(queries)}")
+
+    family("repro_service_subscribers", "gauge",
+           "Live subscribers attached to each standing query")
+    for query in queries:
+        labels = format_labels(
+            {"query": query.query_id, "tenant": query.tenant}
+        )
+        lines.append(
+            f"repro_service_subscribers{labels} "
+            f"{query.subscriptions.live_count}"
+        )
+
+    family("repro_service_delivered_deltas_total", "counter",
+           "Changelog deltas buffered to subscribers, per standing query")
+    for query in queries:
+        labels = format_labels(
+            {"query": query.query_id, "tenant": query.tenant}
+        )
+        lines.append(
+            f"repro_service_delivered_deltas_total{labels} "
+            f"{query.subscriptions.delivered}"
+        )
+
+    family("repro_service_admitted_total", "counter",
+           "Queries admitted through the gateway")
+    lines.append(f"repro_service_admitted_total {metrics.admitted}")
+
+    family("repro_service_admission_rejects_total", "counter",
+           "Queries rejected by the admission gateway, by structured code")
+    for code in sorted(metrics.rejects):
+        labels = format_labels({"code": code})
+        lines.append(
+            f"repro_service_admission_rejects_total{labels} "
+            f"{metrics.rejects[code]}"
+        )
+
+    family("repro_service_events_ingested_total", "counter",
+           "Source events pushed through the resident dataflows")
+    lines.append(
+        f"repro_service_events_ingested_total {session.events_ingested}"
+    )
+
+    family("repro_service_queue_depth", "gauge",
+           "Undrained subscriber deltas across all standing queries")
+    lines.append(f"repro_service_queue_depth {session.queue_depth()}")
+
+    family("repro_service_source_queue_depth", "gauge",
+           "Events waiting in each live source's bounded queue")
+    for name, depth in sorted((source_depths or {}).items()):
+        labels = format_labels({"source": name})
+        lines.append(f"repro_service_source_queue_depth{labels} {depth}")
+
+    family("repro_service_slow_evictions_total", "counter",
+           "Subscribers evicted for falling behind their buffer capacity")
+    evictions = sum(q.subscriptions.evictions for q in queries)
+    lines.append(f"repro_service_slow_evictions_total {evictions}")
+
+    family("repro_service_state_rows", "gauge",
+           "Operator-state rows resident per standing query")
+    for query in queries:
+        labels = format_labels(
+            {"query": query.query_id, "tenant": query.tenant}
+        )
+        lines.append(f"repro_service_state_rows{labels} {query.state_rows()}")
+
+    family("repro_service_checkpoints_total", "counter",
+           "Session checkpoints written to the checkpoint directory")
+    lines.append(
+        f"repro_service_checkpoints_total {session.checkpoints_taken}"
+    )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,431 @@
+"""The standing-query service: admission, residency, fan-out, scrape.
+
+Two layers, deliberately separated:
+
+* :class:`StandingQueryService` — the synchronous core.  It composes a
+  :class:`~repro.engine.StreamEngine` (the catalog and sources), an
+  :class:`~repro.service.admission.AdmissionGateway` (the four-gate
+  front door), a :class:`~repro.service.session.SessionManager` (the
+  resident dataflows), and :class:`~repro.service.metrics.ServiceMetrics`
+  (the ``repro_service_*`` ledger).  Everything the service can do —
+  submit, subscribe, ingest, scrape, checkpoint, resume — is a plain
+  method call here, which is what the tests, the shell, and the
+  examples drive directly.
+* :class:`ServiceServer` — the asyncio binding: a line-JSON TCP
+  protocol over the core plus the live-source pump, used by
+  ``python -m repro serve``.
+
+Wire protocol (one JSON object per line, both directions)::
+
+    → {"op": "submit", "tenant": "alice", "sql": "SELECT ..."}
+    ← {"ok": true, "query": "q1", "schema": ["bidder", "total"]}
+    → {"op": "subscribe", "query": "q1", "subscriber": "alice-1"}
+    ← {"ok": true, "subscriber": "alice-1", "cursor": 0}
+    ← {"delta": {"seq": 0, "ptime": ..., "kind": "insert", "values": [...]}}
+    → {"op": "ingest", "source": "bid", "event": "{\\"ptime\\": ...}"}
+    ← {"ok": true, "published": {"q1": 2}}
+
+A rejection is ``{"ok": false, "error": {"code": ..., "tenant": ...,
+"detail": ...}}`` — the :class:`~repro.service.admission.AdmissionError`
+structure verbatim, so clients can switch on ``error.code``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from typing import Optional
+
+from ..config import ExecutionConfig
+from ..core.errors import ExecutionError, ReproError
+from ..core.schema import Schema
+from ..core.tvr import StreamEvent, TimeVaryingRelation
+from ..engine import StreamEngine
+from ..io import parse_event_line
+from .admission import AdmissionError, AdmissionGateway, TenantPolicy
+from .metrics import ServiceMetrics, render_service_exposition
+from .session import SessionManager, StandingQuery
+from .sources import LiveSource, pump, tail_file
+from .subscriptions import Subscriber
+
+__all__ = ["StandingQueryService", "ServiceServer", "run_service"]
+
+
+class StandingQueryService:
+    """One service instance: gateway + session + metrics over an engine."""
+
+    def __init__(
+        self,
+        engine: Optional[StreamEngine] = None,
+        config: Optional[ExecutionConfig] = None,
+        policies: Optional[dict[str, TenantPolicy]] = None,
+        default_policy: Optional[TenantPolicy] = TenantPolicy(name="*"),
+    ):
+        self.engine = engine if engine is not None else StreamEngine(config=config)
+        self.session = SessionManager(self.engine, config=config)
+        self.gateway = AdmissionGateway(
+            self.engine._catalog,
+            self.engine._registry,
+            policies=dict(policies or {}),
+            default_policy=default_policy,
+        )
+        self.metrics = ServiceMetrics()
+        #: live-source queue depths, refreshed by the server's pump.
+        self.source_depths: dict[str, int] = {}
+
+    @property
+    def config(self) -> ExecutionConfig:
+        return self.session.config
+
+    # -- sources ------------------------------------------------------------
+
+    def register_stream(self, name: str, tvr: TimeVaryingRelation) -> None:
+        self.engine.register_stream(name, tvr)
+
+    def register_table(self, name: str, schema_or_tvr, rows=()) -> None:
+        self.engine.register_table(name, schema_or_tvr, rows)
+
+    def source_schema(self, name: str) -> Schema:
+        return self.engine.source(name).schema
+
+    # -- the front door -----------------------------------------------------
+
+    def submit(
+        self,
+        tenant: str,
+        sql: str,
+        query_id: Optional[str] = None,
+        config: Optional[ExecutionConfig] = None,
+    ) -> StandingQuery:
+        """Admit ``sql`` for ``tenant`` and make it resident.
+
+        Raises :class:`~repro.service.admission.AdmissionError` (and
+        bumps the matching reject counter) when any gate refuses; an
+        admitted query is caught up with all recorded history and joins
+        the live ingest path.
+        """
+        active, state_rows = self.session.tenant_usage(tenant)
+        try:
+            plan = self.gateway.admit(
+                tenant, sql, active_queries=active, state_rows=state_rows
+            )
+        except AdmissionError as exc:
+            self.metrics.record_reject(exc.code)
+            raise
+        query = self.session.register(
+            tenant, sql, plan, query_id=query_id, config=config
+        )
+        self.metrics.record_admitted()
+        return query
+
+    def withdraw(self, query_id: str) -> bool:
+        """Drop a standing query (and all its subscribers)."""
+        return self.session.unregister(query_id)
+
+    def subscribe(
+        self,
+        query_id: str,
+        subscriber_id: str,
+        capacity: Optional[int] = None,
+    ) -> Subscriber:
+        query = self.session.get(query_id)
+        if query is None:
+            raise ExecutionError(f"no standing query {query_id!r}")
+        subscriber = query.subscriptions.subscribe(subscriber_id, capacity)
+        self.metrics.record_subscribe()
+        return subscriber
+
+    def unsubscribe(self, query_id: str, subscriber_id: str) -> bool:
+        query = self.session.get(query_id)
+        if query is None:
+            return False
+        return query.subscriptions.unsubscribe(subscriber_id)
+
+    # -- the data path ------------------------------------------------------
+
+    def ingest(self, event: StreamEvent, source: str):
+        """Advance every resident query by one source event."""
+        return self.session.ingest(event, source)
+
+    def ingest_line(self, source: str, line: str):
+        """Parse one feed line (script or JSONL) and ingest it."""
+        parsed = parse_event_line(line, self.source_schema(source), source)
+        if isinstance(parsed, Schema):
+            raise ExecutionError(
+                "schema lines are not ingestable; the source is already "
+                "registered"
+            )
+        return self.ingest(parsed, source)
+
+    def list_queries(self) -> list[dict]:
+        return [query.describe() for query in self.session.queries()]
+
+    def scrape(self) -> str:
+        """The ``repro_service_*`` Prometheus exposition, one string."""
+        return render_service_exposition(
+            self.metrics, self.session, self.source_depths
+        )
+
+    # -- durability ---------------------------------------------------------
+
+    def checkpoint(self, directory: Optional[str] = None) -> str:
+        return self.session.checkpoint(directory)
+
+    def resume(self, directory: Optional[str] = None) -> int:
+        """Restore from a checkpoint directory if one exists.
+
+        Re-admission runs through this service's gateway, so restored
+        queries obey the *current* policies.  Returns the number of
+        queries restored (0 when there is nothing to resume).
+        """
+        directory = directory or self.config.checkpoint_dir
+        if not directory or not os.path.exists(
+            os.path.join(directory, "manifest.json")
+        ):
+            return 0
+
+        def admit(tenant: str, sql: str):
+            return self.gateway.admit(tenant, sql)
+
+        return self.session.restore(directory, admit)
+
+
+class ServiceServer:
+    """Line-JSON TCP front end plus the live-source pump."""
+
+    def __init__(
+        self,
+        service: StandingQueryService,
+        host: str = "127.0.0.1",
+        port: int = 7654,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        #: (query_id, subscriber_id, writer) triples with a live stream.
+        self._streams: list[tuple[str, str, asyncio.StreamWriter]] = []
+        self.sources: list[LiveSource] = []
+        self._tail_tasks: list[asyncio.Task] = []
+        self._pump_task: Optional[asyncio.Task] = None
+        self._follow = True
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+
+    @property
+    def address(self) -> tuple[str, int]:
+        assert self._server is not None
+        sock = self._server.sockets[0]
+        return sock.getsockname()[:2]
+
+    def add_tail(
+        self,
+        name: str,
+        path: str,
+        *,
+        poll_interval: float = 0.05,
+    ) -> LiveSource:
+        """Tail ``path`` into registered source ``name`` (resuming past
+        any events a restored session already consumed)."""
+        schema = self.service.source_schema(name)
+        skip = self.service.session.source_offsets.get(name.lower(), 0)
+        source = LiveSource(
+            name, queue_capacity=self.service.config.queue_capacity
+        )
+        self.sources.append(source)
+        self._tail_tasks.append(
+            asyncio.ensure_future(
+                tail_file(
+                    source,
+                    path,
+                    schema=schema,
+                    skip=skip,
+                    poll_interval=poll_interval,
+                    follow=lambda: self._follow,
+                )
+            )
+        )
+        return source
+
+    def start_pump(self) -> asyncio.Task:
+        """Start draining the live sources into the session."""
+
+        async def flush_streams(name, event, result) -> None:
+            self._refresh_depths()
+            await self._flush_subscribers()
+
+        self._pump_task = asyncio.ensure_future(
+            pump(self.sources, self.service.ingest, on_ingest=flush_streams)
+        )
+        return self._pump_task
+
+    async def drain(self) -> None:
+        """Stop following tails, let readers and the pump finish."""
+        self._follow = False
+        for task in self._tail_tasks:
+            await task
+        if self._pump_task is not None:
+            await self._pump_task
+        self._refresh_depths()
+        await self._flush_subscribers()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    def _refresh_depths(self) -> None:
+        self.service.source_depths = {s.name: s.depth for s in self.sources}
+
+    # -- protocol -----------------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    data = await reader.readline()
+                except (asyncio.CancelledError, ConnectionError):
+                    break  # loop shutdown or client reset; just detach
+                if not data:
+                    break
+                try:
+                    request = json.loads(data.decode("utf-8"))
+                except ValueError:
+                    await self._send(writer, {"ok": False, "error": {
+                        "code": "parse_error", "tenant": "",
+                        "detail": "request is not valid JSON"}})
+                    continue
+                response = await self._dispatch(request, writer)
+                await self._send(writer, response)
+                await self._flush_subscribers()
+        finally:
+            self._streams = [
+                (q, s, w) for (q, s, w) in self._streams if w is not writer
+            ]
+            writer.close()
+
+    async def _dispatch(self, request: dict, writer) -> dict:
+        op = request.get("op")
+        try:
+            if op == "submit":
+                query = self.service.submit(
+                    request["tenant"], request["sql"],
+                    query_id=request.get("query"),
+                )
+                return {
+                    "ok": True,
+                    "query": query.query_id,
+                    "schema": [c.name for c in query.plan.schema.columns],
+                }
+            if op == "subscribe":
+                query_id = request["query"]
+                subscriber = self.service.subscribe(
+                    query_id,
+                    request.get("subscriber", f"sub-{len(self._streams) + 1}"),
+                )
+                self._streams.append((query_id, subscriber.id, writer))
+                return {
+                    "ok": True,
+                    "subscriber": subscriber.id,
+                    "cursor": subscriber.cursor,
+                }
+            if op == "unsubscribe":
+                removed = self.service.unsubscribe(
+                    request["query"], request["subscriber"]
+                )
+                return {"ok": True, "removed": removed}
+            if op == "withdraw":
+                return {"ok": True, "removed": self.service.withdraw(request["query"])}
+            if op == "ingest":
+                published = self.service.ingest_line(
+                    request["source"], request["event"]
+                )
+                return {
+                    "ok": True,
+                    "published": {q: len(d) for q, d in published.items()},
+                }
+            if op == "queries":
+                return {"ok": True, "queries": self.service.list_queries()}
+            if op == "metrics":
+                self._refresh_depths()
+                return {"ok": True, "exposition": self.service.scrape()}
+            if op == "checkpoint":
+                return {"ok": True, "directory": self.service.checkpoint(
+                    request.get("directory") or None)}
+            if op == "ping":
+                return {"ok": True}
+            return {"ok": False, "error": {
+                "code": "invalid_query", "tenant": "",
+                "detail": f"unknown op {op!r}"}}
+        except AdmissionError as exc:
+            return {"ok": False, "error": exc.as_dict()}
+        except (ReproError, KeyError, TypeError, ValueError) as exc:
+            return {"ok": False, "error": {
+                "code": "invalid_query", "tenant": str(request.get("tenant", "")),
+                "detail": str(exc)}}
+
+    async def _send(self, writer: asyncio.StreamWriter, payload: dict) -> None:
+        writer.write((json.dumps(payload) + "\n").encode("utf-8"))
+        await writer.drain()
+
+    async def _flush_subscribers(self) -> None:
+        """Push drained deltas to every streaming connection."""
+        for query_id, subscriber_id, writer in list(self._streams):
+            query = self.service.session.get(query_id)
+            if query is None:
+                continue
+            subscriber = query.subscriptions.get(subscriber_id)
+            if subscriber is None or subscriber.evicted:
+                if subscriber is not None and subscriber.evicted:
+                    await self._send(writer, {"evicted": subscriber_id,
+                                              "query": query_id})
+                    self._streams.remove((query_id, subscriber_id, writer))
+                continue
+            for delta in subscriber.take():
+                await self._send(
+                    writer, {"query": query_id, "delta": delta.as_dict()}
+                )
+
+
+async def run_service(
+    service: StandingQueryService,
+    host: str,
+    port: int,
+    tails: dict[str, str],
+    *,
+    follow: bool = True,
+    ready=None,
+) -> ServiceServer:
+    """Assemble and run one server: listen, tail, pump.
+
+    ``tails`` maps source name → feed path.  With ``follow=True`` the
+    coroutine serves until cancelled; with ``follow=False`` it reads
+    each feed to end-of-file, drains the pump, and returns (the CI
+    smoke mode).  ``ready``, when given, is an :class:`asyncio.Event`
+    set once the server is listening and the pump is running.
+    """
+    server = ServiceServer(service, host, port)
+    await server.start()
+    for name, path in tails.items():
+        server.add_tail(name, path)
+    server._follow = follow
+    server.start_pump()
+    if ready is not None:
+        ready.set()
+    if follow:
+        try:
+            while True:
+                await asyncio.sleep(3600)
+        finally:
+            await server.stop()
+    else:
+        await server.drain()
+    return server

@@ -1,0 +1,340 @@
+"""Resident standing queries: register, advance, checkpoint, resume.
+
+The session manager is the heart of service mode.  Where ``run()``
+replays a recorded stream and exits, a :class:`SessionManager` keeps
+each admitted query's dataflow *resident* and pushes every source event
+through all of them as it arrives (:meth:`SessionManager.ingest`) —
+the same incremental ``process`` API the executor has always had, now
+driven forever.
+
+Equivalence is the load-bearing guarantee: a standing query's changelog
+is **byte-identical** (values, ``ptime``, ``undo``/``ver`` metadata,
+ordering) to a one-shot ``run()`` over the same event sequence, because
+ingest feeds every event to every flow in exactly the merged order the
+batch replayer uses — including events of sources a query never scans,
+which are no-ops but advance the flow's clock the same way.  Queries
+whose effective config asks for parallelism run on the sharded runtime
+when the partition analyzer admits them, with the same guarantee.
+
+Durability reuses the PR 4 checkpoint machinery: every
+``retry.checkpoint_interval`` ingested events (and on demand) each
+flow's :meth:`~repro.exec.executor.Dataflow.checkpoint` bytes land in
+``checkpoint_dir`` together with a manifest and the sources' recorded
+prefixes, and :meth:`SessionManager.restore` brings a fresh manager
+back to the cut — resident plans, cursors, and subscription sequence
+numbers intact — so tailers can resume at the recorded offsets.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import TYPE_CHECKING, Optional
+
+from ..config import ExecutionConfig
+from ..core.errors import ExecutionError
+from ..core.tvr import StreamEvent
+from ..exec.executor import Dataflow, merge_source_events
+from ..io import format_script, parse_script
+from ..plan.optimizer import optimize
+from ..plan.partition import analyze_partitioning
+from ..plan.planner import QueryPlan
+from ..runtime.sharded import ShardedDataflow
+from .subscriptions import Delta, SubscriptionRegistry
+
+if TYPE_CHECKING:
+    from ..engine import StreamEngine
+
+__all__ = ["StandingQuery", "SessionManager"]
+
+_MANIFEST = "manifest.json"
+
+
+class StandingQuery:
+    """One resident query: its plan, its dataflow, its subscribers."""
+
+    def __init__(
+        self,
+        query_id: str,
+        tenant: str,
+        sql: str,
+        plan: QueryPlan,
+        flow,
+        subscriber_capacity: int,
+        parallelism: int,
+    ):
+        self.query_id = query_id
+        self.tenant = tenant
+        self.sql = sql
+        self.plan = plan
+        self.flow = flow
+        self.parallelism = parallelism
+        self.subscriptions = SubscriptionRegistry(subscriber_capacity)
+        #: output cursor: merged changes already published to subscribers.
+        self.cursor = flow.output_size
+
+    @property
+    def sharded(self) -> bool:
+        return isinstance(self.flow, ShardedDataflow)
+
+    def state_rows(self) -> int:
+        return self.flow.total_state_rows()
+
+    def publish_pending(self) -> list[Delta]:
+        """Publish changes the flow produced past the cursor."""
+        produced = self.flow.output_slice(self.cursor)
+        self.cursor = self.flow.output_size
+        if not produced:
+            return []
+        return self.subscriptions.publish(produced)
+
+    def describe(self) -> dict:
+        return {
+            "query_id": self.query_id,
+            "tenant": self.tenant,
+            "sql": self.sql,
+            "runtime": (
+                f"sharded({self.flow.shard_count})" if self.sharded else "serial"
+            ),
+            "deltas": self.subscriptions.next_seq,
+            "subscribers": self.subscriptions.live_count,
+            "state_rows": self.state_rows(),
+            "watermark": self.flow.root_watermark,
+        }
+
+
+class SessionManager:
+    """All resident queries of one service, advanced in lock-step.
+
+    ``config`` is the service-level :class:`~repro.config.ExecutionConfig`
+    (already resolved); per-query configs merge over it exactly as
+    query-level configs merge over an engine's.
+    """
+
+    def __init__(self, engine: "StreamEngine", config: Optional[ExecutionConfig] = None):
+        self.engine = engine
+        self.config = (
+            config if config is not None else engine.config
+        ).resolved()
+        self._queries: dict[str, StandingQuery] = {}
+        #: source events ingested since construction (or restore).
+        self.events_ingested = 0
+        #: per-source consumed-event counts, for tailer resumption.
+        self.source_offsets: dict[str, int] = {}
+        self.checkpoints_taken = 0
+        self._next_id = 1
+
+    # -- registry ---------------------------------------------------------------
+
+    def queries(self) -> list[StandingQuery]:
+        return list(self._queries.values())
+
+    def get(self, query_id: str) -> Optional[StandingQuery]:
+        return self._queries.get(query_id)
+
+    def tenant_usage(self, tenant: str) -> tuple[int, int]:
+        """(active standing queries, resident state rows) for a tenant."""
+        mine = [q for q in self._queries.values() if q.tenant == tenant]
+        return len(mine), sum(q.state_rows() for q in mine)
+
+    def register(
+        self,
+        tenant: str,
+        sql: str,
+        plan: QueryPlan,
+        query_id: Optional[str] = None,
+        config: Optional[ExecutionConfig] = None,
+        catch_up: bool = True,
+    ) -> StandingQuery:
+        """Make an admitted plan resident and catch it up with history.
+
+        The new flow replays every event the sources have recorded so
+        far (so its state matches a from-the-start run), then joins the
+        live ingest path.  Subscribers attach afterwards and see only
+        future deltas — standard standing-query semantics.
+        """
+        if query_id is None:
+            query_id = f"q{self._next_id}"
+            while query_id in self._queries:
+                self._next_id += 1
+                query_id = f"q{self._next_id}"
+        elif query_id in self._queries:
+            raise ExecutionError(f"standing query {query_id!r} already exists")
+        effective = (
+            config.merged_over(self.config) if config is not None else self.config
+        ).resolved()
+        optimized = QueryPlan(
+            root=optimize(plan).root, emit=plan.emit, sql=plan.sql
+        )
+        flow = self._build_flow(optimized, effective)
+        query = StandingQuery(
+            query_id,
+            tenant,
+            sql,
+            optimized,
+            flow,
+            subscriber_capacity=effective.subscriber_capacity,
+            parallelism=self._flow_parallelism(flow),
+        )
+        if catch_up:
+            for event, source in merge_source_events(self.engine._sources):
+                flow.process(event, source)
+            query.cursor = flow.output_size
+            # History deltas are never delivered; delta seq numbers line
+            # up with changelog positions, so seek past the prefix.
+            query.subscriptions.seek(query.cursor)
+        self._queries[query_id] = query
+        self._next_id += 1
+        return query
+
+    def unregister(self, query_id: str) -> bool:
+        return self._queries.pop(query_id, None) is not None
+
+    def _build_flow(self, plan: QueryPlan, effective: ExecutionConfig):
+        if effective.parallelism > 1:
+            decision = analyze_partitioning(plan)
+            if decision.partitionable:
+                return ShardedDataflow(
+                    plan,
+                    self.engine._sources,
+                    decision.spec,
+                    effective.parallelism,
+                    effective.allowed_lateness,
+                    backend="sync",  # incremental service feeding is in-process
+                    retry=effective.retry,
+                    batch_size=effective.batch_size,
+                    coalesce_updates=effective.coalesce_updates,
+                )
+        return Dataflow(
+            plan,
+            self.engine._sources,
+            effective.allowed_lateness,
+            batch_size=effective.batch_size,
+            coalesce_updates=effective.coalesce_updates,
+        )
+
+    @staticmethod
+    def _flow_parallelism(flow) -> int:
+        return flow.shard_count if isinstance(flow, ShardedDataflow) else 1
+
+    # -- the live ingest path ----------------------------------------------------
+
+    def ingest(self, event: StreamEvent, source: str) -> dict[str, list[Delta]]:
+        """Advance the world by one source event.
+
+        Appends the event to the source's recorded TVR (so late-joining
+        queries can catch up and the replay oracle stays checkable),
+        pushes it through every resident flow, and publishes each
+        query's new changelog deltas to its subscribers.  Returns
+        ``{query_id: [deltas]}`` for queries that produced output.
+        """
+        key = source.lower()
+        if key not in self.engine._sources:
+            raise ExecutionError(f"no source registered for {source!r}")
+        self.engine._sources[key].apply(event)
+        self.source_offsets[key] = self.source_offsets.get(key, 0) + 1
+        self.events_ingested += 1
+        published: dict[str, list[Delta]] = {}
+        for query in self._queries.values():
+            query.flow.process(event, source)
+            deltas = query.publish_pending()
+            if deltas:
+                published[query.query_id] = deltas
+        interval = self.config.retry.checkpoint_interval
+        if (
+            interval
+            and self.config.checkpoint_dir
+            and self.events_ingested % interval == 0
+        ):
+            self.checkpoint(self.config.checkpoint_dir)
+        return published
+
+    def queue_depth(self) -> int:
+        """Undrained subscriber deltas across all queries."""
+        return sum(q.subscriptions.queue_depth() for q in self._queries.values())
+
+    # -- durability --------------------------------------------------------------
+
+    def checkpoint(self, directory: Optional[str] = None) -> str:
+        """Write a consistent cut of the whole session to ``directory``.
+
+        Layout: ``manifest.json`` (queries, cursors, per-source
+        offsets), one ``<query_id>.ckpt`` blob per resident flow (the
+        PR 4 checkpoint bytes), and ``sources/<name>.script`` with each
+        source's recorded prefix.  Atomic enough for a single-writer
+        service: the manifest is written last.
+        """
+        directory = directory or self.config.checkpoint_dir
+        if not directory:
+            raise ExecutionError("no checkpoint directory configured")
+        os.makedirs(os.path.join(directory, "sources"), exist_ok=True)
+        for query in self._queries.values():
+            blob = query.flow.checkpoint()
+            with open(os.path.join(directory, f"{query.query_id}.ckpt"), "wb") as fh:
+                fh.write(blob)
+        for name, tvr in self.engine._sources.items():
+            with open(
+                os.path.join(directory, "sources", f"{name}.script"), "w"
+            ) as fh:
+                fh.write(format_script(tvr))
+        manifest = {
+            "events_ingested": self.events_ingested,
+            "source_offsets": dict(self.source_offsets),
+            "queries": [
+                {
+                    "query_id": q.query_id,
+                    "tenant": q.tenant,
+                    "sql": q.sql,
+                    "parallelism": q.parallelism,
+                    "cursor": q.cursor,
+                    "next_seq": q.subscriptions.next_seq,
+                }
+                for q in self._queries.values()
+            ],
+        }
+        with open(os.path.join(directory, _MANIFEST), "w") as fh:
+            json.dump(manifest, fh, indent=2)
+        self.checkpoints_taken += 1
+        return directory
+
+    def restore(self, directory: str, admit) -> int:
+        """Resume from a checkpoint directory; returns queries restored.
+
+        ``admit`` is a callable ``(tenant, sql) -> QueryPlan`` — the
+        service passes its admission gateway, so a policy change between
+        runs is enforced at restore time too.  Sources are re-registered
+        from their recorded prefixes, each flow is rebuilt from its plan
+        and restored from its blob, and ``source_offsets`` tells tailers
+        where to resume reading.
+        """
+        with open(os.path.join(directory, _MANIFEST)) as fh:
+            manifest = json.load(fh)
+        sources_dir = os.path.join(directory, "sources")
+        for entry in sorted(os.listdir(sources_dir)):
+            name = entry[: -len(".script")]
+            with open(os.path.join(sources_dir, entry)) as fh:
+                tvr = parse_script(fh.read())
+            if tvr.is_bounded:
+                self.engine.register_table(name, tvr)
+            else:
+                self.engine.register_stream(name, tvr)
+        self.events_ingested = manifest["events_ingested"]
+        self.source_offsets = dict(manifest["source_offsets"])
+        for spec in manifest["queries"]:
+            plan = admit(spec["tenant"], spec["sql"])
+            effective = ExecutionConfig(
+                parallelism=spec["parallelism"]
+            ).merged_over(self.config).resolved()
+            query = self.register(
+                spec["tenant"],
+                spec["sql"],
+                plan,
+                query_id=spec["query_id"],
+                config=effective,
+                catch_up=False,
+            )
+            with open(os.path.join(directory, f"{spec['query_id']}.ckpt"), "rb") as fh:
+                query.flow.restore(fh.read())
+            query.cursor = spec["cursor"]
+            query.subscriptions.seek(spec["next_seq"])
+        return len(manifest["queries"])

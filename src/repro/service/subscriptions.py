@@ -1,0 +1,169 @@
+"""Subscription fan-out: one resident query, many cheap consumers.
+
+The "millions of users" story of the roadmap is not millions of plans —
+it is few resident dataflows whose changelogs fan out to many
+subscribers.  A :class:`SubscriptionRegistry` hangs off each standing
+query and multicasts every published delta:
+
+* each :class:`Subscriber` holds a bounded buffer and a **cursor** (the
+  global sequence number of the next delta it will read), so consumers
+  drain at their own pace and a reconnecting consumer can state where
+  it left off;
+* a subscriber whose buffer overflows is **evicted** — marked, counted,
+  and detached — rather than allowed to hold the query's memory
+  hostage (the slow-consumer policy every production pub/sub layer
+  ends up with).
+
+Deltas are :class:`~repro.core.changelog.Change` objects wrapped with
+their per-query sequence number; the wire rendering lives in
+:mod:`repro.service.server`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.changelog import Change
+
+__all__ = ["Delta", "Subscriber", "SubscriptionRegistry"]
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One changelog change of a standing query, as delivered.
+
+    ``seq`` is the query's global delta sequence number (0-based,
+    gap-free); subscribers admitted mid-stream start at the current
+    sequence, so ``seq`` doubles as the resumption cursor.
+    """
+
+    seq: int
+    change: Change
+
+    def as_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "ptime": self.change.ptime,
+            "kind": "insert" if self.change.is_insert else "retract",
+            "values": list(self.change.values),
+        }
+
+
+class Subscriber:
+    """One consumer of a standing query's changelog.
+
+    ``capacity`` bounds the undrained buffer; publishing past it evicts
+    the subscriber (``evicted`` flips, the buffer is released).  The
+    cursor advances on :meth:`take`, not on publish, so it always names
+    the next sequence the consumer has *not* seen.
+    """
+
+    def __init__(self, subscriber_id: str, capacity: int, cursor: int = 0):
+        if capacity < 1:
+            raise ValueError("subscriber capacity must be >= 1")
+        self.id = subscriber_id
+        self.capacity = capacity
+        self.cursor = cursor
+        self.evicted = False
+        self._buffer: deque[Delta] = deque()
+
+    @property
+    def depth(self) -> int:
+        """Deltas buffered and not yet taken."""
+        return len(self._buffer)
+
+    def offer(self, delta: Delta) -> bool:
+        """Buffer one delta; False (and eviction) when over capacity."""
+        if self.evicted:
+            return False
+        if len(self._buffer) >= self.capacity:
+            self.evicted = True
+            self._buffer.clear()
+            return False
+        self._buffer.append(delta)
+        return True
+
+    def take(self, limit: Optional[int] = None) -> list[Delta]:
+        """Drain up to ``limit`` buffered deltas, advancing the cursor."""
+        count = len(self._buffer) if limit is None else min(limit, len(self._buffer))
+        out = [self._buffer.popleft() for _ in range(count)]
+        if out:
+            self.cursor = out[-1].seq + 1
+        return out
+
+
+class SubscriptionRegistry:
+    """The subscribers of one standing query, plus delivery accounting."""
+
+    def __init__(self, default_capacity: int = 256):
+        self.default_capacity = default_capacity
+        self._subscribers: dict[str, Subscriber] = {}
+        self._next_seq = 0
+        #: deltas successfully buffered to subscribers, summed over all.
+        self.delivered = 0
+        #: subscribers evicted for falling behind.
+        self.evictions = 0
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next published delta will carry."""
+        return self._next_seq
+
+    def seek(self, seq: int) -> None:
+        """Pin the next sequence number (catch-up and restore paths)."""
+        self._next_seq = seq
+
+    def subscribe(
+        self, subscriber_id: str, capacity: Optional[int] = None
+    ) -> Subscriber:
+        """Attach (or re-attach) a subscriber starting at the live edge."""
+        subscriber = Subscriber(
+            subscriber_id,
+            capacity if capacity is not None else self.default_capacity,
+            cursor=self._next_seq,
+        )
+        self._subscribers[subscriber_id] = subscriber
+        return subscriber
+
+    def unsubscribe(self, subscriber_id: str) -> bool:
+        return self._subscribers.pop(subscriber_id, None) is not None
+
+    def get(self, subscriber_id: str) -> Optional[Subscriber]:
+        return self._subscribers.get(subscriber_id)
+
+    def subscribers(self) -> list[Subscriber]:
+        return list(self._subscribers.values())
+
+    @property
+    def live_count(self) -> int:
+        return sum(1 for s in self._subscribers.values() if not s.evicted)
+
+    def queue_depth(self) -> int:
+        """Deltas buffered across all live subscribers (backpressure gauge)."""
+        return sum(s.depth for s in self._subscribers.values() if not s.evicted)
+
+    def publish(self, changes: list[Change]) -> list[Delta]:
+        """Sequence ``changes`` and multicast them to every live subscriber.
+
+        Returns the sequenced deltas (for checkpointing / the caller's
+        own bookkeeping).  Eviction happens here: a full subscriber is
+        dropped and counted, and delivery to the others continues.
+        """
+        deltas = []
+        for change in changes:
+            deltas.append(Delta(self._next_seq, change))
+            self._next_seq += 1
+        if not deltas:
+            return deltas
+        for subscriber in self._subscribers.values():
+            if subscriber.evicted:
+                continue
+            for delta in deltas:
+                if subscriber.offer(delta):
+                    self.delivered += 1
+                else:
+                    self.evictions += 1
+                    break
+        return deltas

@@ -39,6 +39,9 @@ Commands:
   \\watch SQL;         run a query with a live telemetry dashboard
   \\state SQL;         run a query and show per-operator state
   \\view NAME SQL;     register a view (expanded wherever referenced)
+  \\subscribe TENANT SQL;  admit a standing query and subscribe to it
+  \\queries            list resident standing queries
+  \\pump NAME PATH     feed a recorded file through the standing queries
   \\quit               exit
 Anything else is SQL, terminated by ';'.  Add EMIT STREAM to see the
 changelog rendering instead of a table; EXPLAIN and EXPLAIN ANALYZE
@@ -62,6 +65,10 @@ class Shell:
         #: where ``\watch`` writes its refreshing frames; ``run()`` points
         #: this at its stdout, tests leave it None and get the final frame.
         self.watch_sink: Optional[TextIO] = None
+        #: lazily built standing-query service sharing this engine.
+        self._service = None
+        #: the shell's own subscriber per standing query it follows.
+        self._subscribers: dict[str, object] = {}
 
     # -- driving ---------------------------------------------------------------
 
@@ -169,6 +176,17 @@ class Shell:
                 dataflow = self.engine.query(sql).dataflow()
                 dataflow.run()
                 return str(dataflow.state_report())
+            if name == "\\subscribe":
+                rest = line.split(None, 2)
+                if len(rest) < 3:
+                    return "usage: \\subscribe TENANT SELECT ...;"
+                return self._subscribe(rest[1], rest[2].rstrip(";"))
+            if name == "\\queries":
+                return self._queries()
+            if name == "\\pump":
+                if len(args) != 2:
+                    return "usage: \\pump NAME PATH"
+                return self._pump(args[0], args[1])
             return f"unknown command {name} (\\help for help)"
         except (ReproError, OSError, KeyError, ValueError) as exc:
             return f"error: {exc}"
@@ -244,21 +262,120 @@ class Shell:
         else:
             batch_size, batchable = flow.batch_size, flow.batchable_source
         next_frame = interval
-        for i, j in iter_event_runs(events, batch_size, batchable):
-            if j == i + 1:
-                flow.process(*events[i])
-            else:
-                flow.process_batch(
-                    [pair[0] for pair in events[i:j]], events[i][1]
-                )
-            if sink is not None and j < total and j >= next_frame:
-                sink.write("\x1b[2J\x1b[H" + frame(j, final=False) + "\n")
+        done = 0
+        interrupted = False
+        cursor_hidden = False
+        try:
+            if sink is not None:
+                # Hide the cursor for the refresh loop; the finally
+                # below restores it (and resets ANSI state) even when
+                # the loop is interrupted, so Ctrl-C never leaves the
+                # terminal cursorless or mid-escape.
+                sink.write("\x1b[?25l")
                 sink.flush()
-                next_frame = (j // interval + 1) * interval
-        result = flow.finish()
-        if exporter is not None:
-            exporter.export(result)
-        return frame(total, final=True)
+                cursor_hidden = True
+            for i, j in iter_event_runs(events, batch_size, batchable):
+                if j == i + 1:
+                    flow.process(*events[i])
+                else:
+                    flow.process_batch(
+                        [pair[0] for pair in events[i:j]], events[i][1]
+                    )
+                done = j
+                if sink is not None and j < total and j >= next_frame:
+                    sink.write("\x1b[2J\x1b[H" + frame(j, final=False) + "\n")
+                    sink.flush()
+                    next_frame = (j // interval + 1) * interval
+            result = flow.finish()
+            if exporter is not None:
+                exporter.export(result)
+            done = total
+        except KeyboardInterrupt:
+            interrupted = True
+        finally:
+            if cursor_hidden:
+                sink.write("\x1b[?25h\x1b[0m")
+                sink.flush()
+        final = frame(done, final=True)
+        if interrupted:
+            final += f"\n(interrupted after {done}/{total} events)"
+        return final
+
+    # -- standing queries --------------------------------------------------------
+
+    @property
+    def service(self):
+        """The shell's standing-query service (created on first use).
+
+        Shares this shell's engine, so ``\\load``-ed relations are the
+        service's catalog and ``\\pump`` advances the same sources SQL
+        statements query.
+        """
+        if self._service is None:
+            from .service import StandingQueryService
+
+            self._service = StandingQueryService(engine=self.engine)
+        return self._service
+
+    def _subscribe(self, tenant: str, sql: str) -> str:
+        from .service import AdmissionError
+
+        try:
+            query = self.service.submit(tenant, sql)
+        except AdmissionError as exc:
+            return f"rejected [{exc.code}]: {exc.detail}"
+        subscriber = self.service.subscribe(
+            query.query_id, f"shell-{query.query_id}"
+        )
+        self._subscribers[query.query_id] = subscriber
+        info = query.describe()
+        return (
+            f"admitted {query.query_id} for tenant {tenant} "
+            f"({info['runtime']}); subscribed from seq {subscriber.cursor}"
+        )
+
+    def _queries(self) -> str:
+        if self._service is None or not self.service.list_queries():
+            return "(no standing queries)"
+        lines = []
+        for info in self.service.list_queries():
+            lines.append(
+                f"{info['query_id']}  tenant={info['tenant']}  "
+                f"runtime={info['runtime']}  deltas={info['deltas']}  "
+                f"subscribers={info['subscribers']}  "
+                f"state_rows={info['state_rows']}"
+            )
+            lines.append(f"    {info['sql']}")
+        return "\n".join(lines)
+
+    def _pump(self, name: str, path: str) -> str:
+        """Feed a recorded file through the resident standing queries.
+
+        The interactive stand-in for the server's live tailers: every
+        event in the file advances the named source and all standing
+        queries, and deltas delivered to this shell's own subscriptions
+        are printed changelog-style.
+        """
+        from .io import TailParser
+
+        parser = TailParser(self.engine.source(name).schema)
+        with open(path) as handle:
+            events = parser.feed(handle.read())
+        events += parser.close()
+        published = 0
+        for event in events:
+            for deltas in self.service.ingest(event, name).values():
+                published += len(deltas)
+        printed: list[str] = []
+        for query_id, subscriber in self._subscribers.items():
+            for delta in subscriber.take():
+                info = delta.as_dict()
+                printed.append(
+                    f"{query_id} #{info['seq']} {fmt_time(info['ptime'])} "
+                    f"{info['kind']} {tuple(info['values'])}"
+                )
+        header = f"pumped {len(events)} events; {published} deltas published"
+        return "\n".join([header] + printed)
 
     def _run_sql(self, sql: str) -> str:
         try:

@@ -1,0 +1,386 @@
+"""Live sources, the line-JSON server, the shell commands, the CLI.
+
+The asyncio pieces run under ``asyncio.run`` inside ordinary pytest
+functions, so no plugin is needed.
+"""
+
+import asyncio
+import io
+import json
+import os
+
+import pytest
+
+from repro import ExecutionConfig, StreamEngine
+from repro.core.tvr import TimeVaryingRelation, ins, wm
+from repro.io import format_jsonl, format_script
+from repro.service import (
+    LiveSource,
+    ServiceServer,
+    StandingQueryService,
+    TailReader,
+    pump,
+)
+from repro.shell import Shell
+
+WINDOWED_MAX = (
+    "SELECT TB.wend, MAX(TB.price) maxPrice "
+    "FROM Tumble(data => TABLE(Bid), timecol => DESCRIPTOR(bidtime), "
+    "dur => INTERVAL '10' MINUTES) TB GROUP BY TB.wend EMIT STREAM"
+)
+
+
+def empty_service(bid_stream, config=None):
+    svc = StandingQueryService(config=config)
+    svc.register_stream("Bid", TimeVaryingRelation(bid_stream.schema))
+    return svc
+
+
+class TestTailReader:
+    def test_reads_appended_chunks(self, bid_stream, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        lines = format_jsonl(bid_stream).splitlines(keepends=True)
+        reader = TailReader(str(path))
+        assert reader.poll() == []  # file does not exist yet
+        path.write_text("".join(lines[:3]))
+        first = reader.poll()
+        with open(path, "a") as handle:
+            handle.write("".join(lines[3:]))
+        rest = reader.poll() + reader.close()
+        assert first + rest == bid_stream.events()
+
+    def test_partial_final_line_buffers_until_complete(
+        self, bid_stream, tmp_path
+    ):
+        path = tmp_path / "feed.script"
+        lines = format_script(bid_stream).splitlines(keepends=True)
+        reader = TailReader(str(path))
+        path.write_text("".join(lines[:2]) + lines[2][:10])  # mid-write
+        got = reader.poll()
+        assert len(got) == 1  # the cut line stays buffered, no error
+        with open(path, "a") as handle:
+            handle.write(lines[2][10:] + "".join(lines[3:]))
+        got += reader.poll() + reader.close()
+        assert got == bid_stream.events()
+
+    def test_skip_resumes_past_consumed_events(self, bid_stream, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        path.write_text(format_jsonl(bid_stream))
+        reader = TailReader(str(path), skip=4)
+        assert reader.poll() + reader.close() == bid_stream.events()[4:]
+
+
+class TestPump:
+    def test_merges_sources_by_ptime(self):
+        a_events = [ins(100, (1,)), ins(300, (3,))]
+        b_events = [ins(200, (2,)), ins(400, (4,))]
+
+        async def drive():
+            a, b = LiveSource("a"), LiveSource("b")
+            order = []
+            for source, events in ((a, a_events), (b, b_events)):
+                for event in events:
+                    await source.put(event)
+                await source.end()
+            dropped = await pump(
+                [a, b], lambda event, name: order.append((event.ptime, name))
+            )
+            return order, dropped
+
+        order, dropped = asyncio.run(drive())
+        assert order == [(100, "a"), (200, "b"), (300, "a"), (400, "b")]
+        assert dropped == 0
+
+    def test_regressing_events_are_dropped_not_ingested(self):
+        async def drive():
+            source = LiveSource("s")
+            for event in [ins(500, (1,)), ins(100, (2,)), ins(600, (3,))]:
+                await source.put(event)
+            await source.end()
+            seen = []
+            dropped = await pump(
+                [source], lambda event, name: seen.append(event.ptime)
+            )
+            return seen, dropped
+
+        seen, dropped = asyncio.run(drive())
+        assert seen == [500, 600]
+        assert dropped == 1
+
+
+class TestServerProtocol:
+    def run_session(self, service, script):
+        """Start a server, run ``script(rpc, reader)``, return its result."""
+
+        async def drive():
+            server = ServiceServer(service, "127.0.0.1", 0)
+            await server.start()
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+
+            async def rpc(payload):
+                writer.write((json.dumps(payload) + "\n").encode())
+                await writer.drain()
+                return json.loads(await reader.readline())
+
+            try:
+                return await script(rpc, reader, server)
+            finally:
+                writer.close()
+                await server.stop()
+
+        return asyncio.run(drive())
+
+    def test_submit_subscribe_ingest_stream(self, bid_stream):
+        service = empty_service(bid_stream)
+        feed_lines = [
+            line
+            for line in format_jsonl(bid_stream).splitlines()
+            if "schema" not in line
+        ]
+
+        async def script(rpc, reader, server):
+            admitted = await rpc(
+                {"op": "submit", "tenant": "alice", "sql": WINDOWED_MAX}
+            )
+            assert admitted["ok"] and admitted["schema"] == ["wend", "maxPrice"]
+            sub = await rpc(
+                {"op": "subscribe", "query": admitted["query"],
+                 "subscriber": "a1"}
+            )
+            assert sub["ok"] and sub["cursor"] == 0
+            rejected = await rpc(
+                {"op": "submit", "tenant": "bob", "sql": "SELECT * FROM Nope"}
+            )
+            assert not rejected["ok"]
+            assert rejected["error"]["code"] == "unknown_table"
+
+            deltas = []
+            for line in feed_lines:
+                await rpc({"op": "ingest", "source": "Bid", "event": line})
+                while True:
+                    try:
+                        raw = await asyncio.wait_for(
+                            reader.readline(), timeout=0.05
+                        )
+                    except asyncio.TimeoutError:
+                        break
+                    message = json.loads(raw)
+                    if "delta" in message:
+                        deltas.append(message["delta"])
+            listing = await rpc({"op": "queries"})
+            scrape = await rpc({"op": "metrics"})
+            return deltas, listing, scrape
+
+        deltas, listing, scrape = self.run_session(service, script)
+
+        eng = StreamEngine()
+        eng.register_stream("Bid", bid_stream)
+        expected = eng.query(WINDOWED_MAX).run().changes
+        assert [
+            (d["ptime"], d["kind"], tuple(d["values"])) for d in deltas
+        ] == [
+            (
+                c.ptime,
+                "insert" if c.is_insert else "retract",
+                tuple(c.values),
+            )
+            for c in expected
+        ]
+        assert [d["seq"] for d in deltas] == list(range(len(deltas)))
+
+        assert listing["ok"] and len(listing["queries"]) == 1
+        assert listing["queries"][0]["tenant"] == "alice"
+
+        from repro.obs.export import parse_exposition
+
+        families = parse_exposition(scrape["exposition"])
+        text = scrape["exposition"]
+        assert "repro_service_active_queries 1" in text
+        assert 'repro_service_admission_rejects_total{code="unknown_table"} 1' in text
+        assert f"repro_service_delivered_deltas_total" in text
+        assert "repro_service_events_ingested_total" in text
+
+    def test_unknown_op_and_bad_json(self, bid_stream):
+        service = empty_service(bid_stream)
+
+        async def script(rpc, reader, server):
+            bad_op = await rpc({"op": "frobnicate"})
+            ping = await rpc({"op": "ping"})
+            return bad_op, ping
+
+        bad_op, ping = self.run_session(service, script)
+        assert not bad_op["ok"] and "unknown op" in bad_op["error"]["detail"]
+        assert ping == {"ok": True}
+
+    def test_live_tail_through_server(self, bid_stream, tmp_path):
+        service = empty_service(bid_stream)
+        path = tmp_path / "bids.jsonl"
+        lines = format_jsonl(bid_stream).splitlines(keepends=True)
+        path.write_text("".join(lines[: len(lines) // 2]))
+
+        async def drive():
+            server = ServiceServer(service, "127.0.0.1", 0)
+            await server.start()
+            query = service.submit("alice", WINDOWED_MAX)
+            subscriber = service.subscribe(query.query_id, "local")
+            server.add_tail("Bid", str(path), poll_interval=0.01)
+            server.start_pump()
+            await asyncio.sleep(0.05)
+            with open(path, "a") as handle:
+                handle.write("".join(lines[len(lines) // 2 :]))
+            await asyncio.sleep(0.1)
+            server._follow = False
+            await server.drain()
+            await server.stop()
+            return query, subscriber
+
+        query, subscriber = asyncio.run(drive())
+        eng = StreamEngine()
+        eng.register_stream("Bid", bid_stream)
+        expected = eng.query(WINDOWED_MAX).run().changes
+        assert query.flow.output_slice(0) == expected
+        assert [d.change for d in subscriber.take()] == expected
+
+
+class TestShellCommands:
+    @pytest.fixture
+    def loaded_shell(self, bid_stream, tmp_path):
+        shell = Shell()
+        schema_only = tmp_path / "schema.script"
+        schema_only.write_text(
+            format_script(bid_stream).splitlines(keepends=True)[0]
+        )
+        feed = tmp_path / "feed.jsonl"
+        feed.write_text(format_jsonl(bid_stream))
+        shell.feed(f"\\load Bid {schema_only}")
+        return shell, str(feed)
+
+    def test_subscribe_queries_pump_roundtrip(self, loaded_shell, bid_stream):
+        shell, feed = loaded_shell
+        out = shell.feed(f"\\subscribe alice {WINDOWED_MAX};")
+        assert "admitted q1 for tenant alice" in out
+        assert "(no standing queries)" not in shell.feed("\\queries")
+        out = shell.feed(f"\\pump Bid {feed}")
+        assert f"pumped {len(bid_stream.events())} events" in out
+        eng = StreamEngine()
+        eng.register_stream("Bid", bid_stream)
+        expected = eng.query(WINDOWED_MAX).run().changes
+        # one printed line per delta, after the header
+        assert len(out.splitlines()) == 1 + len(expected)
+
+    def test_subscribe_rejection_is_reported(self, loaded_shell):
+        shell, _ = loaded_shell
+        out = shell.feed("\\subscribe bob SELECT * FROM Secrets;")
+        assert out.startswith("rejected [unknown_table]")
+
+    def test_queries_empty(self):
+        assert Shell().feed("\\queries") == "(no standing queries)"
+
+    def test_usage_lines(self):
+        shell = Shell()
+        assert "usage" in shell.feed("\\subscribe onlytenant")
+        assert "usage" in shell.feed("\\pump onlyname")
+
+
+class TestWatchInterrupt:
+    def test_ctrl_c_restores_cursor_and_prints_final_frame(self, engine):
+        shell = Shell(engine)
+        sink = io.StringIO()
+        shell.watch_sink = sink
+        original = engine.query("SELECT * FROM Bid").dataflow().process
+
+        calls = {"n": 0}
+
+        from repro.exec.executor import Dataflow
+
+        real_process = Dataflow.process
+
+        def interrupting(self, event, source):
+            calls["n"] += 1
+            if calls["n"] == 4:
+                raise KeyboardInterrupt
+            return real_process(self, event, source)
+
+        import repro.exec.executor as executor_module
+
+        Dataflow.process = interrupting
+        try:
+            out = shell._command("\\watch SELECT * FROM Bid;")
+        finally:
+            Dataflow.process = real_process
+
+        assert "(interrupted after" in out
+        written = sink.getvalue()
+        assert written.startswith("\x1b[?25l")  # cursor hidden for the run
+        assert written.endswith("\x1b[?25h\x1b[0m")  # ...and restored
+
+    def test_uninterrupted_watch_still_returns_final_frame(self, engine):
+        shell = Shell(engine)
+        sink = io.StringIO()
+        shell.watch_sink = sink
+        out = shell._command("\\watch SELECT * FROM Bid;")
+        assert "(interrupted" not in out
+        written = sink.getvalue()
+        assert written.startswith("\x1b[?25l")
+        assert written.endswith("\x1b[?25h\x1b[0m")
+
+
+class TestServeCli:
+    def test_build_serve_config_carries_service_fields(self):
+        from repro.__main__ import build_config, build_serve_parser
+
+        args = build_serve_parser().parse_args(
+            [
+                "--queue-capacity", "16",
+                "--subscriber-capacity", "4",
+                "--checkpoint-dir", "/tmp/ckpt",
+                "--parallelism", "2",
+            ]
+        )
+        config = build_config(args)
+        assert config.queue_capacity == 16
+        assert config.subscriber_capacity == 4
+        assert config.checkpoint_dir == "/tmp/ckpt"
+        assert config.parallelism == 2
+
+    def test_register_recorded_bounded_vs_stream(self, bid_stream, tmp_path):
+        from repro.__main__ import _register_recorded
+
+        service = StandingQueryService()
+        stream_path = tmp_path / "s.jsonl"
+        stream_path.write_text(format_jsonl(bid_stream))
+        count = _register_recorded(service, "Bid", str(stream_path))
+        assert count == len(bid_stream.events())
+        assert not service.engine.source("Bid").is_bounded
+
+    def test_register_tail_schema_requires_schema_line(
+        self, bid_stream, tmp_path
+    ):
+        from repro.__main__ import _register_tail_schema
+
+        service = StandingQueryService()
+        good = tmp_path / "good.jsonl"
+        good.write_text(format_jsonl(bid_stream))
+        _register_tail_schema(service, "Bid", str(good))
+        assert service.engine.source("Bid").schema == bid_stream.schema
+
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"ptime": 1, "insert": [1, 2, 3]}\n')
+        with pytest.raises(SystemExit):
+            _register_tail_schema(service, "Nope", str(bad))
+
+    def test_load_policies_list_and_object_forms(self, tmp_path):
+        from repro.__main__ import _load_policies
+
+        as_list = tmp_path / "list.json"
+        as_list.write_text(json.dumps([{"name": "alice"}]))
+        policies, default = _load_policies(str(as_list))
+        assert "alice" in policies and default is not None
+
+        as_object = tmp_path / "object.json"
+        as_object.write_text(
+            json.dumps({"tenants": [{"name": "bob"}], "default": None})
+        )
+        policies, default = _load_policies(str(as_object))
+        assert "bob" in policies and default is None
