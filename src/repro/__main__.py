@@ -67,6 +67,12 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
         help="compact intra-instant insert/retract churn (snapshot-"
              "preserving; EMIT STREAM renders fewer rows)",
     )
+    parser.add_argument(
+        "--share-plans", action=argparse.BooleanOptionalAction, default=None,
+        help="serve mode: graft standing queries with matching subplan "
+             "fingerprints onto one dataflow, computing shared prefixes "
+             "once (default on; deltas are byte-identical either way)",
+    )
     recovery = parser.add_argument_group(
         "fault tolerance (ExecutionConfig.retry / .fault_plan)"
     )
@@ -133,9 +139,18 @@ def build_serve_parser() -> argparse.ArgumentParser:
              "the file must lead with its schema line",
     )
     service.add_argument(
+        "--listen-source", action="append", default=[],
+        metavar="NAME=HOST:PORT",
+        help="accept line-oriented feed connections into source NAME "
+             "(repeatable); the source must be registered via --source "
+             "or --tail, or restored from a checkpoint",
+    )
+    service.add_argument(
         "--policy", default=None, metavar="PATH",
         help="tenant policy JSON: a list of policies or "
-             '{"tenants": [...], "default": {...}|null}',
+             '{"tenants": [...], "default": {...}|null}; a policy may '
+             'carry a "token" shared secret, which switches the whole '
+             "service into authenticated mode",
     )
     service.add_argument(
         "--queue-capacity", type=int, default=None, metavar="N",
@@ -198,6 +213,7 @@ def build_config(args: argparse.Namespace) -> ExecutionConfig:
         queue_capacity=getattr(args, "queue_capacity", None),
         subscriber_capacity=getattr(args, "subscriber_capacity", None),
         checkpoint_dir=getattr(args, "checkpoint_dir", None),
+        share_plans=getattr(args, "share_plans", None),
     )
 
 
@@ -206,6 +222,19 @@ def _split_spec(spec: str, flag: str) -> tuple[str, str]:
         raise SystemExit(f"{flag} expects NAME=PATH, got {spec!r}")
     name, path = spec.split("=", 1)
     return name, path
+
+
+def _split_listen_source(spec: str) -> tuple[str, str, int]:
+    """Parse a ``--listen-source NAME=HOST:PORT`` spec."""
+    if "=" not in spec:
+        raise SystemExit(f"--listen-source expects NAME=HOST:PORT, got {spec!r}")
+    name, address = spec.split("=", 1)
+    host, _, port = address.rpartition(":")
+    try:
+        port_number = int(port)
+    except ValueError:
+        raise SystemExit(f"--listen-source expects NAME=HOST:PORT, got {spec!r}")
+    return name, host or "127.0.0.1", port_number
 
 
 def _register_recorded(service, name: str, path: str) -> int:
@@ -299,19 +328,32 @@ def serve_main(argv=None) -> None:
             _register_tail_schema(service, name, path)
             print(f"registered {name} (live tail)")
         tails[name] = path
+    sockets: dict[str, tuple[str, int]] = {}
+    for spec in args.listen_source:
+        name, src_host, src_port = _split_listen_source(spec)
+        sockets[name] = (src_host, src_port)
     restored = service.resume()
     if restored:
         print(f"resumed {restored} standing queries from checkpoint")
+    for name in sockets:
+        if name.lower() not in service.engine._sources:
+            raise SystemExit(
+                f"--listen-source {name}: source is not registered; "
+                f"supply --source/--tail or a checkpoint that records it"
+            )
     host, _, port = args.listen.rpartition(":")
     try:
         port_number = int(port)
     except ValueError:
         raise SystemExit(f"--listen expects HOST:PORT, got {args.listen!r}")
     print(f"listening on {host or '127.0.0.1'}:{port_number}")
+    for name, (src_host, src_port) in sockets.items():
+        print(f"accepting {name} events on {src_host}:{src_port}")
 
     async def drive():
         server = await run_service(
             service, host or "127.0.0.1", port_number, tails,
+            sockets=sockets,
             follow=not args.once,
         )
         if args.once:

@@ -55,6 +55,7 @@ EXECUTION_DEFAULTS: dict[str, Any] = {
     "queue_capacity": 1024,
     "subscriber_capacity": 256,
     "checkpoint_dir": "",
+    "share_plans": True,
 }
 
 
@@ -98,6 +99,12 @@ class ExecutionConfig:
     * ``checkpoint_dir`` — service mode: directory for session
       checkpoints (taken every ``retry.checkpoint_interval`` ingested
       events); empty string (the default) disables durability.
+    * ``share_plans`` — service mode: multi-query optimization.  When
+      on (the default), a newly admitted standing query whose plan
+      shares canonical subplan fingerprints with a resident query is
+      grafted onto the resident dataflow, computing the shared prefix
+      once and multicasting its changelog; subscriber deltas are
+      byte-identical either way (see docs/MQO.md).
 
     Instances are frozen and hashable; derive variants with
     :meth:`dataclasses.replace` or by merging layers via
@@ -115,6 +122,7 @@ class ExecutionConfig:
     queue_capacity: Optional[int] = None
     subscriber_capacity: Optional[int] = None
     checkpoint_dir: Optional[str] = None
+    share_plans: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.fault_plan, str):
@@ -184,6 +192,12 @@ class ExecutionConfig:
         ):
             raise ValidationError(
                 f"checkpoint_dir must be a path string, got {self.checkpoint_dir!r}"
+            )
+        if self.share_plans is not None and not isinstance(
+            self.share_plans, bool
+        ):
+            raise ValidationError(
+                f"share_plans must be a bool, got {self.share_plans!r}"
             )
 
 

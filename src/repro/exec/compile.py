@@ -46,7 +46,7 @@ from .operators.temporal import TemporalFilterOperator
 from .operators.temporal_join import TemporalJoinOperator
 from .operators.window import HopOperator, TumbleOperator
 
-__all__ = ["CompiledPlan", "compile_plan"]
+__all__ = ["CompiledPlan", "build_operator", "compile_plan"]
 
 
 @dataclass
@@ -62,6 +62,9 @@ class CompiledPlan:
     parents: dict[int, tuple[Operator, int]] = field(default_factory=dict)
     #: inline rows for ValuesNode leaves, keyed by operator identity
     values_rows: dict[int, tuple] = field(default_factory=dict)
+    #: (logical node, operator) pairs in post-order — the correlation
+    #: the DAG executor's subplan grafting is built on
+    node_ops: list[tuple[LogicalNode, Operator]] = field(default_factory=list)
 
 
 def compile_plan(root: LogicalNode, allowed_lateness: int = 0) -> CompiledPlan:
@@ -78,10 +81,11 @@ def compile_plan(root: LogicalNode, allowed_lateness: int = 0) -> CompiledPlan:
 
 def _compile(node: LogicalNode, out: CompiledPlan, lateness: int) -> Operator:
     children = [_compile(child, out, lateness) for child in node.inputs]
-    op = _build(node, children, lateness)
+    op = build_operator(node, children, lateness)
     for port, child in enumerate(children):
         out.parents[id(child)] = (op, port)
     out.operators.append(op)
+    out.node_ops.append((node, op))
     if isinstance(op, ScanOperator):
         out.leaves.append(op)
     if isinstance(node, ValuesNode):
@@ -89,7 +93,10 @@ def _compile(node: LogicalNode, out: CompiledPlan, lateness: int) -> Operator:
     return op
 
 
-def _build(node: LogicalNode, children: list[Operator], lateness: int) -> Operator:
+def build_operator(
+    node: LogicalNode, children: list[Operator], lateness: int
+) -> Operator:
+    """Build the physical operator for one logical node (children given)."""
     if isinstance(node, ScanNode):
         return ScanOperator(node.schema, node.name)
     if isinstance(node, ValuesNode):

@@ -2,17 +2,30 @@
 
 :class:`Dataflow` compiles a :class:`~repro.plan.planner.QueryPlan`,
 binds its scans to registered source TVRs, and replays the sources'
-stream events in processing-time order through the operator tree.  The
-result is the root's changelog plus its watermark track — i.e. the
+stream events in processing-time order through the operator graph.  The
+result is each output's changelog plus its watermark track — i.e. the
 output *as a time-varying relation*, from which the materializers in
 :mod:`repro.exec.materialize` derive every table/stream rendering the
 paper describes.
 
+A dataflow starts as a tree (one output, one consumer per operator)
+but is a DAG underneath: :meth:`Dataflow.attach_output` grafts a second
+query's plan onto any resident subplan with a matching canonical
+fingerprint (see :mod:`repro.plan.fingerprint`), multicasting the
+shared operator's changelog to every consuming edge while each query
+keeps its own downstream operators and its own output channel.
+Operators are ref-counted per consuming output, so withdrawing one
+sharing query (:meth:`remove_output`) never tears down state a
+survivor still reads.
+
 Determinism: events are processed in (ptime, source registration
 order, arrival order) order, and a source consumed by several scans
 (e.g. ``Bid`` appearing twice in NEXMark Q7) delivers to the scans in
-plan (left-to-right) order.  This makes changelog outputs — including
-the intra-instant ordering visible in Listing 9 — reproducible.
+plan (left-to-right) order; a *shared* operator delivers to its
+consumer edges in attach order, which reproduces the same interleaving
+per output.  This makes changelog outputs — including the intra-instant
+ordering visible in Listing 9 — reproducible, and byte-identical with
+sharing on or off.
 """
 
 from __future__ import annotations
@@ -31,12 +44,15 @@ from ..core.watermark import WatermarkTrack
 from ..obs.metrics import MetricsRegistry, MetricsReport
 from ..obs.telemetry import RunTelemetry
 from ..obs.trace import TraceEvent
+from ..plan.fingerprint import node_fingerprints, subtree_size
+from ..plan.logical import LogicalNode, ValuesNode
 from ..plan.planner import QueryPlan
-from .compile import CompiledPlan, compile_plan
+from .compile import build_operator, compile_plan
 from .operators.base import Operator
 from .operators.stateless import ScanOperator
 
-__all__ = ["Dataflow", "RunResult", "iter_event_runs", "merge_source_events"]
+__all__ = ["Dataflow", "OutputChannel", "RunResult", "iter_event_runs",
+           "merge_source_events"]
 
 
 def merge_source_events(
@@ -142,8 +158,34 @@ class RunResult:
         return log.snapshot_at(self.schema, at)
 
 
+class OutputChannel:
+    """One query's view of a (possibly shared) dataflow.
+
+    Holds everything that is *per consuming query* rather than per
+    physical operator: the root changelog, the output watermark track,
+    the latency telemetry, and the plan whose completion columns drive
+    it.  The physical operators below ``root`` may be shared with other
+    channels of the same :class:`Dataflow`.
+    """
+
+    __slots__ = (
+        "output_id", "plan", "root", "root_name", "completion",
+        "changes", "watermarks", "telemetry",
+    )
+
+    def __init__(self, output_id: str, plan: QueryPlan, root: Operator):
+        self.output_id = output_id
+        self.plan = plan
+        self.root = root
+        self.root_name = root.name()
+        self.completion = plan.root.completion_indices
+        self.changes: list[Change] = []
+        self.watermarks = WatermarkTrack()
+        self.telemetry = RunTelemetry()
+
+
 class Dataflow:
-    """A compiled, source-bound, runnable query."""
+    """A compiled, source-bound, runnable query (or DAG of queries)."""
 
     def __init__(
         self,
@@ -152,6 +194,7 @@ class Dataflow:
         allowed_lateness: int = 0,
         batch_size: int = 1,
         coalesce_updates: bool = False,
+        output_id: str = "main",
     ):
         if batch_size < 1:
             raise ExecutionError("batch_size must be >= 1")
@@ -160,68 +203,132 @@ class Dataflow:
         self.batch_size = batch_size
         #: whether intra-instant insert/retract churn is compacted.
         self.coalesce_updates = coalesce_updates
-        self._compiled: CompiledPlan = compile_plan(
-            plan.root, allowed_lateness=allowed_lateness
-        )
+        self._allowed_lateness = allowed_lateness
         self._sources: dict[str, TimeVaryingRelation] = {
             name.lower(): tvr for name, tvr in sources.items()
         }
-        # scan leaves grouped by source, in plan order
+        self._init_graph()
+        compiled = compile_plan(plan.root, allowed_lateness=allowed_lateness)
+        self._operators = list(compiled.operators)
+        for op in self._operators:
+            entry = compiled.parents.get(id(op))
+            if entry is not None:
+                parent, port = entry
+                self._consumers.setdefault(id(op), []).append((parent, port))
+                self._producers.setdefault(id(parent), []).append((port, op))
+            op.bind_timers(self._schedule_timer)
+        self._values_rows = dict(compiled.values_rows)
+        for leaf in compiled.leaves:
+            self._register_leaf(leaf)
+        fps = node_fingerprints(plan.root)
+        #: id(logical node) -> operator, for the plan this flow was
+        #: compiled from — the correlation donor transplants rely on.
+        self._plan_node_ops = {
+            id(node): op for node, op in compiled.node_ops
+        }
+        for node, op in compiled.node_ops:
+            self._op_fps[id(op)] = fps[id(node)]
+            # First registration wins; a plan scanning one source twice
+            # (NEXMark Q7) keeps both operators — sharing only dedups
+            # across attach boundaries, never inside one plan.
+            self._fp_index.setdefault(fps[id(node)], op)
+        channel = OutputChannel(output_id, plan, compiled.root)
+        self._outputs: dict[str, OutputChannel] = {output_id: channel}
+        self._primary = output_id
+        self._outputs_of = {id(compiled.root): [channel]}
+        self._op_refs = {id(op): 1 for op in self._operators}
+        self.metrics_registry = MetricsRegistry(self._operators)
+
+    def _init_graph(self) -> None:
+        """The per-instance graph/bookkeeping slots shared by both
+        construction paths (:meth:`__init__` and :meth:`from_structure`)."""
+        self._operators: list[Operator] = []
+        #: id(op) -> [(consumer op, input port)], in attach order
+        self._consumers: dict[int, list[tuple[Operator, int]]] = {}
+        #: id(op) -> [(input port, producer op)]
+        self._producers: dict[int, list[tuple[int, Operator]]] = {}
+        #: id(op) -> number of output channels reading through it
+        self._op_refs: dict[int, int] = {}
+        #: id(op) -> canonical fingerprint of its logical subtree
+        self._op_fps: dict[int, str] = {}
+        #: fingerprint -> resident operator (first registered wins)
+        self._fp_index: dict[str, Operator] = {}
+        self._leaves: list[ScanOperator] = []
         self._leaves_by_source: dict[str, list[ScanOperator]] = {}
-        for leaf in self._compiled.leaves:
-            key = leaf.source_name.lower()
-            self._leaves_by_source.setdefault(key, []).append(leaf)
-            if not key.startswith("$values") and key not in self._sources:
-                raise ExecutionError(f"no source registered for {leaf.source_name!r}")
-        self._root_changes: list[Change] = []
-        self._root_wms = WatermarkTrack()
+        self._values_rows: dict[int, tuple] = {}
         self._last_ptime: Timestamp = MIN_TIMESTAMP
         self._peak_state = 0
         self._opened = False
-        self.metrics_registry = MetricsRegistry(self._compiled.operators)
         #: optional trace hook: a callable receiving
-        #: :class:`~repro.obs.trace.TraceEvent` on every root change
-        #: batch and root watermark advance.
+        #: :class:`~repro.obs.trace.TraceEvent` on every primary-output
+        #: change batch and watermark advance.
         self.trace: Optional[Callable[[TraceEvent], None]] = None
-        #: latency telemetry sampled at the root: emit latency against
-        #: the plan's completion columns, watermark lag at emission.
-        self.telemetry = RunTelemetry()
-        self._completion = plan.root.completion_indices
-        self._root_name = self._compiled.root.name()
         # processing-time timer service: (deadline, seq, operator)
         self._timers: list[tuple[Timestamp, int, Operator]] = []
         self._timer_seq = 0
-        for op in self._compiled.operators:
-            op.bind_timers(self._schedule_timer)
+
+    def _register_leaf(self, leaf: ScanOperator) -> None:
+        key = leaf.source_name.lower()
+        self._leaves.append(leaf)
+        self._leaves_by_source.setdefault(key, []).append(leaf)
+        if not key.startswith("$values") and key not in self._sources:
+            raise ExecutionError(f"no source registered for {leaf.source_name!r}")
 
     # -- public API -----------------------------------------------------------
 
     @property
     def operators(self) -> list[Operator]:
-        return list(self._compiled.operators)
+        return list(self._operators)
+
+    @property
+    def telemetry(self) -> RunTelemetry:
+        """Latency telemetry sampled at the primary output's root."""
+        return self._outputs[self._primary].telemetry
 
     @property
     def output_size(self) -> int:
-        """Number of root changes produced so far (a resumable cursor)."""
-        return len(self._root_changes)
+        """Primary-output changes produced so far (a resumable cursor)."""
+        return len(self._outputs[self._primary].changes)
 
     def output_slice(self, start: int) -> list[Change]:
-        """Root changes produced since cursor position ``start``.
+        """Primary-output changes produced since cursor position ``start``.
 
         Together with :attr:`output_size` this lets a driver attribute
         output changes to the input event that caused them — the hook
         the sharded runtime's deterministic merge stage is built on.
         """
-        return self._root_changes[start:]
+        return self._outputs[self._primary].changes[start:]
 
     @property
     def root_watermark(self) -> Timestamp:
-        """The current output watermark of the root operator."""
-        return self._root_wms.current
+        """The current output watermark of the primary output's root."""
+        return self._outputs[self._primary].watermarks.current
+
+    def output_ids(self) -> list[str]:
+        """The attached output channels, in attach order."""
+        return list(self._outputs)
+
+    def output_size_of(self, output_id: str) -> int:
+        return len(self._outputs[output_id].changes)
+
+    def output_slice_of(self, output_id: str, start: int = 0) -> list[Change]:
+        return self._outputs[output_id].changes[start:]
+
+    def root_watermark_of(self, output_id: str) -> Timestamp:
+        return self._outputs[output_id].watermarks.current
 
     def total_state_rows(self) -> int:
         """Rows currently retained across all operator state."""
-        return sum(op.state_size() for op in self._compiled.operators)
+        return sum(op.state_size() for op in self._operators)
+
+    def state_rows_of(self, output_id: str) -> int:
+        """Rows retained by the operators ``output_id`` reads through.
+
+        Shared operators count toward *every* consuming output — the
+        conservative attribution tenant quotas want.
+        """
+        channel = self._outputs[output_id]
+        return sum(op.state_size() for op in self._reachable_ops(channel.root))
 
     def rows_ingested(self) -> int:
         """Rows delivered to this dataflow's scan leaves so far.
@@ -230,15 +337,304 @@ class Dataflow:
         it — the per-shard skew signal the dashboard and the merged
         metrics report display.
         """
-        return sum(
-            sum(leaf.counters.rows_in) for leaf in self._compiled.leaves
-        )
+        return sum(sum(leaf.counters.rows_in) for leaf in self._leaves)
 
     def state_report(self):
         """Per-operator state breakdown (the Section 5 feedback lesson)."""
         from .state import collect_state
 
         return collect_state(self)
+
+    # -- multi-query sharing ------------------------------------------------------
+
+    def plan_overlap(self, plan: QueryPlan) -> int:
+        """How many of ``plan``'s logical nodes resident subplans cover.
+
+        The session's :class:`~repro.service.session.SharedPlanCache`
+        uses this to pick the best host flow for a new standing query.
+        """
+        fps = node_fingerprints(plan.root)
+        covered = 0
+
+        def walk(node: LogicalNode) -> None:
+            nonlocal covered
+            if fps[id(node)] in self._fp_index:
+                covered += subtree_size(node)
+                return
+            for child in node.inputs:
+                walk(child)
+
+        walk(plan.root)
+        return covered
+
+    def shared_by(self, op: Operator) -> int:
+        """Output channels currently reading through ``op``."""
+        return self._op_refs.get(id(op), 0)
+
+    def shared_operator_count(self) -> int:
+        """Resident operators read by two or more output channels."""
+        return sum(
+            1 for op in self._operators if self._op_refs.get(id(op), 0) >= 2
+        )
+
+    def attached_operator_count(self) -> int:
+        """Total operators summed per output (the sharing-ratio numerator)."""
+        return sum(
+            len(self._reachable_ops(channel.root))
+            for channel in self._outputs.values()
+        )
+
+    def resident_operator_count(self) -> int:
+        """Physical operators resident (the sharing-ratio denominator)."""
+        return len(self._operators)
+
+    def sharing_map(self) -> dict[str, list[int]]:
+        """Per output, the operator-list indices its plan resolves to.
+
+        Post-order per output; the structural recipe a checkpoint
+        manifest records and :meth:`from_structure` rebuilds from.
+        """
+        op_index = {id(op): i for i, op in enumerate(self._operators)}
+        return {
+            output_id: [op_index[id(op)] for op in self._channel_node_ops(ch)]
+            for output_id, ch in self._outputs.items()
+        }
+
+    def attach_output(
+        self,
+        output_id: str,
+        plan: QueryPlan,
+        donor: Optional["Dataflow"] = None,
+        allow_root_share: bool = True,
+    ) -> OutputChannel:
+        """Graft ``plan`` onto this dataflow as a new output channel.
+
+        Every subtree of ``plan`` whose canonical fingerprint matches a
+        resident operator reuses that operator; the remaining (private)
+        suffix is built fresh — from ``donor`` when given, a throwaway
+        dataflow compiled from the *same* ``plan`` object that has
+        already replayed the sources' history.  Transplanting the
+        donor's private operators (with their state, pending timers,
+        and output history) is what lets a late-arriving query catch up
+        to the host flow's position without replaying through shared
+        state.  The donor's own copies of the shared prefix are simply
+        discarded: by determinism their state equals the resident one.
+
+        ``allow_root_share=False`` blocks sharing at the root node only
+        (used when two plans agree structurally but differ in EMIT
+        clause, so their changelogs coincide but their materialization
+        does not).
+        """
+        if output_id in self._outputs:
+            raise ExecutionError(f"output {output_id!r} is already attached")
+        if donor is not None:
+            if donor._opened and not self._opened:
+                raise ExecutionError(
+                    "cannot transplant from an opened donor into an "
+                    "unopened dataflow"
+                )
+            if self._opened:
+                donor._open()
+        fps = node_fingerprints(plan.root)
+        # Matching consults a snapshot of the index: a plan must never
+        # dedup against itself (see the Q7 note in __init__).
+        index = dict(self._fp_index)
+        new_ops: list[Operator] = []
+
+        def build(node: LogicalNode) -> Operator:
+            fp = fps[id(node)]
+            resident = index.get(fp)
+            if resident is not None and (
+                allow_root_share or node is not plan.root
+            ):
+                return resident
+            children = [build(child) for child in node.inputs]
+            if donor is not None:
+                op = donor._plan_node_ops[id(node)]
+            else:
+                op = build_operator(node, children, self._allowed_lateness)
+            for port, child in enumerate(children):
+                self._consumers.setdefault(id(child), []).append((op, port))
+                self._producers.setdefault(id(op), []).append((port, child))
+            self._operators.append(op)
+            self._op_fps[id(op)] = fp
+            self._fp_index.setdefault(fp, op)
+            if isinstance(op, ScanOperator):
+                self._register_leaf(op)
+            if isinstance(node, ValuesNode):
+                self._values_rows[id(op)] = node.rows
+            op.bind_timers(self._schedule_timer)
+            new_ops.append(op)
+            return op
+
+        root_op = build(plan.root)
+        for op in self._reachable_ops(root_op):
+            self._op_refs[id(op)] = self._op_refs.get(id(op), 0) + 1
+        channel = OutputChannel(output_id, plan, root_op)
+        self._outputs[output_id] = channel
+        self._outputs_of.setdefault(id(root_op), []).append(channel)
+        self.metrics_registry = MetricsRegistry(self._operators)
+        if donor is not None:
+            donor_primary = donor._outputs[donor._primary]
+            channel.changes = list(donor_primary.changes)
+            channel.watermarks = donor_primary.watermarks
+            channel.telemetry = donor_primary.telemetry
+            new_ids = {id(op) for op in new_ops}
+            for when, _, op in sorted(
+                donor._timers, key=lambda item: (item[0], item[1])
+            ):
+                if id(op) in new_ids:
+                    self._schedule_timer(when, op)
+            self._last_ptime = max(self._last_ptime, donor._last_ptime)
+            self._peak_state = max(self._peak_state, donor._peak_state)
+        return channel
+
+    def remove_output(self, output_id: str) -> bool:
+        """Detach an output channel, tearing down *only* unshared operators.
+
+        Each operator the channel read through loses one reference;
+        operators still referenced by a surviving output keep their
+        state, timers, and position untouched (the ref-count invariant
+        the withdrawal bugfix pins).
+        """
+        channel = self._outputs.pop(output_id, None)
+        if channel is None:
+            return False
+        siblings = self._outputs_of.get(id(channel.root))
+        if siblings is not None:
+            siblings.remove(channel)
+            if not siblings:
+                del self._outputs_of[id(channel.root)]
+        for op in self._reachable_ops(channel.root):
+            self._op_refs[id(op)] -= 1
+        dead = {
+            id(op)
+            for op in self._operators
+            if self._op_refs.get(id(op), 0) <= 0
+        }
+        if dead:
+            self._operators = [
+                op for op in self._operators if id(op) not in dead
+            ]
+            self._leaves = [
+                leaf for leaf in self._leaves if id(leaf) not in dead
+            ]
+            for key in list(self._leaves_by_source):
+                kept = [
+                    leaf
+                    for leaf in self._leaves_by_source[key]
+                    if id(leaf) not in dead
+                ]
+                if kept:
+                    self._leaves_by_source[key] = kept
+                else:
+                    del self._leaves_by_source[key]
+            for op_id in dead:
+                self._op_refs.pop(op_id, None)
+                self._op_fps.pop(op_id, None)
+                self._producers.pop(op_id, None)
+                self._consumers.pop(op_id, None)
+                self._values_rows.pop(op_id, None)
+            for op_id, edges in list(self._consumers.items()):
+                self._consumers[op_id] = [
+                    (consumer, port)
+                    for consumer, port in edges
+                    if id(consumer) not in dead
+                ]
+            self._fp_index = {}
+            for op in self._operators:
+                self._fp_index.setdefault(self._op_fps[id(op)], op)
+            self._timers = [
+                entry for entry in self._timers if id(entry[2]) not in dead
+            ]
+            heapq.heapify(self._timers)
+            self.metrics_registry = MetricsRegistry(self._operators)
+        return True
+
+    @classmethod
+    def from_structure(
+        cls,
+        plans: Sequence[tuple[str, QueryPlan]],
+        structure: dict,
+        sources: dict[str, TimeVaryingRelation],
+        allowed_lateness: int = 0,
+        batch_size: int = 1,
+        coalesce_updates: bool = False,
+    ) -> "Dataflow":
+        """Rebuild the exact physical sharing structure of a checkpoint.
+
+        ``structure`` is a checkpoint payload (or the structural subset
+        of one): ``op_types`` fixes the operator-list length and order,
+        and each output's ``node_ops`` says which operator index every
+        plan node resolved to when the checkpoint was cut.  Re-running
+        fingerprint matching could legally produce a *different*
+        physical sharing (withdrawals reorder the residency index), and
+        then the checkpointed operator states would not line up; the
+        recipe makes restore structure-exact.  Call :meth:`restore`
+        with the full checkpoint afterwards to fill the states.
+        """
+        if batch_size < 1:
+            raise ExecutionError("batch_size must be >= 1")
+        if [oid for oid, _ in plans] != list(structure["output_order"]):
+            raise ExecutionError(
+                "checkpoint outputs do not match the plans being restored"
+            )
+        self = object.__new__(cls)
+        self.batch_size = batch_size
+        self.coalesce_updates = coalesce_updates
+        self._allowed_lateness = allowed_lateness
+        self._sources = {name.lower(): tvr for name, tvr in sources.items()}
+        self._init_graph()
+        slots: list[Optional[Operator]] = [None] * len(structure["op_types"])
+        self._operators = slots  # filled in place below
+        self._outputs = {}
+        self._outputs_of = {}
+        self._plan_node_ops = {}
+        for output_id, plan in plans:
+            node_ops = structure["outputs"][output_id]["node_ops"]
+            fps = node_fingerprints(plan.root)
+            pos = 0
+
+            def build(node: LogicalNode) -> Operator:
+                nonlocal pos
+                children = [build(child) for child in node.inputs]
+                index = node_ops[pos]
+                pos += 1
+                op = slots[index]
+                if op is None:
+                    op = build_operator(
+                        node, children, self._allowed_lateness
+                    )
+                    slots[index] = op
+                    for port, child in enumerate(children):
+                        self._consumers.setdefault(id(child), []).append(
+                            (op, port)
+                        )
+                        self._producers.setdefault(id(op), []).append(
+                            (port, child)
+                        )
+                    self._op_fps[id(op)] = fps[id(node)]
+                    self._fp_index.setdefault(fps[id(node)], op)
+                    if isinstance(op, ScanOperator):
+                        self._register_leaf(op)
+                    if isinstance(node, ValuesNode):
+                        self._values_rows[id(op)] = node.rows
+                    op.bind_timers(self._schedule_timer)
+                return op
+
+            root_op = build(plan.root)
+            channel = OutputChannel(output_id, plan, root_op)
+            self._outputs[output_id] = channel
+            self._outputs_of.setdefault(id(root_op), []).append(channel)
+            for op in self._reachable_ops(root_op):
+                self._op_refs[id(op)] = self._op_refs.get(id(op), 0) + 1
+        if any(op is None for op in slots):
+            raise ExecutionError(
+                "checkpoint structure references operators no output builds"
+            )
+        self._primary, self.plan = plans[0][0], plans[0][1]
+        self.metrics_registry = MetricsRegistry(self._operators)
+        return self
 
     # -- checkpoint / recovery ---------------------------------------------------
 
@@ -253,18 +649,33 @@ class Dataflow:
         restored dataflow and the results are identical to an
         uninterrupted run (see ``tests/test_checkpoint.py``).
 
+        Shared operator state is snapshotted once (the operator list
+        holds each physical operator exactly once, however many outputs
+        read it), and per-output ``node_ops`` recipes record the
+        sharing structure for :meth:`from_structure`.
+
         Call between events (the incremental ``process`` API), not from
         inside a callback.
         """
         import pickle
 
-        op_index = {id(op): i for i, op in enumerate(self._compiled.operators)}
+        op_index = {id(op): i for i, op in enumerate(self._operators)}
         payload = {
-            "op_states": [
-                op.state_snapshot() for op in self._compiled.operators
-            ],
-            "root_changes": list(self._root_changes),
-            "root_wm_pairs": self._root_wms.as_pairs(),
+            "op_states": [op.state_snapshot() for op in self._operators],
+            "op_types": [type(op).__name__ for op in self._operators],
+            "output_order": list(self._outputs),
+            "outputs": {
+                output_id: {
+                    "changes": list(channel.changes),
+                    "wm_pairs": channel.watermarks.as_pairs(),
+                    "telemetry": channel.telemetry.snapshot(),
+                    "node_ops": [
+                        op_index[id(op)]
+                        for op in self._channel_node_ops(channel)
+                    ],
+                }
+                for output_id, channel in self._outputs.items()
+            },
             "last_ptime": self._last_ptime,
             "peak_state": self._peak_state,
             "opened": self._opened,
@@ -273,26 +684,59 @@ class Dataflow:
                 for when, seq, op in self._timers
             ],
             "timer_seq": self._timer_seq,
-            "telemetry": self.telemetry.snapshot(),
         }
         return pickle.dumps(payload)
 
     def restore(self, checkpoint: bytes) -> None:
-        """Restore a checkpoint taken from a dataflow of the same plan."""
+        """Restore a checkpoint taken from a dataflow of the same structure."""
         import pickle
 
         payload = pickle.loads(checkpoint)
-        operators = self._compiled.operators
+        operators = self._operators
+        if "outputs" not in payload:
+            self._restore_legacy(payload)
+            return
+        if payload["op_types"] != [type(op).__name__ for op in operators]:
+            raise ExecutionError(
+                "checkpoint does not match this dataflow's plan"
+            )
+        if set(payload["output_order"]) != set(self._outputs):
+            raise ExecutionError(
+                "checkpoint does not match this dataflow's outputs"
+            )
+        for op, snapshot in zip(operators, payload["op_states"]):
+            op.state_restore(snapshot)
+        for output_id, stored in payload["outputs"].items():
+            channel = self._outputs[output_id]
+            channel.changes = list(stored["changes"])
+            channel.watermarks = WatermarkTrack()
+            for ptime, value in stored["wm_pairs"]:
+                channel.watermarks.advance(ptime, value)
+            channel.telemetry = RunTelemetry()
+            channel.telemetry.restore(stored["telemetry"])
+        self._last_ptime = payload["last_ptime"]
+        self._peak_state = payload["peak_state"]
+        self._opened = payload["opened"]
+        self._timers = [
+            (when, seq, operators[i]) for when, seq, i in payload["timers"]
+        ]
+        heapq.heapify(self._timers)
+        self._timer_seq = payload["timer_seq"]
+
+    def _restore_legacy(self, payload: dict) -> None:
+        """Restore the pre-DAG single-output checkpoint shape."""
+        operators = self._operators
         if len(payload["op_states"]) != len(operators):
             raise ExecutionError(
                 "checkpoint does not match this dataflow's plan"
             )
         for op, snapshot in zip(operators, payload["op_states"]):
             op.state_restore(snapshot)
-        self._root_changes = list(payload["root_changes"])
-        self._root_wms = WatermarkTrack()
+        channel = self._outputs[self._primary]
+        channel.changes = list(payload["root_changes"])
+        channel.watermarks = WatermarkTrack()
         for ptime, value in payload["root_wm_pairs"]:
-            self._root_wms.advance(ptime, value)
+            channel.watermarks.advance(ptime, value)
         self._last_ptime = payload["last_ptime"]
         self._peak_state = payload["peak_state"]
         self._opened = payload["opened"]
@@ -303,7 +747,8 @@ class Dataflow:
         self._timer_seq = payload["timer_seq"]
         telemetry = payload.get("telemetry")
         if telemetry is not None:
-            self.telemetry.restore(telemetry)
+            channel.telemetry = RunTelemetry()
+            channel.telemetry.restore(telemetry)
 
     def run(self, until: Optional[Timestamp] = None) -> RunResult:
         """Replay all source events (up to ``until``) and collect the result.
@@ -401,17 +846,20 @@ class Dataflow:
     def batchable_source(self, source: str) -> bool:
         """Whether ``source`` events may be batched without reordering.
 
-        True when the source feeds exactly one scan leaf; a source
-        scanned several times (NEXMark Q7's ``Bid``) must deliver each
-        event to every scan before the next event arrives.
+        True when the source feeds exactly one scan leaf with at most
+        one consumer.  A source scanned several times (NEXMark Q7's
+        ``Bid``) must deliver each event to every scan before the next
+        event arrives; a *shared* scan with several consumer edges has
+        the same per-event interleaving obligation.
         """
-        return len(self._leaves_by_source.get(source.lower(), ())) == 1
+        leaves = self._leaves_by_source.get(source.lower(), ())
+        if len(leaves) != 1:
+            return False
+        return len(self._consumers.get(id(leaves[0]), ())) <= 1
 
     def changes_coalesced(self) -> int:
         """Changes dropped by intra-instant compaction, over all operators."""
-        return sum(
-            op.counters.changes_coalesced for op in self._compiled.operators
-        )
+        return sum(op.counters.changes_coalesced for op in self._operators)
 
     def finish(self, until: Optional[Timestamp] = None) -> RunResult:
         """Drain pending processing-time timers and return the result.
@@ -425,7 +873,7 @@ class Dataflow:
         return self.result()
 
     def result(self) -> RunResult:
-        """The result accumulated so far.
+        """The result accumulated so far (primary output).
 
         The drop/expiry totals iterate *every* operator through the
         uniform counters on the base class — an operator that starts
@@ -433,11 +881,12 @@ class Dataflow:
         per-class allowlist to forget (the old ``isinstance`` tuple
         silently lost OVER and MATCH_RECOGNIZE drops).
         """
-        operators = self._compiled.operators
+        channel = self._outputs[self._primary]
+        operators = self._reachable_ops(channel.root)
         return RunResult(
-            schema=self.plan.schema,
-            changes=list(self._root_changes),
-            watermarks=self._root_wms,
+            schema=channel.plan.schema,
+            changes=list(channel.changes),
+            watermarks=channel.watermarks,
             last_ptime=self._last_ptime,
             late_dropped=sum(op.late_dropped for op in operators),
             expired_rows=sum(op.expired_rows for op in operators),
@@ -445,34 +894,66 @@ class Dataflow:
             metrics=self.metrics_report(),
         )
 
-    def metrics_report(self) -> MetricsReport:
-        """The per-operator metrics, shaped as the plan tree (pre-order).
+    def metrics_report(self, output_id: Optional[str] = None) -> MetricsReport:
+        """The per-operator metrics, shaped as an output's plan tree.
 
-        Entries carry a ``depth`` for rendering and a ``leaf`` flag
-        (no inputs wired — the scans rows are routed into), which the
-        sharded merge uses to measure rows routed per shard.
+        Entries carry a ``depth`` for rendering, a ``leaf`` flag
+        (no inputs wired — the scans rows are routed into), and a
+        ``shared_by`` count (output channels reading the operator; the
+        renderer annotates entries with ``[shared ×k]`` when k ≥ 2).
         """
-        children: dict[int, list[tuple[int, Operator]]] = {}
-        for op in self._compiled.operators:
-            parent_entry = self._compiled.parents.get(id(op))
-            if parent_entry is not None:
-                parent, port = parent_entry
-                children.setdefault(id(parent), []).append((port, op))
+        channel = self._outputs[output_id or self._primary]
         entries: list[dict] = []
 
         def visit(op: Operator, depth: int) -> None:
-            kids = sorted(children.get(id(op), []), key=lambda pc: pc[0])
+            producers = sorted(
+                self._producers.get(id(op), []), key=lambda pc: pc[0]
+            )
             entry = op.metrics()
             entry["depth"] = depth
-            entry["leaf"] = not kids
+            entry["leaf"] = not producers
+            entry["shared_by"] = self._op_refs.get(id(op), 1)
             entries.append(entry)
-            for _, child in kids:
+            for _, child in producers:
                 visit(child, depth + 1)
 
-        visit(self._compiled.root, 0)
-        return MetricsReport(operators=entries, telemetry=self.telemetry)
+        visit(channel.root, 0)
+        return MetricsReport(operators=entries, telemetry=channel.telemetry)
 
     # -- internals ---------------------------------------------------------------
+
+    def _reachable_ops(self, root_op: Operator) -> list[Operator]:
+        """Operators reachable from ``root_op`` along producer edges,
+        children before parents, each exactly once."""
+        seen: set[int] = set()
+        order: list[Operator] = []
+
+        def visit(op: Operator) -> None:
+            if id(op) in seen:
+                return
+            seen.add(id(op))
+            for _, child in self._producers.get(id(op), ()):
+                visit(child)
+            order.append(op)
+
+        visit(root_op)
+        return order
+
+    def _channel_node_ops(self, channel: OutputChannel) -> list[Operator]:
+        """The operator every plan node of ``channel`` resolves to, in
+        plan post-order (descending *through* shared operators)."""
+        ops: list[Operator] = []
+
+        def walk(node: LogicalNode, op: Operator) -> None:
+            producers = sorted(
+                self._producers.get(id(op), ()), key=lambda pc: pc[0]
+            )
+            for child_node, (_, child_op) in zip(node.inputs, producers):
+                walk(child_node, child_op)
+            ops.append(op)
+
+        walk(channel.plan.root, channel.root)
+        return ops
 
     def _open(self) -> None:
         if self._opened:
@@ -481,13 +962,13 @@ class Dataflow:
         # Open every operator first (children before parents), then
         # propagate initial rows (e.g. the global aggregate's
         # empty-input row) so parents are open when they arrive.
-        pending = [(op, op.process_open()) for op in self._compiled.operators]
+        pending = [(op, op.process_open()) for op in self._operators]
         for op, initial in pending:
             if initial:
                 self._emit_up(op, initial)
         # Inline VALUES relations are delivered as a bounded prelude.
-        for leaf in self._compiled.leaves:
-            rows = self._compiled.values_rows.get(id(leaf))
+        for leaf in self._leaves:
+            rows = self._values_rows.get(id(leaf))
             if rows is None:
                 continue
             from ..core.changelog import ChangeKind
@@ -505,7 +986,7 @@ class Dataflow:
         return merge_source_events(self._sources, until)
 
     def _push_changes(self, op: Operator, port: int, changes: list[Change]) -> None:
-        """Deliver changes into ``op`` and propagate its output upward."""
+        """Deliver changes into ``op`` and propagate its output onward."""
         produced = op.process_batch(port, changes)
         if not produced:
             return
@@ -518,12 +999,14 @@ class Dataflow:
         self._emit_up(op, produced)
 
     def _emit_up(self, op: Operator, changes: list[Change]) -> None:
-        parent_entry = self._compiled.parents.get(id(op))
-        if parent_entry is None:
-            self._collect_root(changes)
-            return
-        parent, port = parent_entry
-        self._push_changes(parent, port, changes)
+        """Fan an operator's output out: first to any output channels
+        rooted at it, then to its consumer edges in attach order."""
+        channels = self._outputs_of.get(id(op))
+        if channels is not None:
+            for channel in channels:
+                self._collect_output(channel, changes)
+        for consumer, port in self._consumers.get(id(op), ()):
+            self._push_changes(consumer, port, changes)
 
     def _push_watermark(
         self, op: Operator, port: int, value: Timestamp, ptime: Timestamp
@@ -533,26 +1016,26 @@ class Dataflow:
             self._emit_up(op, changes)
         if out_wm is None:
             return
-        parent_entry = self._compiled.parents.get(id(op))
-        if parent_entry is None:
-            self._root_wms.advance(ptime, out_wm)
-            if self.trace is not None:
-                self.trace(
-                    TraceEvent(
-                        kind="watermark",
-                        ptime=ptime,
-                        value=out_wm,
-                        operator=self._root_name,
+        channels = self._outputs_of.get(id(op))
+        if channels is not None:
+            for channel in channels:
+                channel.watermarks.advance(ptime, out_wm)
+                if self.trace is not None and channel.output_id == self._primary:
+                    self.trace(
+                        TraceEvent(
+                            kind="watermark",
+                            ptime=ptime,
+                            value=out_wm,
+                            operator=channel.root_name,
+                        )
                     )
-                )
-            return
-        parent, parent_port = parent_entry
-        self._push_watermark(parent, parent_port, out_wm, ptime)
+        for consumer, consumer_port in self._consumers.get(id(op), ()):
+            self._push_watermark(consumer, consumer_port, out_wm, ptime)
 
-    def _collect_root(self, changes: list[Change]) -> None:
-        self._root_changes.extend(changes)
-        root_wm = self._root_wms.current
-        completion = self._completion
+    def _collect_output(self, channel: OutputChannel, changes: list[Change]) -> None:
+        channel.changes.extend(changes)
+        root_wm = channel.watermarks.current
+        completion = channel.completion
         if len(changes) == 1:
             change = changes[0]
             completion_time: Optional[Timestamp] = None
@@ -567,19 +1050,19 @@ class Dataflow:
                 ]
                 if bounds:
                     completion_time = max(bounds)
-            self.telemetry.record_emit(change.ptime, completion_time, root_wm)
+            channel.telemetry.record_emit(change.ptime, completion_time, root_wm)
         else:
             # Batched emission: same samples, bulk-recorded.  The root
             # watermark is constant across the run (batches never span
             # a watermark event), so one lookup covers every change.
-            self.telemetry.record_emit_run(changes, completion, root_wm)
-        if self.trace is not None:
+            channel.telemetry.record_emit_run(changes, completion, root_wm)
+        if self.trace is not None and channel.output_id == self._primary:
             self.trace(
                 TraceEvent(
                     kind="batch",
                     ptime=changes[-1].ptime,
                     count=len(changes),
-                    operator=self._root_name,
+                    operator=channel.root_name,
                 )
             )
 

@@ -235,7 +235,7 @@ class MetricsRegistry:
 
 # Keys that are identity, not quantity: kept from the first shard when
 # merging instead of summed.
-_IDENTITY_KEYS = frozenset({"operator", "type", "depth", "leaf"})
+_IDENTITY_KEYS = frozenset({"operator", "type", "depth", "leaf", "shared_by"})
 # Keys merged by maximum: a gauge over time, not a flow total.
 _MAX_KEYS = frozenset({"watermark_lag", "peak_state_rows"})
 
@@ -358,6 +358,8 @@ def _describe(entry: dict) -> str:
         parts.append(f"wm_advances={entry['wm_advances']}")
     if entry.get("changes_coalesced"):
         parts.append(f"coalesced={entry['changes_coalesced']}")
+    if entry.get("shared_by", 1) >= 2:
+        parts.append(f"[shared ×{entry['shared_by']}]")
     for key, value in entry.items():
         if key in _IDENTITY_KEYS or key in _MAX_KEYS or key in (
             "rows_in", "retracts_in", "rows_out", "retracts_out",

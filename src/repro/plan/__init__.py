@@ -5,6 +5,12 @@ where needed; this package namespace re-exports the logical algebra.
 """
 
 from . import rex
+from .fingerprint import (
+    node_fingerprint,
+    node_fingerprints,
+    plan_fingerprint,
+    subtree_size,
+)
 from .logical import (
     AggCall,
     AggregateNode,
@@ -23,6 +29,10 @@ from .logical import (
 
 __all__ = [
     "rex",
+    "node_fingerprint",
+    "node_fingerprints",
+    "plan_fingerprint",
+    "subtree_size",
     "LogicalNode",
     "ScanNode",
     "FilterNode",

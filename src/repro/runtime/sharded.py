@@ -21,15 +21,23 @@ Two driving modes share that merge invariant:
   number, merge the tagged output slices, and replay the watermark
   observations into the frontier.
 
-Checkpoints nest the shard checkpoints plus the frontier and merged
-changelog, so a sharded run restores onto a fresh ``ShardedDataflow``
-of the same plan and shard count.
+Like the serial executor, a sharded dataflow can host several output
+channels over shared subplans (:meth:`attach_output` /
+:meth:`remove_output`): each shard grafts the new plan onto its local
+DAG, and the merge layer keeps a per-output merged changelog and
+watermark frontier.  Sharing requires the queries to agree on the
+partitioning spec — rows must co-locate identically or shard-local
+state would diverge from the serial oracle.
+
+Checkpoints nest the shard checkpoints plus the frontiers and merged
+changelogs, so a sharded run restores onto a fresh ``ShardedDataflow``
+of the same structure and shard count.
 """
 
 from __future__ import annotations
 
 import pickle
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from ..core.changelog import Change
 from ..core.errors import ExecutionError
@@ -52,7 +60,18 @@ from .merge import (
 from .routing import partition_events
 from .supervisor import RetryPolicy, ShardSupervisor
 
+
 __all__ = ["ShardedDataflow"]
+
+
+class _OutputMerge:
+    """Per-output merge state: the spliced changelog and its frontier."""
+
+    __slots__ = ("merged", "frontier")
+
+    def __init__(self, shards: int):
+        self.merged: list[Change] = []
+        self.frontier = WatermarkFrontier(shards)
 
 
 class ShardedDataflow:
@@ -70,6 +89,7 @@ class ShardedDataflow:
         fault_plan: Optional[FaultPlan] = None,
         batch_size: int = 1,
         coalesce_updates: bool = False,
+        output_id: str = "main",
     ):
         if shards < 1:
             raise ExecutionError("a sharded dataflow needs at least one shard")
@@ -90,14 +110,25 @@ class ShardedDataflow:
                 allowed_lateness,
                 batch_size=batch_size,
                 coalesce_updates=coalesce_updates,
+                output_id=output_id,
             )
             for _ in range(shards)
         ]
-        self._frontier = WatermarkFrontier(shards)
-        self._merged_changes: list[Change] = []
+        self._outputs: dict[str, _OutputMerge] = {
+            output_id: _OutputMerge(shards)
+        }
+        self._primary = output_id
         self._last_ptime: Timestamp = MIN_TIMESTAMP
         self._trace: Optional[Callable[[TraceEvent], None]] = None
         self._recovery = RecoveryStats()
+
+    @property
+    def _frontier(self) -> WatermarkFrontier:
+        return self._outputs[self._primary].frontier
+
+    @property
+    def _merged_changes(self) -> list[Change]:
+        return self._outputs[self._primary].merged
 
     @property
     def trace(self) -> Optional[Callable[[TraceEvent], None]]:
@@ -137,11 +168,11 @@ class ShardedDataflow:
 
     @property
     def output_size(self) -> int:
-        """Merged root changes produced so far (mirrors ``Dataflow``)."""
+        """Merged primary-output changes so far (mirrors ``Dataflow``)."""
         return len(self._merged_changes)
 
     def output_slice(self, start: int = 0) -> list:
-        """Merged root changes from position ``start`` (mirrors ``Dataflow``).
+        """Merged primary-output changes from ``start`` (mirrors ``Dataflow``).
 
         The merged changelog only grows, so ``output_slice(cursor)``
         after each :meth:`process` yields every change exactly once —
@@ -151,8 +182,25 @@ class ShardedDataflow:
 
     @property
     def root_watermark(self) -> Timestamp:
-        """The merged (minimum) root watermark across all shards."""
+        """The merged (minimum) primary root watermark across all shards."""
         return self._frontier.current
+
+    def output_ids(self) -> list[str]:
+        """The attached output channels, in attach order."""
+        return list(self._outputs)
+
+    def output_size_of(self, output_id: str) -> int:
+        return len(self._outputs[output_id].merged)
+
+    def output_slice_of(self, output_id: str, start: int = 0) -> list[Change]:
+        return list(self._outputs[output_id].merged[start:])
+
+    def root_watermark_of(self, output_id: str) -> Timestamp:
+        return self._outputs[output_id].frontier.current
+
+    def state_rows_of(self, output_id: str) -> int:
+        """Rows retained by the operators ``output_id`` reads, all shards."""
+        return sum(shard.state_rows_of(output_id) for shard in self._shards)
 
     @property
     def telemetry(self) -> RunTelemetry:
@@ -182,14 +230,86 @@ class ShardedDataflow:
 
         return collect_sharded_state(self)
 
+    # -- multi-query sharing ------------------------------------------------------
+
+    def plan_overlap(self, plan) -> int:
+        """Resident-subplan coverage of ``plan`` (every shard is identical)."""
+        return self._shards[0].plan_overlap(plan)
+
+    def shared_operator_count(self) -> int:
+        """Operators read by two or more outputs (counted once, via shard 0)."""
+        return self._shards[0].shared_operator_count()
+
+    def attached_operator_count(self) -> int:
+        return self._shards[0].attached_operator_count()
+
+    def resident_operator_count(self) -> int:
+        return len(self._shards[0].operators)
+
+    def sharing_map(self) -> dict[str, list[int]]:
+        """Per-output operator indices (identical across shards)."""
+        return self._shards[0].sharing_map()
+
+    def attach_output(
+        self,
+        output_id: str,
+        plan,
+        donor: Optional["ShardedDataflow"] = None,
+        allow_root_share: bool = True,
+    ):
+        """Graft ``plan`` onto every shard as a new output channel.
+
+        ``donor`` must be a caught-up ``ShardedDataflow`` of the same
+        shard count built over the *same* partition spec — rows must
+        co-locate identically for shard-local shared state to stay
+        byte-equal to the unshared run.  Shard *i* transplants from the
+        donor's shard *i*; the merge layer takes over the donor's
+        primary merged changelog and frontier.
+        """
+        if output_id in self._outputs:
+            raise ExecutionError(f"output {output_id!r} is already attached")
+        if donor is not None:
+            if donor.shard_count != self.shard_count:
+                raise ExecutionError(
+                    "donor shard count does not match the host dataflow"
+                )
+            if donor.spec != self.spec:
+                raise ExecutionError(
+                    "donor partition spec does not match the host dataflow"
+                )
+        for index, shard in enumerate(self._shards):
+            shard.attach_output(
+                output_id,
+                plan,
+                donor=donor._shards[index] if donor is not None else None,
+                allow_root_share=allow_root_share,
+            )
+        merge = _OutputMerge(len(self._shards))
+        if donor is not None:
+            donor_merge = donor._outputs[donor._primary]
+            merge.merged = donor_merge.merged
+            merge.frontier = donor_merge.frontier
+            self._last_ptime = max(self._last_ptime, donor._last_ptime)
+        self._outputs[output_id] = merge
+        return merge
+
+    def remove_output(self, output_id: str) -> bool:
+        """Detach an output from every shard (ref-counted teardown)."""
+        if output_id not in self._outputs:
+            return False
+        for shard in self._shards:
+            shard.remove_output(output_id)
+        del self._outputs[output_id]
+        return True
+
     # -- incremental API ---------------------------------------------------------
 
     def process(self, event: StreamEvent, source: str) -> None:
         """Route one source event and splice its output inline.
 
         Mirrors ``Dataflow.process``: events must arrive in
-        processing-time order, and the merged changelog grows by exactly
-        the changes the serial executor would have appended.
+        processing-time order, and each output's merged changelog grows
+        by exactly the changes the serial executor would have appended.
         """
         if event.ptime < self._last_ptime:
             raise ExecutionError("events must be fed in processing-time order")
@@ -201,27 +321,39 @@ class ShardedDataflow:
             targets = range(len(self._shards)) if owner is None else (owner,)
             for index in targets:
                 shard = self._shards[index]
-                before = shard.output_size
+                before = {
+                    oid: shard.output_size_of(oid) for oid in self._outputs
+                }
                 shard.process(event, source)
-                produced = shard.output_slice(before)
-                if produced and owner is None:
-                    raise ExecutionError(
-                        f"broadcast row event for {source!r} produced output "
-                        f"in shard {index}; the plan is not cleanly partitioned"
-                    )
-                self._merged_changes.extend(produced)
+                for oid, merge in self._outputs.items():
+                    produced = shard.output_slice_of(oid, before[oid])
+                    if produced and owner is None:
+                        raise ExecutionError(
+                            f"broadcast row event for {source!r} produced "
+                            f"output in shard {index}; the plan is not "
+                            "cleanly partitioned"
+                        )
+                    merge.merged.extend(produced)
         elif isinstance(event, WatermarkEvent):
             for index, shard in enumerate(self._shards):
-                before = shard.output_size
+                before = {
+                    oid: shard.output_size_of(oid) for oid in self._outputs
+                }
                 shard.process(event, source)
-                if shard.output_slice(before):
+                if any(
+                    shard.output_size_of(oid) != before[oid]
+                    for oid in self._outputs
+                ):
                     raise ExecutionError(
                         "watermark advance produced output in shard "
                         f"{index}; the partition analyzer admitted a "
                         "watermark-triggered operator it should not have"
                     )
-            for index, shard in enumerate(self._shards):
-                self._frontier.observe(index, event.ptime, shard.root_watermark)
+            for oid, merge in self._outputs.items():
+                for index, shard in enumerate(self._shards):
+                    merge.frontier.observe(
+                        index, event.ptime, shard.root_watermark_of(oid)
+                    )
         else:  # pragma: no cover — the event algebra is closed
             raise ExecutionError(f"unknown stream event {event!r}")
 
@@ -233,9 +365,14 @@ class ShardedDataflow:
         event to order by, and the merge invariant would be lost.
         """
         for index, shard in enumerate(self._shards):
-            before = shard.output_size
+            before = {
+                oid: shard.output_size_of(oid) for oid in self._outputs
+            }
             shard.finish(until)
-            if shard.output_slice(before):
+            if any(
+                shard.output_size_of(oid) != before[oid]
+                for oid in self._outputs
+            ):
                 raise ExecutionError(
                     f"timer drain produced output in shard {index}; the "
                     "partition analyzer admitted a timer-driven operator "
@@ -270,6 +407,11 @@ class ShardedDataflow:
     def _run_batch(
         self, events: list[tuple[StreamEvent, str]], until: Optional[Timestamp]
     ) -> None:
+        if len(self._outputs) > 1:
+            raise ExecutionError(
+                "supervised batch runs drive a single output; multi-output "
+                "sharded dataflows must use the incremental process() API"
+            )
         tasks = partition_events(events, self.spec, len(self._shards))
         transfer_state = self.backend == "processes"
         injector = FaultInjector(self.fault_plan)
@@ -283,6 +425,7 @@ class ShardedDataflow:
                     self._allowed_lateness,
                     batch_size=self.batch_size,
                     coalesce_updates=self.coalesce_updates,
+                    output_id=self._primary,
                 )
                 flow.trace = _shard_batch_tagger(trace, index)
                 return flow
@@ -350,7 +493,7 @@ class ShardedDataflow:
     # -- results -----------------------------------------------------------------
 
     def result(self) -> RunResult:
-        """The merged result accumulated so far.
+        """The merged result accumulated so far (primary output).
 
         Counters sum over shards: watermarks are broadcast, so every
         shard applies the serial completeness rules to exactly the rows
@@ -372,7 +515,7 @@ class ShardedDataflow:
             metrics=self.metrics_report(),
         )
 
-    def metrics_report(self):
+    def metrics_report(self, output_id: Optional[str] = None):
         """Per-operator totals over shards, plus per-shard breakdowns.
 
         The merged report also carries the run's recovery accounting
@@ -381,7 +524,7 @@ class ShardedDataflow:
         reports.
         """
         report = merge_shard_reports(
-            [shard.metrics_report() for shard in self._shards]
+            [shard.metrics_report(output_id) for shard in self._shards]
         )
         report.recovery = self.recovery
         return report
@@ -393,15 +536,21 @@ class ShardedDataflow:
         payload = {
             "shard_count": len(self._shards),
             "shards": [shard.checkpoint() for shard in self._shards],
-            "frontier": self._frontier.snapshot(),
-            "merged_changes": list(self._merged_changes),
+            "output_order": list(self._outputs),
+            "outputs": {
+                oid: {
+                    "merged": list(merge.merged),
+                    "frontier": merge.frontier.snapshot(),
+                }
+                for oid, merge in self._outputs.items()
+            },
             "last_ptime": self._last_ptime,
             "recovery": self._recovery.as_dict(),
         }
         return pickle.dumps(payload)
 
     def restore(self, checkpoint: bytes) -> None:
-        """Restore a checkpoint from a sharded run of the same plan and width."""
+        """Restore a checkpoint of the same structure and shard width."""
         payload = pickle.loads(checkpoint)
         if payload["shard_count"] != len(self._shards):
             raise ExecutionError(
@@ -410,11 +559,74 @@ class ShardedDataflow:
             )
         for shard, blob in zip(self._shards, payload["shards"]):
             shard.restore(blob)
-        self._frontier.restore(payload["frontier"])
-        self._merged_changes = list(payload["merged_changes"])
+        if "outputs" in payload:
+            if set(payload["output_order"]) != set(self._outputs):
+                raise ExecutionError(
+                    "checkpoint does not match this dataflow's outputs"
+                )
+            for oid, stored in payload["outputs"].items():
+                merge = self._outputs[oid]
+                merge.merged = list(stored["merged"])
+                merge.frontier.restore(stored["frontier"])
+        else:  # pre-DAG checkpoint shape
+            merge = self._outputs[self._primary]
+            merge.frontier.restore(payload["frontier"])
+            merge.merged = list(payload["merged_changes"])
         self._last_ptime = payload["last_ptime"]
         # Absent in pre-supervisor checkpoints; start the ledger fresh.
         self._recovery = RecoveryStats(**payload.get("recovery", {}))
+
+    @classmethod
+    def from_structure(
+        cls,
+        plans: Sequence[tuple[str, "object"]],
+        structure: dict,
+        sources: dict[str, TimeVaryingRelation],
+        spec: PartitionSpec,
+        shards: int,
+        allowed_lateness: int = 0,
+        backend: str = "threads",
+        retry: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        batch_size: int = 1,
+        coalesce_updates: bool = False,
+    ) -> "ShardedDataflow":
+        """Rebuild a multi-output sharded dataflow from a checkpoint recipe.
+
+        ``structure`` is one shard's checkpoint payload (all shards are
+        structurally identical); see ``Dataflow.from_structure``.  Call
+        :meth:`restore` with the full sharded checkpoint afterwards.
+        """
+        if shards < 1:
+            raise ExecutionError("a sharded dataflow needs at least one shard")
+        self = cls.__new__(cls)
+        self.plan = plans[0][1]
+        self.spec = spec
+        self.backend = backend
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.fault_plan = fault_plan
+        self.batch_size = batch_size
+        self.coalesce_updates = coalesce_updates
+        self._allowed_lateness = allowed_lateness
+        self._raw_sources = sources
+        self._sources = {name.lower(): tvr for name, tvr in sources.items()}
+        self._shards = [
+            Dataflow.from_structure(
+                plans,
+                structure,
+                sources,
+                allowed_lateness,
+                batch_size=batch_size,
+                coalesce_updates=coalesce_updates,
+            )
+            for _ in range(shards)
+        ]
+        self._outputs = {oid: _OutputMerge(shards) for oid, _ in plans}
+        self._primary = plans[0][0]
+        self._last_ptime = MIN_TIMESTAMP
+        self._trace = None
+        self._recovery = RecoveryStats()
+        return self
 
 
 def _shard_batch_tagger(

@@ -29,6 +29,7 @@ Only a query that clears all four gates yields a
 
 from __future__ import annotations
 
+import hmac
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -40,8 +41,11 @@ from ..sql.parser import parse
 __all__ = ["AdmissionError", "TenantPolicy", "AdmissionGateway"]
 
 
-#: Stable rejection codes, in gate order.
+#: Stable rejection codes, in gate order.  ``auth_denied`` fires before
+#: every other gate: a connection that cannot prove its tenant identity
+#: never reaches parse.
 REJECT_CODES = (
+    "auth_denied",
     "parse_error",
     "unknown_table",
     "acl_denied",
@@ -84,12 +88,19 @@ class TenantPolicy:
     * ``max_state_rows`` — total operator-state rows across the
       tenant's resident queries; admission of new queries stops once
       the tenant's state footprint reaches the cap.
+    * ``token`` — shared-secret the tenant must present to
+      authenticate a connection.  The moment *any* provisioned policy
+      carries a token the whole gateway runs in authenticated mode:
+      unauthenticated submissions are ``auth_denied`` instead of
+      silently falling back to the default policy, which closes the
+      tenant-spoofing hole of trusting the request's ``tenant`` field.
     """
 
     name: str
     allowed_tables: Optional[frozenset[str]] = None
     max_standing_queries: int = 8
     max_state_rows: int = 100_000
+    token: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.max_standing_queries < 0:
@@ -115,6 +126,7 @@ class TenantPolicy:
             allowed_tables=None if allowed is None else frozenset(allowed),
             max_standing_queries=payload.get("max_standing_queries", 8),
             max_state_rows=payload.get("max_state_rows", 100_000),
+            token=payload.get("token"),
         )
 
 
@@ -165,6 +177,34 @@ class AdmissionGateway:
 
     def set_policy(self, policy: TenantPolicy) -> None:
         self.policies[policy.name] = policy
+
+    @property
+    def tokens_configured(self) -> bool:
+        """Whether any provisioned policy carries a shared-secret token.
+
+        One token flips the whole gateway into authenticated mode —
+        mixed deployments where some tenants authenticate and others
+        are trusted on their say-so would leave the spoofing hole open.
+        """
+        return any(p.token is not None for p in self.policies.values())
+
+    def authenticate(self, tenant: str, token: Optional[str]) -> TenantPolicy:
+        """Check a tenant's shared secret; raise ``auth_denied`` on mismatch.
+
+        Comparison is constant-time (:func:`hmac.compare_digest`).  A
+        tenant without a token in an authenticated deployment cannot
+        log in at all — absence of a secret is not a blank password.
+        """
+        policy = self.policy_for(tenant)
+        if policy.token is None:
+            raise AdmissionError(
+                "auth_denied",
+                tenant,
+                f"tenant {tenant!r} has no token configured",
+            )
+        if not hmac.compare_digest(policy.token, token or ""):
+            raise AdmissionError("auth_denied", tenant, "invalid token")
+        return policy
 
     def policy_for(self, tenant: str) -> TenantPolicy:
         policy = self.policies.get(tenant, self.default_policy)

@@ -28,6 +28,10 @@ Families (stable names — renaming is a breaking change for scrapers):
   evicted for falling behind.
 * ``repro_service_checkpoints_total`` (counter) — session checkpoints
   taken.
+* ``repro_service_shared_subplans`` (gauge) — resident operators
+  multicast to two or more standing queries (multi-query optimization).
+* ``repro_service_sharing_ratio`` (gauge) — logical operators attached
+  ÷ physical operators resident; 1.0 means no sharing.
 """
 
 from __future__ import annotations
@@ -154,5 +158,17 @@ def render_service_exposition(
            "Session checkpoints written to the checkpoint directory")
     lines.append(
         f"repro_service_checkpoints_total {session.checkpoints_taken}"
+    )
+
+    family("repro_service_shared_subplans", "gauge",
+           "Resident operators multicast to two or more standing queries")
+    lines.append(
+        f"repro_service_shared_subplans {session.shared_subplans()}"
+    )
+
+    family("repro_service_sharing_ratio", "gauge",
+           "Logical operators attached over physical operators resident")
+    lines.append(
+        f"repro_service_sharing_ratio {session.sharing_ratio():.6f}"
     )
     return "\n".join(lines) + "\n"

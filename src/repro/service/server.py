@@ -28,6 +28,17 @@ Wire protocol (one JSON object per line, both directions)::
 A rejection is ``{"ok": false, "error": {"code": ..., "tenant": ...,
 "detail": ...}}`` — the :class:`~repro.service.admission.AdmissionError`
 structure verbatim, so clients can switch on ``error.code``.
+
+When any tenant policy carries a ``token``, the gateway runs in
+authenticated mode: a connection must first prove its identity ::
+
+    → {"op": "auth", "tenant": "alice", "token": "s3cret"}
+    ← {"ok": true, "tenant": "alice"}
+
+and every later ``submit`` is attributed to the *authenticated* tenant
+— a mismatched ``tenant`` field is an ``auth_denied`` rejection, which
+closes the spoofing hole of trusting the request's claim outright.
+Without tokens the field is trusted as before (development mode).
 """
 
 from __future__ import annotations
@@ -46,7 +57,7 @@ from ..io import parse_event_line
 from .admission import AdmissionError, AdmissionGateway, TenantPolicy
 from .metrics import ServiceMetrics, render_service_exposition
 from .session import SessionManager, StandingQuery
-from .sources import LiveSource, pump, tail_file
+from .sources import LiveSource, pump, serve_socket_lines, tail_file
 from .subscriptions import Subscriber
 
 __all__ = ["StandingQueryService", "ServiceServer", "run_service"]
@@ -208,8 +219,14 @@ class ServiceServer:
         self._streams: list[tuple[str, str, asyncio.StreamWriter]] = []
         self.sources: list[LiveSource] = []
         self._tail_tasks: list[asyncio.Task] = []
+        #: (source, listening server) pairs from :meth:`listen_source`.
+        self._socket_servers: list[
+            tuple[LiveSource, asyncio.AbstractServer]
+        ] = []
         self._pump_task: Optional[asyncio.Task] = None
         self._follow = True
+        #: connection → authenticated tenant (token mode only).
+        self._authed: dict[asyncio.StreamWriter, str] = {}
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -235,10 +252,7 @@ class ServiceServer:
         any events a restored session already consumed)."""
         schema = self.service.source_schema(name)
         skip = self.service.session.source_offsets.get(name.lower(), 0)
-        source = LiveSource(
-            name, queue_capacity=self.service.config.queue_capacity
-        )
-        self.sources.append(source)
+        source = self._live_source(name)
         self._tail_tasks.append(
             asyncio.ensure_future(
                 tail_file(
@@ -251,6 +265,36 @@ class ServiceServer:
                 )
             )
         )
+        return source
+
+    async def listen_source(self, name: str, host: str, port: int) -> LiveSource:
+        """Accept line-oriented feed connections into source ``name``.
+
+        The source must already be registered (its schema types the
+        incoming lines); producers connect with plain TCP and write
+        JSONL or script notation, one event per line, exactly as a
+        tailed feed file would contain.
+        """
+        schema = self.service.source_schema(name)
+        source = self._live_source(name)
+        server = await serve_socket_lines(
+            source, host, port, schema=schema
+        )
+        self._socket_servers.append((source, server))
+        return source
+
+    def _live_source(self, name: str) -> LiveSource:
+        """One queue per source name: the pump merges by name, so a
+        second feed for the same source (a tail plus a socket
+        listener) must share the existing queue, not shadow it."""
+        for source in self.sources:
+            if source.name == name:
+                source.add_producer()
+                return source
+        source = LiveSource(
+            name, queue_capacity=self.service.config.queue_capacity
+        )
+        self.sources.append(source)
         return source
 
     def start_pump(self) -> asyncio.Task:
@@ -266,16 +310,25 @@ class ServiceServer:
         return self._pump_task
 
     async def drain(self) -> None:
-        """Stop following tails, let readers and the pump finish."""
+        """Stop following tails and sockets, let the pump finish."""
         self._follow = False
         for task in self._tail_tasks:
             await task
+        for source, server in self._socket_servers:
+            server.close()
+            await server.wait_closed()
+            await source.end()
+        self._socket_servers = []
         if self._pump_task is not None:
             await self._pump_task
         self._refresh_depths()
         await self._flush_subscribers()
 
     async def stop(self) -> None:
+        for _, server in self._socket_servers:
+            server.close()
+            await server.wait_closed()
+        self._socket_servers = []
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -310,14 +363,60 @@ class ServiceServer:
             self._streams = [
                 (q, s, w) for (q, s, w) in self._streams if w is not writer
             ]
+            self._authed.pop(writer, None)
             writer.close()
+
+    def _effective_tenant(self, request: dict, writer) -> str:
+        """Who this request acts as, spoof-proofed in token mode.
+
+        Without configured tokens the request's ``tenant`` field is
+        trusted (development mode).  With tokens, only a connection
+        that has authenticated may submit, and a ``tenant`` field that
+        contradicts the authenticated identity is rejected rather than
+        believed.
+        """
+        if not self.service.gateway.tokens_configured:
+            return str(request["tenant"])
+        authed = self._authed.get(writer)
+        if authed is None:
+            raise AdmissionError(
+                "auth_denied",
+                str(request.get("tenant", "")),
+                "connection is not authenticated; send "
+                '{"op": "auth", "tenant": ..., "token": ...} first',
+            )
+        claimed = request.get("tenant")
+        if claimed is not None and str(claimed) != authed:
+            raise AdmissionError(
+                "auth_denied",
+                str(claimed),
+                f"request tenant {str(claimed)!r} does not match the "
+                f"authenticated tenant {authed!r}",
+            )
+        return authed
 
     async def _dispatch(self, request: dict, writer) -> dict:
         op = request.get("op")
         try:
+            if op == "auth":
+                tenant = str(request["tenant"])
+                try:
+                    self.service.gateway.authenticate(
+                        tenant, request.get("token")
+                    )
+                except AdmissionError as exc:
+                    self.service.metrics.record_reject(exc.code)
+                    raise
+                self._authed[writer] = tenant
+                return {"ok": True, "tenant": tenant}
             if op == "submit":
+                try:
+                    tenant = self._effective_tenant(request, writer)
+                except AdmissionError as exc:
+                    self.service.metrics.record_reject(exc.code)
+                    raise
                 query = self.service.submit(
-                    request["tenant"], request["sql"],
+                    tenant, request["sql"],
                     query_id=request.get("query"),
                 )
                 return {
@@ -401,12 +500,15 @@ async def run_service(
     port: int,
     tails: dict[str, str],
     *,
+    sockets: Optional[dict[str, tuple[str, int]]] = None,
     follow: bool = True,
     ready=None,
 ) -> ServiceServer:
     """Assemble and run one server: listen, tail, pump.
 
-    ``tails`` maps source name → feed path.  With ``follow=True`` the
+    ``tails`` maps source name → feed path; ``sockets`` maps source
+    name → ``(host, port)`` to accept line-oriented feed connections
+    (the ``--listen-source`` flag).  With ``follow=True`` the
     coroutine serves until cancelled; with ``follow=False`` it reads
     each feed to end-of-file, drains the pump, and returns (the CI
     smoke mode).  ``ready``, when given, is an :class:`asyncio.Event`
@@ -416,6 +518,8 @@ async def run_service(
     await server.start()
     for name, path in tails.items():
         server.add_tail(name, path)
+    for name, (src_host, src_port) in (sockets or {}).items():
+        await server.listen_source(name, src_host, src_port)
     server._follow = follow
     server.start_pump()
     if ready is not None:

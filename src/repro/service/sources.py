@@ -99,15 +99,25 @@ class LiveSource:
         self.name = name
         self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_capacity)
         self.finished = False
+        #: feeds writing into this queue; the end sentinel posts only
+        #: when the last one ends (a tail and a socket listener may
+        #: legitimately share one source).
+        self._producers = 1
 
     @property
     def depth(self) -> int:
         return self.queue.qsize()
 
+    def add_producer(self) -> None:
+        self._producers += 1
+
     async def put(self, event: StreamEvent) -> None:
         await self.queue.put(event)
 
     async def end(self) -> None:
+        self._producers -= 1
+        if self._producers > 0:
+            return
         self.finished = True
         await self.queue.put(None)
 

@@ -339,11 +339,13 @@ class Shell:
             return "(no standing queries)"
         lines = []
         for info in self.service.list_queries():
+            shared = info.get("shared_with") or []
+            sharing = f"  shared_with={','.join(shared)}" if shared else ""
             lines.append(
                 f"{info['query_id']}  tenant={info['tenant']}  "
                 f"runtime={info['runtime']}  deltas={info['deltas']}  "
                 f"subscribers={info['subscribers']}  "
-                f"state_rows={info['state_rows']}"
+                f"state_rows={info['state_rows']}{sharing}"
             )
             lines.append(f"    {info['sql']}")
         return "\n".join(lines)

@@ -384,3 +384,239 @@ class TestServeCli:
         )
         policies, default = _load_policies(str(as_object))
         assert "bob" in policies and default is None
+
+
+class TestTenantAuth:
+    """Token mode closes the tenant-spoofing hole: with any token
+    configured, the request's ``tenant`` field is only believed when it
+    matches the connection's authenticated identity."""
+
+    def auth_service(self, bid_stream):
+        from repro.service.admission import TenantPolicy
+
+        svc = StandingQueryService(
+            policies={"alice": TenantPolicy(name="alice", token="s3cret")}
+        )
+        svc.register_stream("Bid", TimeVaryingRelation(bid_stream.schema))
+        return svc
+
+    def run_session(self, service, script):
+        return TestServerProtocol().run_session(service, script)
+
+    def test_unauthenticated_submit_is_rejected(self, bid_stream):
+        service = self.auth_service(bid_stream)
+
+        async def script(rpc, reader, server):
+            return await rpc(
+                {"op": "submit", "tenant": "alice", "sql": WINDOWED_MAX}
+            )
+
+        response = self.run_session(service, script)
+        assert not response["ok"]
+        assert response["error"]["code"] == "auth_denied"
+        assert service.metrics.rejects["auth_denied"] == 1
+
+    def test_wrong_token_is_rejected(self, bid_stream):
+        service = self.auth_service(bid_stream)
+
+        async def script(rpc, reader, server):
+            return await rpc(
+                {"op": "auth", "tenant": "alice", "token": "wrong"}
+            )
+
+        response = self.run_session(service, script)
+        assert not response["ok"]
+        assert response["error"]["code"] == "auth_denied"
+
+    def test_tokenless_tenant_cannot_authenticate(self, bid_stream):
+        service = self.auth_service(bid_stream)
+
+        async def script(rpc, reader, server):
+            return await rpc({"op": "auth", "tenant": "mallory", "token": ""})
+
+        response = self.run_session(service, script)
+        assert not response["ok"]
+        assert response["error"]["code"] == "auth_denied"
+        assert "no token configured" in response["error"]["detail"]
+
+    def test_authenticated_submit_and_spoof_rejection(self, bid_stream):
+        service = self.auth_service(bid_stream)
+
+        async def script(rpc, reader, server):
+            login = await rpc(
+                {"op": "auth", "tenant": "alice", "token": "s3cret"}
+            )
+            own = await rpc(
+                {"op": "submit", "tenant": "alice", "sql": WINDOWED_MAX}
+            )
+            spoofed = await rpc(
+                {"op": "submit", "tenant": "bob", "sql": WINDOWED_MAX}
+            )
+            implicit = await rpc({"op": "submit", "sql": WINDOWED_MAX})
+            return login, own, spoofed, implicit
+
+        login, own, spoofed, implicit = self.run_session(service, script)
+        assert login == {"ok": True, "tenant": "alice"}
+        assert own["ok"]
+        assert not spoofed["ok"]
+        assert spoofed["error"]["code"] == "auth_denied"
+        assert "does not match" in spoofed["error"]["detail"]
+        assert implicit["ok"]  # no tenant claim: the session's identity
+        queries = service.list_queries()
+        assert {q["tenant"] for q in queries} == {"alice"}
+
+    def test_auth_state_is_per_connection(self, bid_stream):
+        service = self.auth_service(bid_stream)
+
+        async def drive():
+            server = ServiceServer(service, "127.0.0.1", 0)
+            await server.start()
+            host, port = server.address
+
+            async def rpc(reader, writer, payload):
+                writer.write((json.dumps(payload) + "\n").encode())
+                await writer.drain()
+                return json.loads(await reader.readline())
+
+            r1, w1 = await asyncio.open_connection(host, port)
+            r2, w2 = await asyncio.open_connection(host, port)
+            try:
+                await rpc(r1, w1, {"op": "auth", "tenant": "alice",
+                                   "token": "s3cret"})
+                other = await rpc(
+                    r2, w2,
+                    {"op": "submit", "tenant": "alice", "sql": WINDOWED_MAX},
+                )
+                return other
+            finally:
+                w1.close()
+                w2.close()
+                await server.stop()
+
+        other = asyncio.run(drive())
+        assert not other["ok"]
+        assert other["error"]["code"] == "auth_denied"
+
+    def test_policy_json_carries_tokens(self, tmp_path):
+        from repro.__main__ import _load_policies
+
+        path = tmp_path / "policies.json"
+        path.write_text(json.dumps([{"name": "alice", "token": "s3cret"}]))
+        policies, _ = _load_policies(str(path))
+        assert policies["alice"].token == "s3cret"
+
+
+class TestListenSource:
+    def test_socket_feed_end_to_end(self, bid_stream):
+        service = empty_service(bid_stream)
+        feed_lines = [
+            line
+            for line in format_jsonl(bid_stream).splitlines()
+            if "schema" not in line
+        ]
+
+        async def drive():
+            server = ServiceServer(service, "127.0.0.1", 0)
+            await server.start()
+            query = service.submit("alice", WINDOWED_MAX)
+            subscriber = service.subscribe(query.query_id, "local")
+            await server.listen_source("Bid", "127.0.0.1", 0)
+            _, sock_server = server._socket_servers[-1]
+            host, port = sock_server.sockets[0].getsockname()[:2]
+            server.start_pump()
+            reader, writer = await asyncio.open_connection(host, port)
+            for line in feed_lines:
+                writer.write((line + "\n").encode())
+            await writer.drain()
+            writer.close()
+            await asyncio.sleep(0.1)
+            server._follow = False
+            await server.drain()
+            await server.stop()
+            return query, subscriber
+
+        query, subscriber = asyncio.run(drive())
+        eng = StreamEngine()
+        eng.register_stream("Bid", bid_stream)
+        expected = eng.query(WINDOWED_MAX).run().changes
+        assert query.flow.output_slice(0) == expected
+        assert [d.change for d in subscriber.take()] == expected
+
+    def test_socket_and_tail_share_one_source(self, bid_stream, tmp_path):
+        """A tail and a socket listener on the same source must feed
+        one shared queue — the pump merges by name, so a duplicate
+        LiveSource would be silently shadowed and its events lost."""
+        service = empty_service(bid_stream)
+        lines = format_jsonl(bid_stream).splitlines()
+        schema_line, events = lines[0], lines[1:]
+        half = len(events) // 2
+        feed = tmp_path / "bids.jsonl"
+        feed.write_text("\n".join([schema_line] + events[:half]) + "\n")
+
+        async def drive():
+            server = ServiceServer(service, "127.0.0.1", 0)
+            await server.start()
+            query = service.submit("alice", WINDOWED_MAX)
+            server.add_tail("Bid", str(feed))
+            await server.listen_source("Bid", "127.0.0.1", 0)
+            assert len(server.sources) == 1  # one queue, two producers
+            _, sock_server = server._socket_servers[-1]
+            host, port = sock_server.sockets[0].getsockname()[:2]
+            server.start_pump()
+            await asyncio.sleep(0.2)  # the tailed half ingests first
+            reader, writer = await asyncio.open_connection(host, port)
+            for line in events[half:]:
+                writer.write((line + "\n").encode())
+            await writer.drain()
+            writer.close()
+            await asyncio.sleep(0.1)
+            server._follow = False
+            await server.drain()
+            await server.stop()
+            return query
+
+        query = asyncio.run(drive())
+        eng = StreamEngine()
+        eng.register_stream("Bid", bid_stream)
+        expected = eng.query(WINDOWED_MAX).run().changes
+        assert query.flow.output_slice(0) == expected
+
+    def test_listen_source_requires_registered_source(self, bid_stream):
+        service = empty_service(bid_stream)
+
+        async def drive():
+            server = ServiceServer(service, "127.0.0.1", 0)
+            await server.start()
+            try:
+                await server.listen_source("Nope", "127.0.0.1", 0)
+            finally:
+                await server.stop()
+
+        with pytest.raises(Exception):
+            asyncio.run(drive())
+
+    def test_split_listen_source_spec(self):
+        from repro.__main__ import _split_listen_source
+
+        assert _split_listen_source("Bid=0.0.0.0:9000") == (
+            "Bid", "0.0.0.0", 9000
+        )
+        assert _split_listen_source("Bid=:9000") == ("Bid", "127.0.0.1", 9000)
+        for bad in ("Bid", "Bid=localhost", "Bid=localhost:nope"):
+            with pytest.raises(SystemExit) as excinfo:
+                _split_listen_source(bad)
+            assert "--listen-source expects NAME=HOST:PORT" in str(
+                excinfo.value
+            )
+
+    def test_serve_parser_accepts_share_plans_flags(self):
+        from repro.__main__ import build_config, build_serve_parser
+
+        parser = build_serve_parser()
+        on = build_config(parser.parse_args(["--share-plans"]))
+        off = build_config(parser.parse_args(["--no-share-plans"]))
+        unset = build_config(parser.parse_args([]))
+        assert on.share_plans is True
+        assert off.share_plans is False
+        assert unset.share_plans is None
+        assert unset.resolved().share_plans is True
