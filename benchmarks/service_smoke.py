@@ -14,7 +14,10 @@ tails a JSONL fixture that is still being appended to, and:
   guarantee);
 * scrapes the ``repro_service_*`` exposition over the wire, validates
   it with :func:`repro.obs.export.parse_exposition`, and writes it to
-  ``SERVICE_smoke.prom`` for CI to upload.
+  ``SERVICE_smoke.prom`` for CI to upload;
+* hits the HTTP plane next to the line-JSON listener: ``GET /metrics``
+  must serve a parseable exposition, ``GET /healthz`` a JSON liveness
+  document, and unknown routes a 404.
 
 Runs under plain pytest and as a script::
 
@@ -78,10 +81,22 @@ def oracle_changes(bids: TimeVaryingRelation) -> list:
     return engine.query(SQL).run().changes
 
 
+async def http_get(host: str, port: int, path: str) -> tuple[str, str]:
+    """One raw HTTP/1.1 GET; returns (status line, body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(f"GET {path} HTTP/1.1\r\nHost: smoke\r\n\r\n".encode())
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    return head.split(b"\r\n", 1)[0].decode(), body.decode()
+
+
 async def drive(service, feed_path: Path, tail_lines: list[str]):
     """Submit, subscribe, tail; return (deltas, rejection, exposition)."""
     server = ServiceServer(service, "127.0.0.1", 0)
     await server.start()
+    http = await server.serve_http("127.0.0.1", 0)
     host, port = server.address
     reader, writer = await asyncio.open_connection(host, port)
 
@@ -125,6 +140,19 @@ async def drive(service, feed_path: Path, tail_lines: list[str]):
             if "delta" in message:
                 deltas.append(message["delta"])
         scrape = await rpc({"op": "metrics"})
+
+        # The HTTP plane must serve the same exposition plus liveness.
+        http_host, http_port = http.address
+        status, metrics_body = await http_get(http_host, http_port, "/metrics")
+        assert status == "HTTP/1.1 200 OK", status
+        parse_exposition(metrics_body)  # raises on malformed output
+        status, health_body = await http_get(http_host, http_port, "/healthz")
+        assert status == "HTTP/1.1 200 OK", status
+        health = json.loads(health_body)
+        assert health["status"] == "ok" and health["queries"] >= 1, health
+        status, _ = await http_get(http_host, http_port, "/nope")
+        assert status == "HTTP/1.1 404 Not Found", status
+
         return deltas, rejected, scrape["exposition"]
     finally:
         writer.close()
@@ -219,7 +247,8 @@ def main(argv=None) -> None:
         f"{len(pieces['deltas'])} deltas streamed (serial == sharded == "
         f"oracle), 1 tenant rejected "
         f"[{pieces['rejected']['error']['code']}], "
-        f"{len(pieces['families'])} metric families"
+        f"{len(pieces['families'])} metric families, "
+        f"/metrics + /healthz served over HTTP"
     )
     print(f"wrote {PROM_ARTIFACT}")
 

@@ -30,6 +30,7 @@ import argparse
 import asyncio
 import json
 import sys
+from typing import Optional
 
 from .config import ExecutionConfig
 from .engine import StreamEngine
@@ -97,6 +98,30 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
         help="inject deterministic shard failures, e.g. "
              "'crash-after-checkpoint:shard=1,at=2;slow-shard:shard=0'; "
              f"kinds: {', '.join(FAULT_KINDS)}",
+    )
+    obs = parser.add_argument_group(
+        "observability (ExecutionConfig lineage / slow-query fields)"
+    )
+    obs.add_argument(
+        "--lineage-sample", type=int, default=None, metavar="N",
+        help="trace delta provenance for a deterministic 1-in-N sample "
+             "of source events (0 = off, the default; 1 = every event); "
+             "changelogs are byte-identical either way",
+    )
+    obs.add_argument(
+        "--lineage-max-traces", type=int, default=None, metavar="N",
+        help="retain at most N lineage traces per dataflow, evicting "
+             "the oldest (default 4096)",
+    )
+    obs.add_argument(
+        "--slow-query-p99-ms", type=int, default=None, metavar="MS",
+        help="serve mode: log a standing query whose p99 emit latency "
+             "crosses MS milliseconds (default 0: off)",
+    )
+    obs.add_argument(
+        "--slow-query-depth", type=int, default=None, metavar="N",
+        help="serve mode: log a standing query whose undrained "
+             "subscriber depth crosses N deltas (default 0: off)",
     )
 
 
@@ -168,6 +193,12 @@ def build_serve_parser() -> argparse.ArgumentParser:
              "when a manifest exists (default: durability off)",
     )
     service.add_argument(
+        "--metrics", default=None, metavar="HOST:PORT",
+        help="serve GET /metrics (Prometheus exposition) and "
+             "GET /healthz (JSON liveness) over plain HTTP at this "
+             "address (default: HTTP plane off)",
+    )
+    service.add_argument(
         "--once", action="store_true",
         help="read each tail to end-of-file, drain, print the service "
              "metrics exposition, and exit (smoke-test mode)",
@@ -214,6 +245,10 @@ def build_config(args: argparse.Namespace) -> ExecutionConfig:
         subscriber_capacity=getattr(args, "subscriber_capacity", None),
         checkpoint_dir=getattr(args, "checkpoint_dir", None),
         share_plans=getattr(args, "share_plans", None),
+        lineage_sample=args.lineage_sample,
+        lineage_max_traces=args.lineage_max_traces,
+        slow_query_p99_ms=args.slow_query_p99_ms,
+        slow_query_depth=args.slow_query_depth,
     )
 
 
@@ -346,7 +381,18 @@ def serve_main(argv=None) -> None:
         port_number = int(port)
     except ValueError:
         raise SystemExit(f"--listen expects HOST:PORT, got {args.listen!r}")
+    http: Optional[tuple[str, int]] = None
+    if args.metrics is not None:
+        http_host, _, http_port = args.metrics.rpartition(":")
+        try:
+            http = (http_host or "127.0.0.1", int(http_port))
+        except ValueError:
+            raise SystemExit(
+                f"--metrics expects HOST:PORT, got {args.metrics!r}"
+            )
     print(f"listening on {host or '127.0.0.1'}:{port_number}")
+    if http is not None:
+        print(f"serving /metrics and /healthz on {http[0]}:{http[1]}")
     for name, (src_host, src_port) in sockets.items():
         print(f"accepting {name} events on {src_host}:{src_port}")
 
@@ -354,6 +400,7 @@ def serve_main(argv=None) -> None:
         server = await run_service(
             service, host or "127.0.0.1", port_number, tails,
             sockets=sockets,
+            http=http,
             follow=not args.once,
         )
         if args.once:

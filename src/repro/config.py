@@ -56,6 +56,10 @@ EXECUTION_DEFAULTS: dict[str, Any] = {
     "subscriber_capacity": 256,
     "checkpoint_dir": "",
     "share_plans": True,
+    "lineage_sample": 0,
+    "lineage_max_traces": 4096,
+    "slow_query_p99_ms": 0,
+    "slow_query_depth": 0,
 }
 
 
@@ -105,6 +109,21 @@ class ExecutionConfig:
       grafted onto the resident dataflow, computing the shared prefix
       once and multicasting its changelog; subscriber deltas are
       byte-identical either way (see docs/MQO.md).
+    * ``lineage_sample`` — delta provenance tracing: ``0`` (the
+      default) disables lineage, ``1`` traces every source event, and
+      ``N > 1`` traces a deterministic 1-in-N sample picked by hashing
+      ``(source, sequence)`` — no wall clock, no RNG, so reruns sample
+      identical events.  The output changelog is byte-identical with
+      tracing on, off, or sampled (see docs/OBSERVABILITY.md).
+    * ``lineage_max_traces`` — bound on retained lineage traces; the
+      oldest whole traces are evicted (and counted as dropped) past it.
+    * ``slow_query_p99_ms`` — service mode: a standing query whose
+      p99 emit latency crosses this many milliseconds is recorded in
+      the structured slow-query log; ``0`` (the default) disables the
+      check.
+    * ``slow_query_depth`` — service mode: a standing query whose
+      subscriber buffer depth crosses this many undrained deltas is
+      recorded in the slow-query log; ``0`` disables the check.
 
     Instances are frozen and hashable; derive variants with
     :meth:`dataclasses.replace` or by merging layers via
@@ -123,6 +142,10 @@ class ExecutionConfig:
     subscriber_capacity: Optional[int] = None
     checkpoint_dir: Optional[str] = None
     share_plans: Optional[bool] = None
+    lineage_sample: Optional[int] = None
+    lineage_max_traces: Optional[int] = None
+    slow_query_p99_ms: Optional[int] = None
+    slow_query_depth: Optional[int] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.fault_plan, str):
@@ -199,6 +222,16 @@ class ExecutionConfig:
             raise ValidationError(
                 f"share_plans must be a bool, got {self.share_plans!r}"
             )
+        if self.lineage_sample is not None and self.lineage_sample < 0:
+            raise ValidationError(
+                "lineage_sample must be >= 0 (0 = off, 1 = all, N = 1-in-N)"
+            )
+        if self.lineage_max_traces is not None and self.lineage_max_traces < 1:
+            raise ValidationError("lineage_max_traces must be at least 1")
+        if self.slow_query_p99_ms is not None and self.slow_query_p99_ms < 0:
+            raise ValidationError("slow_query_p99_ms must be >= 0 (0 = off)")
+        if self.slow_query_depth is not None and self.slow_query_depth < 0:
+            raise ValidationError("slow_query_depth must be >= 0 (0 = off)")
 
 
 # ---------------------------------------------------------------------------

@@ -41,6 +41,7 @@ from ..core.schema import Schema
 from ..core.times import MAX_TIMESTAMP, MIN_TIMESTAMP, Timestamp
 from ..core.tvr import RowEvent, StreamEvent, TimeVaryingRelation, WatermarkEvent
 from ..core.watermark import WatermarkTrack
+from ..obs.lineage import LineageRecorder
 from ..obs.metrics import MetricsRegistry, MetricsReport
 from ..obs.telemetry import RunTelemetry
 from ..obs.trace import TraceEvent
@@ -263,6 +264,13 @@ class Dataflow:
         #: :class:`~repro.obs.trace.TraceEvent` on every primary-output
         #: change batch and watermark advance.
         self.trace: Optional[Callable[[TraceEvent], None]] = None
+        #: optional lineage recorder (see :mod:`repro.obs.lineage`);
+        #: install via :meth:`set_lineage`.  Tracing threads a *cause*
+        #: token alongside batches and never touches the changes
+        #: themselves, so the changelog is byte-identical either way.
+        self.lineage: Optional[LineageRecorder] = None
+        self._lineage_shard: Optional[int] = None
+        self._lineage_register_outputs = True
         # processing-time timer service: (deadline, seq, operator)
         self._timers: list[tuple[Timestamp, int, Operator]] = []
         self._timer_seq = 0
@@ -284,6 +292,28 @@ class Dataflow:
     def telemetry(self) -> RunTelemetry:
         """Latency telemetry sampled at the primary output's root."""
         return self._outputs[self._primary].telemetry
+
+    def telemetry_of(self, output_id: str) -> RunTelemetry:
+        """Latency telemetry sampled at one output channel's root."""
+        return self._outputs[output_id].telemetry
+
+    def set_lineage(
+        self,
+        recorder: Optional[LineageRecorder],
+        shard: Optional[int] = None,
+        register_outputs: bool = True,
+    ) -> None:
+        """Install (or remove) a lineage recorder on this flow.
+
+        ``shard`` tags recorded operator nodes with a shard index; a
+        shard flow of a :class:`~repro.runtime.sharded.ShardedDataflow`
+        passes ``register_outputs=False`` because its local changelog
+        positions differ from the merged ones — the parent assigns the
+        merged positions via the recorder's shard notes.
+        """
+        self.lineage = recorder
+        self._lineage_shard = shard
+        self._lineage_register_outputs = register_outputs
 
     @property
     def output_size(self) -> int:
@@ -684,6 +714,13 @@ class Dataflow:
                 for when, seq, op in self._timers
             ],
             "timer_seq": self._timer_seq,
+            # Shard flows don't own the recorder (the sharded parent
+            # snapshots it once); only the owning flow persists it.
+            "lineage": (
+                self.lineage.snapshot()
+                if self.lineage is not None and self._lineage_register_outputs
+                else None
+            ),
         }
         return pickle.dumps(payload)
 
@@ -722,6 +759,8 @@ class Dataflow:
         ]
         heapq.heapify(self._timers)
         self._timer_seq = payload["timer_seq"]
+        if payload.get("lineage") is not None:
+            self.set_lineage(LineageRecorder.restore(payload["lineage"]))
 
     def _restore_legacy(self, payload: dict) -> None:
         """Restore the pre-DAG single-output checkpoint shape."""
@@ -793,13 +832,14 @@ class Dataflow:
             raise ExecutionError("events must be fed in processing-time order")
         self._fire_timers(event.ptime)
         self._last_ptime = max(self._last_ptime, event.ptime)
+        cause = self._lineage_cause(event, source)
         leaves = self._leaves_by_source.get(source.lower(), [])
         if isinstance(event, RowEvent):
             for leaf in leaves:
-                self._push_changes(leaf, 0, [event.change])
+                self._push_changes(leaf, 0, [event.change], cause)
         else:
             for leaf in leaves:
-                self._push_watermark(leaf, 0, event.value, event.ptime)
+                self._push_watermark(leaf, 0, event.value, event.ptime, cause)
         # One sweep both tracks the dataflow-wide peak and refreshes the
         # per-operator state peaks the metrics layer reports.
         state = self.metrics_registry.observe_state()
@@ -836,9 +876,10 @@ class Dataflow:
                 )
         self._fire_timers(ptime)
         self._last_ptime = max(self._last_ptime, ptime)
+        cause = self._lineage_batch_cause(events, source)
         changes = [event.change for event in events]
         for leaf in self._leaves_by_source.get(source.lower(), []):
-            self._push_changes(leaf, 0, changes)
+            self._push_changes(leaf, 0, changes, cause)
         state = self.metrics_registry.observe_state()
         if state > self._peak_state:
             self._peak_state = state
@@ -985,7 +1026,72 @@ class Dataflow:
     ) -> list[tuple[StreamEvent, str]]:
         return merge_source_events(self._sources, until)
 
-    def _push_changes(self, op: Operator, port: int, changes: list[Change]) -> None:
+    def _lineage_cause(
+        self, event: StreamEvent, source: str
+    ) -> Optional[tuple[int, ...]]:
+        """The cause token for one incoming event (``None`` = untraced).
+
+        When a sharded parent already made the sampling decision for
+        this event, its pending token is replayed verbatim; otherwise
+        the recorder claims the next per-source ordinal and samples it.
+        """
+        recorder = self.lineage
+        if recorder is None:
+            return None
+        if recorder.pending_active:
+            return recorder.pending
+        seq = recorder.offer(source)
+        if seq is None:
+            return None
+        if isinstance(event, RowEvent):
+            return recorder.trace_event(
+                source,
+                seq,
+                kind="source",
+                values=event.change.values,
+                ptime=event.ptime,
+            )
+        return recorder.trace_event(
+            source, seq, kind="watermark", values=event.value, ptime=event.ptime
+        )
+
+    def _lineage_batch_cause(
+        self, events: Sequence[RowEvent], source: str
+    ) -> Optional[tuple[int, ...]]:
+        """The merged cause token for a micro-batch of row events.
+
+        Each event claims its own ordinal (so sampling decisions agree
+        with per-change execution); the batch's output is attributed to
+        every sampled event it contains.
+        """
+        recorder = self.lineage
+        if recorder is None:
+            return None
+        if recorder.pending_active:
+            return recorder.pending
+        ids: list[int] = []
+        for event in events:
+            seq = recorder.offer(source)
+            if seq is None:
+                continue
+            ids.extend(
+                recorder.trace_event(
+                    source,
+                    seq,
+                    kind="source",
+                    values=event.change.values,
+                    ptime=event.ptime,
+                )
+            )
+        return tuple(ids) if ids else None
+
+    def _push_changes(
+        self,
+        op: Operator,
+        port: int,
+        changes: list[Change],
+        cause: Optional[tuple[int, ...]] = None,
+    ) -> None:
         """Deliver changes into ``op`` and propagate its output onward."""
         produced = op.process_batch(port, changes)
         if not produced:
@@ -996,24 +1102,51 @@ class Dataflow:
                 op.counters.record_coalesced(dropped)
                 if not produced:
                     return
-        self._emit_up(op, produced)
+        if cause is not None and self.lineage is not None:
+            cause = self.lineage.record_operator(
+                cause,
+                op.name(),
+                shard=self._lineage_shard,
+                shared_by=self._op_refs.get(id(op), 1),
+                produced=len(produced),
+            )
+        self._emit_up(op, produced, cause)
 
-    def _emit_up(self, op: Operator, changes: list[Change]) -> None:
+    def _emit_up(
+        self,
+        op: Operator,
+        changes: list[Change],
+        cause: Optional[tuple[int, ...]] = None,
+    ) -> None:
         """Fan an operator's output out: first to any output channels
         rooted at it, then to its consumer edges in attach order."""
         channels = self._outputs_of.get(id(op))
         if channels is not None:
             for channel in channels:
-                self._collect_output(channel, changes)
+                self._collect_output(channel, changes, cause)
         for consumer, port in self._consumers.get(id(op), ()):
-            self._push_changes(consumer, port, changes)
+            self._push_changes(consumer, port, changes, cause)
 
     def _push_watermark(
-        self, op: Operator, port: int, value: Timestamp, ptime: Timestamp
+        self,
+        op: Operator,
+        port: int,
+        value: Timestamp,
+        ptime: Timestamp,
+        cause: Optional[tuple[int, ...]] = None,
     ) -> None:
         changes, out_wm = op.process_watermark(port, value, ptime)
         if changes:
-            self._emit_up(op, changes)
+            emit_cause = cause
+            if emit_cause is not None and self.lineage is not None:
+                emit_cause = self.lineage.record_operator(
+                    emit_cause,
+                    op.name(),
+                    shard=self._lineage_shard,
+                    shared_by=self._op_refs.get(id(op), 1),
+                    produced=len(changes),
+                )
+            self._emit_up(op, changes, emit_cause)
         if out_wm is None:
             return
         channels = self._outputs_of.get(id(op))
@@ -1030,9 +1163,24 @@ class Dataflow:
                         )
                     )
         for consumer, consumer_port in self._consumers.get(id(op), ()):
-            self._push_watermark(consumer, consumer_port, out_wm, ptime)
+            self._push_watermark(consumer, consumer_port, out_wm, ptime, cause)
 
-    def _collect_output(self, channel: OutputChannel, changes: list[Change]) -> None:
+    def _collect_output(
+        self,
+        channel: OutputChannel,
+        changes: list[Change],
+        cause: Optional[tuple[int, ...]] = None,
+    ) -> None:
+        if cause is not None and self.lineage is not None:
+            if self._lineage_register_outputs:
+                start = len(channel.changes)
+                self.lineage.record_output(
+                    cause, channel.output_id, range(start, start + len(changes))
+                )
+            else:
+                self.lineage.note_shard_output(
+                    channel.output_id, cause, len(changes)
+                )
         channel.changes.extend(changes)
         root_wm = channel.watermarks.current
         completion = channel.completion

@@ -446,22 +446,50 @@ def _split_labels(body: str) -> list[str]:
 
 
 def _validate_histogram(name: str, samples: list) -> None:
-    buckets = [(lbl, val) for metric, lbl, val in samples if metric == f"{name}_bucket"]
-    counts = [val for metric, _, val in samples if metric == f"{name}_count"]
-    sums = [val for metric, _, val in samples if metric == f"{name}_sum"]
-    if not buckets or not counts or not sums:
+    """Validate one histogram family, per label set.
+
+    A family may carry many series distinguished by labels other than
+    ``le`` (e.g. per-query histograms labelled ``tenant``/``query``);
+    each such series must independently have cumulative buckets, an
+    ``+Inf`` bucket, and matching ``_sum``/``_count`` samples.
+    """
+    def series_key(labels: dict) -> tuple:
+        return tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+
+    buckets: dict[tuple, list] = {}
+    counts: dict[tuple, float] = {}
+    sums: dict[tuple, float] = {}
+    for metric, labels, value in samples:
+        key = series_key(labels)
+        if metric == f"{name}_bucket":
+            buckets.setdefault(key, []).append((labels, value))
+        elif metric == f"{name}_count":
+            counts[key] = value
+        elif metric == f"{name}_sum":
+            sums[key] = value
+    if not buckets:
         raise ValueError(f"histogram {name} is missing bucket/sum/count series")
-    last = -1.0
-    saw_inf = False
-    for labels, value in buckets:
-        le = labels.get("le")
-        if le is None:
-            raise ValueError(f"histogram {name} bucket without le label")
-        if value < last:
-            raise ValueError(f"histogram {name} buckets are not cumulative")
-        last = value
-        saw_inf = saw_inf or le == "+Inf"
-    if not saw_inf:
-        raise ValueError(f"histogram {name} has no +Inf bucket")
-    if buckets[-1][1] != counts[0]:
-        raise ValueError(f"histogram {name} +Inf bucket disagrees with _count")
+    for key, series in buckets.items():
+        if key not in counts or key not in sums:
+            raise ValueError(
+                f"histogram {name}{dict(key)} is missing bucket/sum/count series"
+            )
+        last = -1.0
+        saw_inf = False
+        for labels, value in series:
+            le = labels.get("le")
+            if le is None:
+                raise ValueError(f"histogram {name} bucket without le label")
+            if value < last:
+                raise ValueError(f"histogram {name} buckets are not cumulative")
+            last = value
+            saw_inf = saw_inf or le == "+Inf"
+        if not saw_inf:
+            raise ValueError(f"histogram {name} has no +Inf bucket")
+        if series[-1][1] != counts[key]:
+            raise ValueError(f"histogram {name} +Inf bucket disagrees with _count")
+    for key in list(counts) + list(sums):
+        if key not in buckets:
+            raise ValueError(
+                f"histogram {name}{dict(key)} is missing bucket/sum/count series"
+            )

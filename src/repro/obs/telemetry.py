@@ -194,6 +194,7 @@ def render_dashboard(
     shard_rows: Optional[Sequence[int]] = None,
     recovery=None,
     coalesced: int = 0,
+    tenants: Optional[Sequence[dict]] = None,
     final: bool = False,
 ) -> str:
     """One refreshing screen of a running query, as plain text.
@@ -204,7 +205,10 @@ def render_dashboard(
     :class:`~repro.obs.metrics.RecoveryStats` — adds a restart line
     when any shard worker recovered during the run.  ``coalesced`` — the
     dataflow's ``changes_coalesced()`` total — adds a compaction line
-    when intra-instant coalescing dropped any changes.
+    when intra-instant coalescing dropped any changes.  ``tenants`` —
+    rows of ``{"tenant", "queries", "deltas", "p99_emit_ms"}`` — adds a
+    per-tenant service section when a standing-query service shares the
+    engine (built from the per-query labeled histograms).
     """
     width = 62
     rule = "=" * width
@@ -238,6 +242,16 @@ def render_dashboard(
         for index, rows in enumerate(shard_rows):
             bar = "#" * max(1 if rows else 0, round(_BAR_WIDTH * rows / most))
             lines.append(f"  s{index:<3} {bar:<{_BAR_WIDTH}} {rows}")
+    if tenants:
+        lines.append(f"tenants   {len(tenants)} with standing queries")
+        for row in tenants:
+            p99 = row.get("p99_emit_ms")
+            p99_text = fmt_duration(p99) if p99 is not None else "-"
+            lines.append(
+                f"  {_truncate(str(row['tenant']), 12):<12} "
+                f"{row['queries']} queries   {row['deltas']} deltas   "
+                f"p99 emit {p99_text}"
+            )
     if coalesced:
         lines.append(f"coalesce  {coalesced} changes compacted away")
     if recovery is not None and recovery.any:

@@ -33,6 +33,7 @@ own callable instead.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, replace
 from typing import Optional
 
@@ -68,37 +69,73 @@ class TraceEvent:
 
 
 class TraceCollector:
-    """A trace callback that accumulates events and summary counts."""
+    """A trace callback that accumulates events and summary counts.
 
-    def __init__(self) -> None:
-        self.events: list[TraceEvent] = []
+    Retention is bounded: at most ``max_events`` events are kept in a
+    ring buffer (a standing-query service runs indefinitely, so an
+    unbounded list would grow without limit).  When the ring wraps, the
+    oldest events are discarded and counted in :attr:`dropped` — but the
+    summary counts stay *exact*, because they are running tallies
+    incremented on arrival, not scans of the retained window.  Pass
+    ``max_events=None`` for the old keep-everything behaviour.
+    """
+
+    DEFAULT_MAX_EVENTS = 65536
+
+    def __init__(self, max_events: Optional[int] = DEFAULT_MAX_EVENTS) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError("max_events must be >= 1 (or None for unbounded)")
+        self.max_events = max_events
+        self._ring: deque[TraceEvent] = deque(maxlen=max_events)
+        self.dropped = 0
+        self._batches = 0
+        self._changes = 0
+        self._watermark_advances = 0
+        self._frontier_advances = 0
+        self._recoveries = 0
 
     def __call__(self, event: TraceEvent) -> None:
-        self.events.append(event)
+        if self._ring.maxlen is not None and len(self._ring) == self._ring.maxlen:
+            self.dropped += 1
+        self._ring.append(event)
+        if event.kind == "batch":
+            self._batches += 1
+            self._changes += event.count
+        elif event.kind == "watermark":
+            self._watermark_advances += 1
+        elif event.kind == "frontier":
+            self._frontier_advances += 1
+        elif event.kind == "recovery":
+            self._recoveries += 1
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """The retained events (the newest ``max_events``), oldest first."""
+        return list(self._ring)
 
     @property
     def batches(self) -> int:
-        return sum(1 for e in self.events if e.kind == "batch")
+        return self._batches
 
     @property
     def changes(self) -> int:
-        return sum(e.count for e in self.events if e.kind == "batch")
+        return self._changes
 
     @property
     def watermark_advances(self) -> int:
-        return sum(1 for e in self.events if e.kind == "watermark")
+        return self._watermark_advances
 
     @property
     def frontier_advances(self) -> int:
-        return sum(1 for e in self.events if e.kind == "frontier")
+        return self._frontier_advances
 
     @property
     def recoveries(self) -> int:
-        return sum(1 for e in self.events if e.kind == "recovery")
+        return self._recoveries
 
     def shard_timeline(self, shard: int) -> list[TraceEvent]:
-        """Events attributed to one shard, in arrival order."""
-        return [e for e in self.events if e.shard == shard]
+        """Retained events attributed to one shard, in arrival order."""
+        return [e for e in self._ring if e.shard == shard]
 
     def summary(self) -> dict:
         return {
@@ -107,4 +144,5 @@ class TraceCollector:
             "watermark_advances": self.watermark_advances,
             "frontier_advances": self.frontier_advances,
             "recoveries": self.recoveries,
+            "dropped": self.dropped,
         }

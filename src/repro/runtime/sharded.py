@@ -44,6 +44,7 @@ from ..core.errors import ExecutionError
 from ..core.times import MIN_TIMESTAMP, Timestamp
 from ..core.tvr import RowEvent, StreamEvent, TimeVaryingRelation, WatermarkEvent
 from ..exec.executor import Dataflow, RunResult, merge_source_events
+from ..obs.lineage import LineageRecorder
 from ..obs.metrics import RecoveryStats, merge_shard_reports
 from ..obs.telemetry import RunTelemetry
 from ..obs.trace import TraceEvent
@@ -121,6 +122,9 @@ class ShardedDataflow:
         self._last_ptime: Timestamp = MIN_TIMESTAMP
         self._trace: Optional[Callable[[TraceEvent], None]] = None
         self._recovery = RecoveryStats()
+        #: optional lineage recorder shared with every shard flow;
+        #: install via :meth:`set_lineage`.
+        self.lineage: Optional[LineageRecorder] = None
 
     @property
     def _frontier(self) -> WatermarkFrontier:
@@ -211,6 +215,27 @@ class ShardedDataflow:
         distributions sample for sample.
         """
         return RunTelemetry.merged(shard.telemetry for shard in self._shards)
+
+    def telemetry_of(self, output_id: str) -> RunTelemetry:
+        """One output channel's latency telemetry, merged over shards."""
+        return RunTelemetry.merged(
+            shard.telemetry_of(output_id) for shard in self._shards
+        )
+
+    def set_lineage(self, recorder: Optional[LineageRecorder]) -> None:
+        """Install (or remove) one lineage recorder across all shards.
+
+        The parent makes the sampling decision once per routed event
+        (so per-source ordinals — and therefore the sampled set — match
+        the serial run exactly, even though watermarks are broadcast to
+        every shard) and assigns merged-changelog positions; the shard
+        flows record the operator path, tagged with their index.
+        Lineage rides the incremental :meth:`process` path — the one
+        service mode drives; supervised batch runs leave it inert.
+        """
+        self.lineage = recorder
+        for index, shard in enumerate(self._shards):
+            shard.set_lineage(recorder, shard=index, register_outputs=False)
 
     def shard_routed_rows(self) -> list[int]:
         """Rows delivered to each shard's scan leaves (the skew signal)."""
@@ -314,6 +339,43 @@ class ShardedDataflow:
         if event.ptime < self._last_ptime:
             raise ExecutionError("events must be fed in processing-time order")
         self._last_ptime = max(self._last_ptime, event.ptime)
+        recorder = self.lineage
+        if recorder is not None:
+            # The parent claims the per-source ordinal and makes the
+            # sampling decision once; shard flows replay it via the
+            # pending context, so lineage sampling is identical to the
+            # serial run however the event is routed or broadcast.
+            seq = recorder.offer(source)
+            if seq is None:
+                recorder.set_pending(None)
+            elif isinstance(event, RowEvent):
+                recorder.set_pending(
+                    recorder.trace_event(
+                        source,
+                        seq,
+                        kind="source",
+                        values=event.change.values,
+                        ptime=event.ptime,
+                    )
+                )
+            else:
+                recorder.set_pending(
+                    recorder.trace_event(
+                        source,
+                        seq,
+                        kind="watermark",
+                        values=event.value,
+                        ptime=event.ptime,
+                    )
+                )
+        try:
+            self._route(event, source)
+        finally:
+            if recorder is not None:
+                recorder.clear_pending()
+
+    def _route(self, event: StreamEvent, source: str) -> None:
+        recorder = self.lineage
         if isinstance(event, RowEvent):
             owner = self.spec.shard_of(
                 source, event.change.values, len(self._shards)
@@ -324,6 +386,7 @@ class ShardedDataflow:
                 before = {
                     oid: shard.output_size_of(oid) for oid in self._outputs
                 }
+                merged_at: dict[str, int] = {}
                 shard.process(event, source)
                 for oid, merge in self._outputs.items():
                     produced = shard.output_slice_of(oid, before[oid])
@@ -333,7 +396,17 @@ class ShardedDataflow:
                             f"output in shard {index}; the plan is not "
                             "cleanly partitioned"
                         )
+                    merged_at[oid] = len(merge.merged)
                     merge.merged.extend(produced)
+                if recorder is not None:
+                    # Shard notes arrive in production order; walk each
+                    # output's cursor forward over the spliced slice.
+                    for oid, cause, count in recorder.drain_shard_notes():
+                        start = merged_at[oid]
+                        recorder.record_output(
+                            cause, oid, range(start, start + count)
+                        )
+                        merged_at[oid] = start + count
         elif isinstance(event, WatermarkEvent):
             for index, shard in enumerate(self._shards):
                 before = {
@@ -546,6 +619,11 @@ class ShardedDataflow:
             },
             "last_ptime": self._last_ptime,
             "recovery": self._recovery.as_dict(),
+            # Shard blobs carry no lineage (they don't own the shared
+            # recorder); the parent snapshots it exactly once.
+            "lineage": (
+                self.lineage.snapshot() if self.lineage is not None else None
+            ),
         }
         return pickle.dumps(payload)
 
@@ -575,6 +653,8 @@ class ShardedDataflow:
         self._last_ptime = payload["last_ptime"]
         # Absent in pre-supervisor checkpoints; start the ledger fresh.
         self._recovery = RecoveryStats(**payload.get("recovery", {}))
+        if payload.get("lineage") is not None:
+            self.set_lineage(LineageRecorder.restore(payload["lineage"]))
 
     @classmethod
     def from_structure(
@@ -626,6 +706,7 @@ class ShardedDataflow:
         self._last_ptime = MIN_TIMESTAMP
         self._trace = None
         self._recovery = RecoveryStats()
+        self.lineage = None
         return self
 
 

@@ -1,0 +1,138 @@
+"""A dependency-free HTTP scrape plane: ``GET /metrics`` + ``GET /healthz``.
+
+The line-JSON protocol in :mod:`repro.service.server` already exposes a
+``metrics`` op, but ops require speaking the protocol; fleet tooling
+(Prometheus, load balancers, ``curl`` in CI) wants plain HTTP.  This
+module is that adapter: a minimal HTTP/1.1 listener over asyncio —
+no frameworks, no dependencies — serving exactly two read-only routes
+next to the service port:
+
+* ``GET /metrics`` — the ``repro_service_*`` Prometheus exposition
+  (text format 0.0.4), byte-identical to the ``metrics`` op's
+  ``exposition`` field and validated by
+  :func:`repro.obs.export.parse_exposition` in CI.
+* ``GET /healthz`` — a JSON liveness document: resident query count,
+  events ingested, live subscribers, undrained queue depth, slow-query
+  log size, and checkpoints taken.
+
+Anything else is a 404; non-GET methods are a 405.  Requests are
+handled one per connection (``Connection: close``) — scrapes are
+infrequent and the simplicity is worth more than keep-alive.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from .server import StandingQueryService
+
+__all__ = ["MetricsHttpServer", "health_document"]
+
+
+def health_document(service: "StandingQueryService") -> dict:
+    """The ``/healthz`` body: one JSON-ready liveness snapshot."""
+    session = service.session
+    queries = session.queries()
+    return {
+        "status": "ok",
+        "queries": len(queries),
+        "events_ingested": session.events_ingested,
+        "subscribers": sum(q.subscriptions.live_count for q in queries),
+        "queue_depth": session.queue_depth(),
+        "slow_queries": session.slow_log.total,
+        "checkpoints": session.checkpoints_taken,
+    }
+
+
+class MetricsHttpServer:
+    """Serve ``/metrics`` and ``/healthz`` for one standing-query service."""
+
+    def __init__(
+        self,
+        service: "StandingQueryService",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        scrape=None,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        #: exposition producer; override to refresh gauges per scrape.
+        self.scrape = scrape if scrape is not None else service.scrape
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+
+    @property
+    def address(self) -> tuple[str, int]:
+        assert self._server is not None
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- one request per connection ------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2:
+                return
+            method, path = parts[0], parts[1].split("?", 1)[0]
+            # Drain headers; none of them change the response.
+            while True:
+                line = await reader.readline()
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+            status, content_type, body = self._route(method, path)
+            payload = body.encode("utf-8")
+            head = (
+                f"HTTP/1.1 {status}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            )
+            writer.write(head.encode("latin-1") + payload)
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+
+    def _route(self, method: str, path: str) -> tuple[str, str, str]:
+        if method != "GET":
+            return (
+                "405 Method Not Allowed",
+                "text/plain; charset=utf-8",
+                "only GET is supported\n",
+            )
+        if path == "/metrics":
+            return (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                self.scrape(),
+            )
+        if path == "/healthz":
+            return (
+                "200 OK",
+                "application/json; charset=utf-8",
+                json.dumps(health_document(self.service)) + "\n",
+            )
+        return (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "routes: /metrics /healthz\n",
+        )

@@ -32,19 +32,98 @@ Families (stable names — renaming is a breaking change for scrapers):
   multicast to two or more standing queries (multi-query optimization).
 * ``repro_service_sharing_ratio`` (gauge) — logical operators attached
   ÷ physical operators resident; 1.0 means no sharing.
+* ``repro_service_emit_latency_ms`` (histogram) — root emit latency vs
+  event-time completion, per standing query (``tenant``/``query``
+  labels).
+* ``repro_service_ingest_to_push_us`` (histogram) — microseconds from
+  an event entering :meth:`SessionManager.ingest` to the query's new
+  deltas being buffered to subscribers, per standing query.
+* ``repro_service_slow_queries_total`` (counter) — slow-query-log
+  entries recorded (threshold-crossing episodes, not per-event spam).
+* ``repro_service_lineage_sampled_total`` / ``_dropped_total``
+  (counters) and ``repro_service_lineage_traces`` (gauge) — delta
+  provenance tracing volume, when lineage is enabled.
+
+The **slow-query log** (:class:`SlowQueryLog`) is the structured
+companion to the histograms: whenever a standing query's p99 emit
+latency or undrained subscriber depth crosses its configured threshold
+(``slow_query_p99_ms`` / ``slow_query_depth``), one JSON-ready entry
+``{"query", "tenant", "reason", "value", "threshold", "at_event"}`` is
+recorded — once per *episode* (the crossing edge), so a persistently
+slow query produces one entry, not one per ingested event.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import TYPE_CHECKING, Optional
 
 from ..obs.export import format_labels
+from ..obs.histogram import Histogram
 from .admission import REJECT_CODES
 
 if TYPE_CHECKING:
     from .session import SessionManager
 
-__all__ = ["ServiceMetrics", "render_service_exposition"]
+__all__ = ["ServiceMetrics", "SlowQueryLog", "render_service_exposition"]
+
+
+class SlowQueryLog:
+    """A bounded, structured log of standing-query threshold crossings.
+
+    Entries are recorded on the *rising edge*: a query enters an
+    episode when ``value`` reaches ``threshold`` and leaves it when the
+    value drops back below, so the log records incidents rather than
+    repeating one slow query every event.  ``at_event`` is the
+    session's ingested-event count — a logical clock, so tests and
+    replays are deterministic.  At most ``max_entries`` entries are
+    retained (oldest evicted); :attr:`total` counts all entries ever
+    recorded.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self._ring: deque[dict] = deque(maxlen=max_entries)
+        self.total = 0
+        self._active: set[tuple[str, str]] = set()
+
+    def update(
+        self,
+        query_id: str,
+        tenant: str,
+        reason: str,
+        value: int,
+        threshold: int,
+        at_event: int,
+    ) -> Optional[dict]:
+        """Fold one observation in; returns the new entry on a rising edge."""
+        key = (query_id, reason)
+        if value < threshold:
+            self._active.discard(key)
+            return None
+        if key in self._active:
+            return None
+        self._active.add(key)
+        entry = {
+            "query": query_id,
+            "tenant": tenant,
+            "reason": reason,
+            "value": value,
+            "threshold": threshold,
+            "at_event": at_event,
+        }
+        self._ring.append(entry)
+        self.total += 1
+        return entry
+
+    def forget(self, query_id: str) -> None:
+        """Close any open episodes of a withdrawn query."""
+        self._active = {k for k in self._active if k[0] != query_id}
+
+    def entries(self) -> list[dict]:
+        """The retained entries, oldest first (JSON-ready dicts)."""
+        return [dict(entry) for entry in self._ring]
 
 
 class ServiceMetrics:
@@ -171,4 +250,55 @@ def render_service_exposition(
     lines.append(
         f"repro_service_sharing_ratio {session.sharing_ratio():.6f}"
     )
+
+    def histogram_series(name: str, base: dict, histogram: Histogram) -> None:
+        for le, cumulative in histogram.cumulative_buckets():
+            lines.append(
+                f"{name}_bucket"
+                + format_labels({**base, "le": le})
+                + f" {cumulative}"
+            )
+        lines.append(f"{name}_sum{format_labels(base)} {histogram.sum}")
+        lines.append(f"{name}_count{format_labels(base)} {histogram.count}")
+
+    # Histogram families are only declared when a series exists: the
+    # exposition validator (rightly) rejects a histogram TYPE comment
+    # with no bucket/sum/count samples.
+    if queries:
+        family("repro_service_emit_latency_ms", "histogram",
+               "Root emit latency vs event-time completion, per standing query")
+        for query in queries:
+            histogram_series(
+                "repro_service_emit_latency_ms",
+                {"query": query.query_id, "tenant": query.tenant},
+                query.flow.telemetry_of(query.output_id).emit_latency,
+            )
+        family("repro_service_ingest_to_push_us", "histogram",
+               "Microseconds from event ingest to subscriber delta push")
+        for query in queries:
+            histogram_series(
+                "repro_service_ingest_to_push_us",
+                {"query": query.query_id, "tenant": query.tenant},
+                query.ingest_push,
+            )
+
+    family("repro_service_slow_queries_total", "counter",
+           "Slow-query log entries recorded (threshold-crossing episodes)")
+    lines.append(f"repro_service_slow_queries_total {session.slow_log.total}")
+
+    lineage = session.lineage_summary()
+    if lineage is not None:
+        family("repro_service_lineage_sampled_total", "counter",
+               "Source events opened as lineage traces")
+        lines.append(
+            f"repro_service_lineage_sampled_total {lineage['sampled']}"
+        )
+        family("repro_service_lineage_dropped_total", "counter",
+               "Lineage traces evicted past the retention bound")
+        lines.append(
+            f"repro_service_lineage_dropped_total {lineage['dropped']}"
+        )
+        family("repro_service_lineage_traces", "gauge",
+               "Lineage traces currently retained")
+        lines.append(f"repro_service_lineage_traces {lineage['retained']}")
     return "\n".join(lines) + "\n"

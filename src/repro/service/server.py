@@ -55,6 +55,7 @@ from ..core.tvr import StreamEvent, TimeVaryingRelation
 from ..engine import StreamEngine
 from ..io import parse_event_line
 from .admission import AdmissionError, AdmissionGateway, TenantPolicy
+from .http import MetricsHttpServer
 from .metrics import ServiceMetrics, render_service_exposition
 from .session import SessionManager, StandingQuery
 from .sources import LiveSource, pump, serve_socket_lines, tail_file
@@ -178,6 +179,22 @@ class StandingQueryService:
             self.metrics, self.session, self.source_depths
         )
 
+    # -- observability --------------------------------------------------------
+
+    def explain_delta(self, query_id: str, seq: int) -> Optional[dict]:
+        """Trace one subscriber delta back to its source rows.
+
+        ``None`` when the query's flow has lineage disabled
+        (``lineage_sample=0``) or position ``seq`` was not in the
+        sample; raises :class:`~repro.core.errors.ExecutionError` for an
+        unknown query.  See docs/OBSERVABILITY.md for the result shape.
+        """
+        return self.session.explain_delta(query_id, seq)
+
+    def slow_queries(self) -> list[dict]:
+        """The retained slow-query log entries, oldest first."""
+        return self.session.slow_log.entries()
+
     # -- durability ---------------------------------------------------------
 
     def checkpoint(self, directory: Optional[str] = None) -> str:
@@ -227,6 +244,8 @@ class ServiceServer:
         self._follow = True
         #: connection → authenticated tenant (token mode only).
         self._authed: dict[asyncio.StreamWriter, str] = {}
+        #: optional HTTP scrape plane (GET /metrics, GET /healthz).
+        self.http: Optional[MetricsHttpServer] = None
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -234,6 +253,22 @@ class ServiceServer:
         self._server = await asyncio.start_server(
             self._handle, self.host, self.port
         )
+
+    async def serve_http(self, host: str, port: int) -> MetricsHttpServer:
+        """Open the HTTP scrape plane next to the line-JSON port.
+
+        The source-depth gauges are refreshed on every scrape, the same
+        way the line-JSON ``metrics`` op refreshes them.
+        """
+        def scrape_with_depths() -> str:
+            self._refresh_depths()
+            return self.service.scrape()
+
+        self.http = MetricsHttpServer(
+            self.service, host, port, scrape=scrape_with_depths
+        )
+        await self.http.start()
+        return self.http
 
     @property
     def address(self) -> tuple[str, int]:
@@ -329,6 +364,9 @@ class ServiceServer:
             server.close()
             await server.wait_closed()
         self._socket_servers = []
+        if self.http is not None:
+            await self.http.stop()
+            self.http = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -456,6 +494,17 @@ class ServiceServer:
             if op == "metrics":
                 self._refresh_depths()
                 return {"ok": True, "exposition": self.service.scrape()}
+            if op == "lineage":
+                explanation = self.service.explain_delta(
+                    request["query"], int(request["seq"])
+                )
+                return {
+                    "ok": True,
+                    "traced": explanation is not None,
+                    "lineage": explanation,
+                }
+            if op == "slowlog":
+                return {"ok": True, "entries": self.service.slow_queries()}
             if op == "checkpoint":
                 return {"ok": True, "directory": self.service.checkpoint(
                     request.get("directory") or None)}
@@ -501,6 +550,7 @@ async def run_service(
     tails: dict[str, str],
     *,
     sockets: Optional[dict[str, tuple[str, int]]] = None,
+    http: Optional[tuple[str, int]] = None,
     follow: bool = True,
     ready=None,
 ) -> ServiceServer:
@@ -508,14 +558,19 @@ async def run_service(
 
     ``tails`` maps source name → feed path; ``sockets`` maps source
     name → ``(host, port)`` to accept line-oriented feed connections
-    (the ``--listen-source`` flag).  With ``follow=True`` the
-    coroutine serves until cancelled; with ``follow=False`` it reads
-    each feed to end-of-file, drains the pump, and returns (the CI
-    smoke mode).  ``ready``, when given, is an :class:`asyncio.Event`
-    set once the server is listening and the pump is running.
+    (the ``--listen-source`` flag); ``http``, when given, is the
+    ``(host, port)`` of the HTTP scrape plane (``GET /metrics`` and
+    ``GET /healthz``, the ``--metrics`` flag).  With ``follow=True``
+    the coroutine serves until cancelled; with ``follow=False`` it
+    reads each feed to end-of-file, drains the pump, and returns (the
+    CI smoke mode).  ``ready``, when given, is an
+    :class:`asyncio.Event` set once the server is listening and the
+    pump is running.
     """
     server = ServiceServer(service, host, port)
     await server.start()
+    if http is not None:
+        await server.serve_http(*http)
     for name, path in tails.items():
         server.add_tail(name, path)
     for name, (src_host, src_port) in (sockets or {}).items():
@@ -531,5 +586,8 @@ async def run_service(
         finally:
             await server.stop()
     else:
+        # Like the line-JSON listener, the HTTP plane stays open after
+        # the drain so callers can still scrape; ``server.stop()``
+        # closes both.
         await server.drain()
     return server

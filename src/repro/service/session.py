@@ -46,6 +46,7 @@ from __future__ import annotations
 import json
 import os
 import pickle
+import time
 from typing import TYPE_CHECKING, Optional
 
 from ..config import ExecutionConfig
@@ -53,11 +54,14 @@ from ..core.errors import ExecutionError
 from ..core.tvr import StreamEvent
 from ..exec.executor import Dataflow, merge_source_events
 from ..io import format_script, parse_script
+from ..obs.histogram import Histogram
+from ..obs.lineage import LineageRecorder
 from ..plan import plan_fingerprint
 from ..plan.optimizer import optimize
 from ..plan.partition import analyze_partitioning
 from ..plan.planner import QueryPlan
 from ..runtime.sharded import ShardedDataflow
+from .metrics import SlowQueryLog
 from .subscriptions import Delta, SubscriptionRegistry
 
 if TYPE_CHECKING:
@@ -101,6 +105,8 @@ class StandingQuery:
         self.subscriptions = SubscriptionRegistry(subscriber_capacity)
         #: output cursor: merged changes already published to subscribers.
         self.cursor = flow.output_size_of(self.output_id)
+        #: microseconds from event ingest to this query's delta push.
+        self.ingest_push = Histogram()
 
     @property
     def sharded(self) -> bool:
@@ -259,6 +265,8 @@ class SessionManager:
         #: per-source consumed-event counts, for tailer resumption.
         self.source_offsets: dict[str, int] = {}
         self.checkpoints_taken = 0
+        #: threshold-crossing incidents (see metrics.SlowQueryLog).
+        self.slow_log = SlowQueryLog()
         self._next_id = 1
 
     # -- registry ---------------------------------------------------------------
@@ -324,7 +332,13 @@ class SessionManager:
         if effective.share_plans and catch_up:
             host = self.plan_cache.find_host(optimized, key)
         if host is not None:
-            donor = self._build_flow(optimized, effective, output_id=query_id)
+            # The donor is a throwaway state supplier: its operators are
+            # transplanted into the host flow, whose recorder (if any)
+            # covers them from then on, so tracing the donor's replay
+            # would only burn time on lineage that is discarded.
+            donor = self._build_flow(
+                optimized, effective, output_id=query_id, lineage=False
+            )
             for event, source in merge_source_events(self.engine._sources):
                 donor.process(event, source)
             # Root-level sharing is only sound when some member's whole
@@ -377,15 +391,20 @@ class SessionManager:
         # Ref-counted teardown: only operators no surviving member
         # reads are closed and dropped; shared state is untouched.
         self.plan_cache.drop_member(query_id)
+        self.slow_log.forget(query_id)
         return True
 
     def _build_flow(
-        self, plan: QueryPlan, effective: ExecutionConfig, output_id: str
+        self,
+        plan: QueryPlan,
+        effective: ExecutionConfig,
+        output_id: str,
+        lineage: bool = True,
     ):
         if effective.parallelism > 1:
             decision = analyze_partitioning(plan)
             if decision.partitionable:
-                return ShardedDataflow(
+                flow = ShardedDataflow(
                     plan,
                     self.engine._sources,
                     decision.spec,
@@ -397,7 +416,9 @@ class SessionManager:
                     coalesce_updates=effective.coalesce_updates,
                     output_id=output_id,
                 )
-        return Dataflow(
+                self._install_lineage(flow, effective, lineage)
+                return flow
+        flow = Dataflow(
             plan,
             self.engine._sources,
             effective.allowed_lateness,
@@ -405,6 +426,27 @@ class SessionManager:
             coalesce_updates=effective.coalesce_updates,
             output_id=output_id,
         )
+        self._install_lineage(flow, effective, lineage)
+        return flow
+
+    @staticmethod
+    def _install_lineage(flow, effective: ExecutionConfig, lineage: bool) -> None:
+        """Give a fresh flow its own provenance recorder when enabled.
+
+        One recorder per physical flow: every resident flow sees every
+        ingested event in the same order, so per-source sequence numbers
+        (and hence the deterministic sampling decisions) agree across
+        flows without any shared state.  Installed before catch-up, so a
+        late-joining query's replayed history is numbered exactly as a
+        from-the-start run would have numbered it.
+        """
+        if lineage and effective.lineage_sample > 0:
+            flow.set_lineage(
+                LineageRecorder(
+                    effective.lineage_sample,
+                    max_traces=effective.lineage_max_traces,
+                )
+            )
 
     @staticmethod
     def _flow_parallelism(flow) -> int:
@@ -423,6 +465,7 @@ class SessionManager:
         Returns ``{query_id: [deltas]}`` for queries that produced
         output.
         """
+        started = time.perf_counter()
         key = source.lower()
         if key not in self.engine._sources:
             raise ExecutionError(f"no source registered for {source!r}")
@@ -436,6 +479,10 @@ class SessionManager:
             deltas = query.publish_pending()
             if deltas:
                 published[query.query_id] = deltas
+                query.ingest_push.observe(
+                    int((time.perf_counter() - started) * 1_000_000)
+                )
+        self._check_slow_queries()
         interval = self.config.retry.checkpoint_interval
         if (
             interval
@@ -448,6 +495,82 @@ class SessionManager:
     def queue_depth(self) -> int:
         """Undrained subscriber deltas across all queries."""
         return sum(q.subscriptions.queue_depth() for q in self._queries.values())
+
+    def _check_slow_queries(self) -> None:
+        """Fold every query's health into the slow-query log.
+
+        Thresholds are the session-level config's ``slow_query_p99_ms``
+        and ``slow_query_depth``; 0 disables a check.  The log itself
+        deduplicates per episode, so calling this every ingest is cheap
+        and produces incident entries, not per-event spam.
+        """
+        p99_limit = self.config.slow_query_p99_ms
+        depth_limit = self.config.slow_query_depth
+        if not p99_limit and not depth_limit:
+            return
+        for query in self._queries.values():
+            if p99_limit:
+                emit = query.flow.telemetry_of(query.output_id).emit_latency
+                p99 = emit.percentile(0.99)
+                if p99 is not None:
+                    self.slow_log.update(
+                        query.query_id,
+                        query.tenant,
+                        "emit_p99_ms",
+                        p99,
+                        p99_limit,
+                        self.events_ingested,
+                    )
+            if depth_limit:
+                self.slow_log.update(
+                    query.query_id,
+                    query.tenant,
+                    "queue_depth",
+                    query.subscriptions.queue_depth(),
+                    depth_limit,
+                    self.events_ingested,
+                )
+
+    # -- lineage -------------------------------------------------------------------
+
+    def explain_delta(self, query_id: str, seq: int) -> Optional[dict]:
+        """The provenance of delta ``seq`` of a standing query.
+
+        Delta sequence numbers line up with changelog positions (the
+        subscription registry seeks past the history prefix), so the
+        flow's lineage recorder resolves them directly.  Returns
+        ``None`` when lineage is disabled for the query's flow or the
+        position was not sampled; raises for an unknown query.
+        """
+        query = self._queries.get(query_id)
+        if query is None:
+            raise ExecutionError(f"no standing query {query_id!r}")
+        recorder = getattr(query.flow, "lineage", None)
+        if recorder is None:
+            return None
+        return recorder.explain(query.output_id, seq)
+
+    def lineage_summary(self) -> Optional[dict]:
+        """Tracing volume aggregated over all resident flows' recorders.
+
+        ``None`` when no flow has lineage enabled.  ``events_seen`` and
+        ``sampled`` count per flow (every flow sees every event), so the
+        totals measure recording work done, not distinct source events.
+        """
+        summaries = [
+            record.flow.lineage.summary()
+            for record in self.plan_cache.records
+            if getattr(record.flow, "lineage", None) is not None
+        ]
+        if not summaries:
+            return None
+        return {
+            "flows": len(summaries),
+            "events_seen": sum(s["events_seen"] for s in summaries),
+            "sampled": sum(s["sampled"] for s in summaries),
+            "retained": sum(s["retained"] for s in summaries),
+            "dropped": sum(s["dropped"] for s in summaries),
+        }
 
     # -- durability --------------------------------------------------------------
 

@@ -42,6 +42,7 @@ Commands:
   \\subscribe TENANT SQL;  admit a standing query and subscribe to it
   \\queries            list resident standing queries
   \\pump NAME PATH     feed a recorded file through the standing queries
+  \\lineage QUERY SEQ  trace a standing query's delta back to source rows
   \\quit               exit
 Anything else is SQL, terminated by ';'.  Add EMIT STREAM to see the
 changelog rendering instead of a table; EXPLAIN and EXPLAIN ANALYZE
@@ -187,6 +188,10 @@ class Shell:
                 if len(args) != 2:
                     return "usage: \\pump NAME PATH"
                 return self._pump(args[0], args[1])
+            if name == "\\lineage":
+                if len(args) != 2:
+                    return "usage: \\lineage QUERY_ID SEQ"
+                return self._lineage(args[0], int(args[1]))
             return f"unknown command {name} (\\help for help)"
         except (ReproError, OSError, KeyError, ValueError) as exc:
             return f"error: {exc}"
@@ -240,6 +245,9 @@ class Shell:
                 shard_rows=flow.shard_routed_rows() if use_sharded else None,
                 recovery=getattr(flow, "recovery", None),
                 coalesced=flow.changes_coalesced(),
+                tenants=(
+                    self._tenant_rows() if self._service is not None else None
+                ),
                 final=final,
             )
 
@@ -312,9 +320,19 @@ class Shell:
         statements query.
         """
         if self._service is None:
+            from dataclasses import replace
+
             from .service import StandingQueryService
 
-            self._service = StandingQueryService(engine=self.engine)
+            # The shell is an exploration tool, so provenance tracing
+            # defaults on — \lineage works out of the box — whenever the
+            # launch flags left it at the global default (off).
+            config = self.engine.config
+            if config.lineage_sample == 0:
+                config = replace(config, lineage_sample=1)
+            self._service = StandingQueryService(
+                engine=self.engine, config=config
+            )
         return self._service
 
     def _subscribe(self, tenant: str, sql: str) -> str:
@@ -378,6 +396,68 @@ class Shell:
                 )
         header = f"pumped {len(events)} events; {published} deltas published"
         return "\n".join([header] + printed)
+
+    def _lineage(self, query_id: str, seq: int) -> str:
+        """Render one delta's provenance: source rows, then the path."""
+        if self._service is None:
+            return "(no standing queries; \\subscribe first)"
+        explanation = self.service.explain_delta(query_id, seq)
+        if explanation is None:
+            return (
+                f"{query_id} #{seq}: not traced (position outside the "
+                f"sample, evicted, or lineage disabled)"
+            )
+        lines = [
+            f"{query_id} #{seq}  trace={explanation['trace_id']}",
+            "source rows:",
+        ]
+        for row in explanation["sources"]:
+            if row["kind"] == "watermark":
+                lines.append(
+                    f"  {row['source']} seq={row['seq']} "
+                    f"watermark→{fmt_time(row['values'])} "
+                    f"@{fmt_time(row['ptime'])}"
+                )
+            else:
+                lines.append(
+                    f"  {row['source']} seq={row['seq']} "
+                    f"{tuple(row['values'])} @{fmt_time(row['ptime'])}"
+                )
+        lines.append("path:")
+        for step in explanation["path"]:
+            where = f" [shard {step['shard']}]" if step["shard"] is not None else ""
+            shared = (
+                f" [shared ×{step['shared_by']}]" if step["shared_by"] > 1 else ""
+            )
+            lines.append(
+                f"  {step['operator']}{where}{shared} "
+                f"→ {step['produced']} change(s)"
+            )
+        return "\n".join(lines)
+
+    def _tenant_rows(self) -> list[dict]:
+        """Per-tenant service health for the \\watch dashboard."""
+        by_tenant: dict[str, dict] = {}
+        for query in self.service.session.queries():
+            row = by_tenant.setdefault(
+                query.tenant,
+                {"tenant": query.tenant, "queries": 0, "deltas": 0,
+                 "emit": []},
+            )
+            row["queries"] += 1
+            row["deltas"] += query.subscriptions.delivered
+            row["emit"].append(
+                query.flow.telemetry_of(query.output_id).emit_latency
+            )
+        from .obs.histogram import Histogram
+
+        out = []
+        for tenant in sorted(by_tenant):
+            row = by_tenant.pop(tenant)
+            merged = Histogram.merged(row.pop("emit"))
+            row["p99_emit_ms"] = merged.percentile(0.99)
+            out.append(row)
+        return out
 
     def _run_sql(self, sql: str) -> str:
         try:
