@@ -4,14 +4,28 @@ Confirms the engine's per-event cost stays flat (linear total time) as
 the NEXMark workload grows, for a stateless query and for the windowed
 Q7 pipeline — i.e. watermark-driven state cleanup keeps per-event work
 independent of history length.
+
+Also hosts the **two-phase aggregation sweep**: a high-fan-in bursty
+tumble workload swept over shard counts × {single-phase, two-phase} ×
+{coalesce off, coalesce on}, gated on three promises (byte-equality
+with serial when not coalescing, a ≥4x merge-traffic reduction, and a
+≥1.5x throughput win on the coalesced delta arm at 8 shards).  Writes
+``BENCH_scaling.json`` — the artifact the CI ``scaling-bench`` job
+uploads.  Runs under plain pytest and as a script::
+
+    PYTHONPATH=src python benchmarks/bench_scaling.py
 """
 
+import json
 import time
+from pathlib import Path
 
 import pytest
 
 from repro import ExecutionConfig, StreamEngine
+from repro.core.schema import Schema, int_col, timestamp_col
 from repro.core.times import seconds
+from repro.core.tvr import TimeVaryingRelation, ins, wm
 from repro.nexmark import NexmarkConfig, generate
 from repro.nexmark.queries import Q0_PASSTHROUGH, q7_highest_bid
 
@@ -93,6 +107,188 @@ def test_shard_sweep_rows_per_sec():
             assert result.changes == baseline  # identical at every width
 
 
+# ---------------------------------------------------------------------------
+# two-phase aggregation sweep (the CI scaling-bench artifact)
+# ---------------------------------------------------------------------------
+
+ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_scaling.json"
+SCHEMA_VERSION = 1
+
+TP_SCHEMA = Schema(
+    [int_col("k"), timestamp_col("ts", event_time=True), int_col("v")]
+)
+
+#: Decomposable aggregate mix over 10-second tumbling windows; the
+#: partition analyzer shards it by ``k``, the physical planner may
+#: split it.
+TP_SQL = """
+    SELECT k, wend, SUM(v) AS total, COUNT(*) AS n
+    FROM Tumble(data => TABLE(S), timecol => DESCRIPTOR(ts),
+                dur => INTERVAL '10' SECONDS) TS
+    GROUP BY k, wend
+"""
+
+TP_KEYS = 8
+TP_BURSTS = 40
+TP_BURST_LEN = 512          # rows per burst, all one key at one ptime
+TP_BATCH = 512              # micro-batch size = the burst length
+TP_SHARD_SWEEP = [1, 2, 4, 8]
+TP_REPEATS = 3              # best-of timing per arm
+GATE_SHARDS = 8
+GATE_SPEEDUP = 1.5          # delta arm vs single-phase, coalesce on
+GATE_TRAFFIC = 4.0          # merge rows: single-phase / two-phase
+
+
+def two_phase_events():
+    """~20k rows: bursts of one key at one ptime (so shards receive
+    globally consecutive sequence runs and micro-batching forms full
+    extents), ~3 event-time values per window per burst, a watermark
+    every ~10 bursts, and a closing max watermark."""
+    events, ptime, i = [], 1_000_000, 0
+    for b in range(TP_BURSTS):
+        ptime += 1_000
+        for _ in range(TP_BURST_LEN):
+            events.append(
+                ins(ptime, (b % TP_KEYS, (b // TP_KEYS) * 10_000 + i % 3, i))
+            )
+            i += 1
+        if b % 10 == 9:
+            events.append(wm(ptime + 1, (b // TP_KEYS) * 10_000))
+    events.append(wm(ptime + 1_000, 1 << 60))
+    return events
+
+
+def _run_two_phase_arm(events, shards, two_phase, coalesce):
+    engine = StreamEngine(
+        config=ExecutionConfig(
+            parallelism=shards,
+            backend="sync",
+            batch_size=TP_BATCH,
+            two_phase=two_phase,
+            coalesce_updates=coalesce,
+        )
+    )
+    engine.register_stream("S", TimeVaryingRelation(TP_SCHEMA, events))
+    best = None
+    for _ in range(TP_REPEATS):
+        flow = engine.query(TP_SQL).sharded_dataflow()
+        t0 = time.perf_counter()
+        flow.run()
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best[1]:
+            best = (flow, elapsed)
+    flow, elapsed = best
+    report = flow.metrics_report()
+    try:
+        combine_rows_in = report.find("CombineAggregate")["rows_in"][0]
+    except KeyError:
+        combine_rows_in = None
+    num_rows = TP_BURSTS * TP_BURST_LEN
+    return {
+        "shards": shards,
+        "two_phase": two_phase,
+        "coalesce": coalesce,
+        "seconds": elapsed,
+        "rows_per_second": num_rows / elapsed,
+        "changes": len(flow.result().changes),
+        "combine_rows_in": combine_rows_in,
+        "is_two_phase": flow.is_two_phase(),
+    }, flow.result().changes
+
+
+def collect_two_phase() -> dict:
+    events = two_phase_events()
+    serial = StreamEngine(config=ExecutionConfig(backend="sync"))
+    serial.register_stream("S", TimeVaryingRelation(TP_SCHEMA, events))
+    baseline = serial.query(TP_SQL).run().changes
+
+    sweep = []
+    for shards in TP_SHARD_SWEEP:
+        for two_phase in ("off", "on"):
+            for coalesce in (False, True):
+                record, changes = _run_two_phase_arm(
+                    events, shards, two_phase, coalesce
+                )
+                if not coalesce:
+                    # replay payloads (and single-phase alike) must be
+                    # byte-identical to the serial changelog
+                    assert changes == baseline, (
+                        f"changelog diverged at shards={shards}, "
+                        f"two_phase={two_phase}"
+                    )
+                sweep.append(record)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "rows": TP_BURSTS * TP_BURST_LEN,
+        "keys": TP_KEYS,
+        "batch_size": TP_BATCH,
+        "sweep": sweep,
+    }
+
+
+def write_artifact(payload: dict) -> Path:
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    return ARTIFACT
+
+
+def _arm(payload, shards, two_phase, coalesce):
+    (record,) = [
+        r
+        for r in payload["sweep"]
+        if r["shards"] == shards
+        and r["two_phase"] == two_phase
+        and r["coalesce"] == coalesce
+    ]
+    return record
+
+
+def test_two_phase_sweep_produces_artifact():
+    """The bench is also the gate: at 8 shards the two-phase delta arm
+    must beat single-phase by ≥1.5x, the combine stage must ingest ≥4x
+    fewer rows than the single-phase merge carries, and every
+    non-coalesced arm must be byte-identical to serial (asserted inside
+    :func:`collect_two_phase`)."""
+    payload = collect_two_phase()
+    assert payload["schema_version"] == SCHEMA_VERSION
+
+    delta = _arm(payload, GATE_SHARDS, "on", True)
+    single = _arm(payload, GATE_SHARDS, "off", True)
+    assert delta["is_two_phase"] and not single["is_two_phase"]
+    speedup = delta["rows_per_second"] / single["rows_per_second"]
+    # Timing gates on shared CI runners see scheduler noise: on a miss,
+    # re-measure the gate pair (best-of accumulates across attempts, for
+    # both arms, so the comparison stays best-vs-best and fair).
+    for _ in range(2):
+        if speedup >= GATE_SPEEDUP:
+            break
+        events = two_phase_events()
+        refreshed_single, _ = _run_two_phase_arm(
+            events, GATE_SHARDS, "off", True
+        )
+        refreshed_delta, _ = _run_two_phase_arm(
+            events, GATE_SHARDS, "on", True
+        )
+        if refreshed_single["seconds"] < single["seconds"]:
+            single.update(refreshed_single)  # in-place: artifact sees it
+        if refreshed_delta["seconds"] < delta["seconds"]:
+            delta.update(refreshed_delta)
+        speedup = delta["rows_per_second"] / single["rows_per_second"]
+    assert speedup >= GATE_SPEEDUP, (
+        f"two-phase delta speedup at {GATE_SHARDS} shards only "
+        f"{speedup:.2f}x"
+    )
+
+    replay = _arm(payload, GATE_SHARDS, "on", False)
+    single_replay = _arm(payload, GATE_SHARDS, "off", False)
+    # single-phase merge traffic = every shard change crosses the merge
+    assert replay["combine_rows_in"] * GATE_TRAFFIC <= (
+        single_replay["changes"]
+    )
+
+    path = write_artifact(payload)
+    assert path.exists() and path.stat().st_size > 0
+
+
 def test_per_event_cost_is_flat():
     """Quadruple the events → roughly quadruple the time (no blowup)."""
     sql = q7_highest_bid(seconds(10))
@@ -105,3 +301,18 @@ def test_per_event_cost_is_flat():
     # allow generous headroom for noise: 4x work should cost < 12x time
     assert large < max(12 * small, large)  # sanity guard, never flaky
     assert large / small < 12
+
+
+if __name__ == "__main__":
+    data = collect_two_phase()
+    path = write_artifact(data)
+    for record in data["sweep"]:
+        mode = "two-phase " if record["is_two_phase"] else "single    "
+        co = "coalesce" if record["coalesce"] else "replay  "
+        print(
+            f"N={record['shards']}  {mode} {co}  "
+            f"{record['rows_per_second']:>9,.0f} rows/s  "
+            f"changes={record['changes']:>6}  "
+            f"combine_in={record['combine_rows_in']}"
+        )
+    print(f"wrote {path}")

@@ -73,6 +73,7 @@ from .core import (
 from .config import ExecutionConfig
 from .engine import PreparedQuery, StreamEngine
 from .exec import DeltaChange, StateReport, StreamChange
+from .explain import EXPLAIN_MODES, parse_explain, render_explain
 from .io import format_script, parse_script
 from .obs import (
     Histogram,
@@ -83,10 +84,17 @@ from .obs import (
     TraceEvent,
 )
 from .obs.export import JsonLinesExporter, PrometheusExporter, make_exporter
+from .plan.physical import (
+    MIN_COMBINE_FANIN,
+    PhysicalDecision,
+    TwoPhaseSplit,
+    plan_physical,
+    split_eligibility,
+)
 from .runtime.faults import FaultPlan, FaultSpec
 from .runtime.supervisor import RetryPolicy
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "StreamEngine",
@@ -109,6 +117,16 @@ __all__ = [
     "make_exporter",
     "parse_script",
     "format_script",
+    # explain API (stable)
+    "EXPLAIN_MODES",
+    "parse_explain",
+    "render_explain",
+    # physical aggregation planning (provisional)
+    "MIN_COMBINE_FANIN",
+    "PhysicalDecision",
+    "TwoPhaseSplit",
+    "plan_physical",
+    "split_eligibility",
     # re-exported core API
     "Timestamp",
     "Duration",

@@ -69,6 +69,13 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
              "preserving; EMIT STREAM renders fewer rows)",
     )
     parser.add_argument(
+        "--two-phase", choices=("auto", "on", "off"), default=None,
+        help="shard-local partial aggregation with a final combine stage "
+             "for decomposable aggregates; auto (default) consults the "
+             "cost model's counter feedback, on forces the split, off "
+             "disables it",
+    )
+    parser.add_argument(
         "--share-plans", action=argparse.BooleanOptionalAction, default=None,
         help="serve mode: graft standing queries with matching subplan "
              "fingerprints onto one dataflow, computing shared prefixes "
@@ -241,6 +248,7 @@ def build_config(args: argparse.Namespace) -> ExecutionConfig:
         fault_plan=args.fault_plan,
         batch_size=args.batch_size,
         coalesce_updates=args.coalesce_updates,
+        two_phase=args.two_phase,
         queue_capacity=getattr(args, "queue_capacity", None),
         subscriber_capacity=getattr(args, "subscriber_capacity", None),
         checkpoint_dir=getattr(args, "checkpoint_dir", None),

@@ -52,6 +52,7 @@ EXECUTION_DEFAULTS: dict[str, Any] = {
     "fault_plan": None,
     "batch_size": 1,
     "coalesce_updates": False,
+    "two_phase": "auto",
     "queue_capacity": 1024,
     "subscriber_capacity": 256,
     "checkpoint_dir": "",
@@ -95,6 +96,12 @@ class ExecutionConfig:
       instant.  Per-instant snapshots are preserved, but the changelog
       row count shrinks, so ``EMIT STREAM`` renderings see fewer rows
       (see docs/API.md).
+    * ``two_phase`` — physical aggregation shape for sharded runs:
+      ``"auto"`` (the default) splits eligible grouped aggregates into
+      shard-local partials plus a merge-stage combine, falling back to
+      single-phase when counter feedback shows the fan-in is too small;
+      ``"on"`` forces the split whenever eligible; ``"off"`` disables
+      it.  See docs/RUNTIME.md.
     * ``queue_capacity`` — service mode: bounded depth of each live
       source's event queue; a full queue blocks the tailer
       (backpressure) instead of buffering without limit.
@@ -138,6 +145,7 @@ class ExecutionConfig:
     fault_plan: Optional[FaultPlan] = None
     batch_size: Optional[int] = None
     coalesce_updates: Optional[bool] = None
+    two_phase: Optional[str] = None
     queue_capacity: Optional[int] = None
     subscriber_capacity: Optional[int] = None
     checkpoint_dir: Optional[str] = None
@@ -206,6 +214,15 @@ class ExecutionConfig:
             )
         if self.batch_size is not None and self.batch_size < 1:
             raise ValidationError("batch_size must be at least 1")
+        if self.two_phase is not None and self.two_phase not in (
+            "auto",
+            "on",
+            "off",
+        ):
+            raise ValidationError(
+                f"two_phase must be 'auto', 'on', or 'off', got "
+                f"{self.two_phase!r}"
+            )
         if self.queue_capacity is not None and self.queue_capacity < 1:
             raise ValidationError("queue_capacity must be at least 1")
         if self.subscriber_capacity is not None and self.subscriber_capacity < 1:
@@ -254,6 +271,24 @@ def warn_deprecated_kwarg(name: str, instead: str) -> None:
     warnings.warn(
         f"the {name!r} keyword is deprecated; pass "
         f"ExecutionConfig({instead}) via config= instead (see docs/API.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def warn_deprecated_api(name: str, instead: str) -> None:
+    """Emit one ``DeprecationWarning`` per deprecated entry point.
+
+    Same once-per-process discipline as :func:`warn_deprecated_kwarg`
+    but for whole methods (e.g. ``explain_analyze``): the engine and
+    query shims share one key, so migrating callers see exactly one
+    warning however they reached the old name.
+    """
+    if name in _WARNED:
+        return
+    _WARNED.add(name)
+    warnings.warn(
+        f"{name} is deprecated; use {instead} instead (see docs/API.md)",
         DeprecationWarning,
         stacklevel=3,
     )

@@ -31,6 +31,7 @@ from typing import Any, Callable, Iterable, Optional, Sequence
 from .config import (
     ExecutionConfig,
     warn_coalesce_emit_stream,
+    warn_deprecated_api,
     warn_deprecated_kwarg,
 )
 from .core.emit import EmitSpec
@@ -40,6 +41,7 @@ from .core.schema import Schema, SqlType
 from .core.times import MAX_TIMESTAMP, Timestamp, t
 from .core.tvr import TimeVaryingRelation
 from .exec.executor import Dataflow, RunResult
+from .explain import render_explain
 from .exec.materialize import (
     DeltaChange,
     StreamChange,
@@ -52,6 +54,7 @@ from .obs.export import TelemetryExporter, make_exporter
 from .plan.logical import SortNode
 from .plan.optimizer import optimize
 from .plan.partition import PartitionDecision, analyze_partitioning
+from .plan.physical import PhysicalDecision, plan_physical
 from .plan.planner import Catalog, Planner, QueryPlan
 from .runtime.sharded import ShardedDataflow
 from .sql.functions import FunctionRegistry, default_registry
@@ -234,20 +237,26 @@ class StreamEngine:
         plan = optimize(planner.plan_sql(sql))
         return PreparedQuery(self, plan, config=config)
 
-    def explain(self, sql: str, verbose: bool = False) -> str:
-        """The optimized logical plan of ``sql``, as text."""
-        return self.query(sql).explain(verbose=verbose)
+    def explain(
+        self, sql: str, mode: str = "logical", verbose: bool = False
+    ) -> str:
+        """Render one :data:`~repro.explain.EXPLAIN_MODES` view of ``sql``.
+
+        ``logical`` (the default) is the optimized plan plus the runtime
+        note; ``physical`` adds the one-phase/two-phase aggregation
+        shape; ``costs`` adds the cost-model inputs behind that choice;
+        ``analyze`` executes the query over the registered sources and
+        annotates the plan with each operator's runtime counters (rows
+        in/out, retractions, late drops, expiries, state and peak
+        state, watermark lag) — the Section 5 feedback loop, one
+        command away.
+        """
+        return self.query(sql).explain(mode=mode, verbose=verbose)
 
     def explain_analyze(self, sql: str, verbose: bool = False) -> str:
-        """Run ``sql`` and render the plan annotated with runtime metrics.
-
-        The streaming counterpart of ``EXPLAIN ANALYZE``: the optimized
-        plan followed by each operator's counters (rows in/out,
-        retractions, late drops, expiries, state and peak state,
-        watermark lag) from an actual execution over the registered
-        sources — the Section 5 feedback loop, one command away.
-        """
-        return self.query(sql).explain_analyze(verbose=verbose)
+        """Deprecated spelling of ``explain(sql, mode="analyze")``."""
+        warn_deprecated_api("explain_analyze", 'explain(mode="analyze")')
+        return self.query(sql).explain(mode="analyze", verbose=verbose)
 
 
 class PreparedQuery:
@@ -278,6 +287,9 @@ class PreparedQuery:
         self._cached: Optional[RunResult] = None
         self._cached_fingerprint: Optional[tuple] = None
         self._decision: Optional[PartitionDecision] = None
+        #: metrics of the most recent execution — the counter feedback
+        #: the physical planner's ``auto`` mode consumes.
+        self._last_metrics = None
 
     # -- metadata ------------------------------------------------------------
 
@@ -303,28 +315,14 @@ class PreparedQuery:
             layered = _coerce_config(config).merged_over(layered)
         return layered.merged_over(self._engine.config).resolved()
 
-    def explain(self, verbose: bool = False) -> str:
-        text = self.plan.explain(verbose=verbose)
-        effective = self._effective()
-        if effective.parallelism > 1:
-            decision = self.partition_decision()
-            if decision.partitionable:
-                note = (
-                    f"Runtime: sharded({effective.parallelism}) by "
-                    f"{decision.spec.description} [{effective.backend}]"
-                )
-            else:
-                note = f"Runtime: serial — {decision.reason}"
-            text = f"{text.rstrip()}\n{note}"
-        return text
+    def explain(self, mode: str = "logical", verbose: bool = False) -> str:
+        """One rendered explain ``mode`` (see :data:`repro.explain.EXPLAIN_MODES`)."""
+        return render_explain(self, mode=mode, verbose=verbose)
 
     def explain_analyze(self, verbose: bool = False) -> str:
-        """The plan plus per-operator runtime counters from a real run."""
-        result = self.run()
-        text = self.explain(verbose=verbose).rstrip()
-        if result.metrics is None:  # pragma: no cover — all paths attach one
-            return text
-        return f"{text}\n{result.metrics.render()}"
+        """Deprecated spelling of ``explain(mode="analyze")``."""
+        warn_deprecated_api("explain_analyze", 'explain(mode="analyze")')
+        return self.explain(mode="analyze", verbose=verbose)
 
     def metrics(self):
         """The per-operator :class:`~repro.obs.metrics.MetricsReport`."""
@@ -335,6 +333,23 @@ class PreparedQuery:
         if self._decision is None:
             self._decision = analyze_partitioning(self.plan)
         return self._decision
+
+    def physical_decision(
+        self, config: Optional[ExecutionConfig] = None
+    ) -> PhysicalDecision:
+        """The physical planner's one-phase/two-phase verdict.
+
+        Consumes the ``two_phase`` knob, the partition decision, and —
+        in ``auto`` mode — the previous execution's operator counters
+        as cardinality feedback (none before the first run, so auto
+        optimistically splits until the observed fan-in says otherwise).
+        """
+        return plan_physical(
+            self.plan,
+            self.partition_decision(),
+            self._effective(config),
+            feedback=self._last_metrics,
+        )
 
     def stats(self) -> dict:
         """Execution statistics for the current sources.
@@ -410,6 +425,9 @@ class PreparedQuery:
         if effective.parallelism > 1:
             decision = self.partition_decision()
             if decision.partitionable:
+                physical = plan_physical(
+                    self.plan, decision, effective, feedback=self._last_metrics
+                )
                 flow = ShardedDataflow(
                     self.plan,
                     self._engine._sources,
@@ -421,6 +439,7 @@ class PreparedQuery:
                     fault_plan=effective.fault_plan,
                     batch_size=effective.batch_size,
                     coalesce_updates=effective.coalesce_updates,
+                    two_phase=physical.use_two_phase,
                 )
         if flow is None:
             flow = Dataflow(
@@ -435,6 +454,7 @@ class PreparedQuery:
         result = flow.run()
         if exporter is not None:
             exporter.export(result)
+        self._last_metrics = result.metrics
         return result
 
     def dataflow(self, config: Optional[ExecutionConfig] = None) -> Dataflow:
@@ -487,6 +507,9 @@ class PreparedQuery:
                 f"query is not key-partitionable: {decision.reason}"
             )
         self._maybe_warn_coalesce(effective)
+        physical = plan_physical(
+            self.plan, decision, effective, feedback=self._last_metrics
+        )
         return ShardedDataflow(
             self.plan,
             self._engine._sources,
@@ -498,6 +521,7 @@ class PreparedQuery:
             fault_plan=effective.fault_plan,
             batch_size=effective.batch_size,
             coalesce_updates=effective.coalesce_updates,
+            two_phase=physical.use_two_phase,
         )
 
     # -- renderings --------------------------------------------------------------

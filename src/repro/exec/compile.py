@@ -16,6 +16,7 @@ from ..plan.logical import (
     JoinNode,
     LogicalNode,
     OverNode,
+    PartialAggregateNode,
     ProjectNode,
     ScanNode,
     SemiJoinNode,
@@ -26,7 +27,7 @@ from ..plan.logical import (
     WindowKind,
     WindowNode,
 )
-from .operators.aggregate import AggregateOperator
+from .operators.aggregate import AggregateOperator, PartialAggregateOperator
 from .operators.base import Operator
 from .operators.join import JoinOperator, TimeBound
 from .operators.outer_join import OuterJoinOperator
@@ -124,6 +125,19 @@ def build_operator(
             node.size,
             node.key_indices,
             allowed_lateness=lateness,
+        )
+    if isinstance(node, PartialAggregateNode):
+        # Checked before AggregateNode only by convention; the classes
+        # are unrelated.  ``delta_mode`` is stamped on the node by the
+        # sharded runtime (it tracks the flow's coalesce_updates flag).
+        return PartialAggregateOperator(
+            node.schema,
+            node.group_indices,
+            node.aggs,
+            node.event_time_key_positions,
+            node.input.bounded,
+            allowed_lateness=lateness,
+            delta_mode=getattr(node, "delta_mode", False),
         )
     if isinstance(node, AggregateNode):
         return AggregateOperator(

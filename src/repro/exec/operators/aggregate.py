@@ -23,6 +23,7 @@ from __future__ import annotations
 import copy
 
 from dataclasses import dataclass, field
+from operator import itemgetter
 from typing import Any, Optional, Sequence
 
 from ...core.changelog import Change, ChangeKind
@@ -32,7 +33,37 @@ from ...core.times import MIN_TIMESTAMP, Timestamp
 from ...plan.logical import AggCall
 from .base import Operator
 
-__all__ = ["AggregateOperator"]
+__all__ = [
+    "AggregateOperator",
+    "CombineAggregateOperator",
+    "PartialAggregateOperator",
+    "SUPPRESSED",
+]
+
+
+class _Suppressed:
+    """Placeholder for a DISTINCT duplicate the partial stage absorbed.
+
+    A singleton with a pickle-stable identity so payloads survive the
+    processes backend: ``__reduce__`` reconstructs *the* instance, and
+    combine-side checks stay plain ``is`` comparisons.
+    """
+
+    _instance: Optional["_Suppressed"] = None
+
+    def __new__(cls) -> "_Suppressed":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __reduce__(self):
+        return (_Suppressed, ())
+
+    def __repr__(self) -> str:
+        return "<suppressed>"
+
+
+SUPPRESSED = _Suppressed()
 
 
 @dataclass
@@ -65,6 +96,10 @@ class AggregateOperator(Operator):
         self._groups: dict[tuple, _GroupState] = {}
         self._finalized_max: Timestamp = MIN_TIMESTAMP
         self._global = not self._group_indices
+        # Monotonic, unlike the ``groups`` gauge (which drops back as
+        # the watermark frees state): the cost model's fan-in feedback
+        # needs lifetime rows-per-group.
+        self._groups_created = 0
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -82,6 +117,7 @@ class AggregateOperator(Operator):
     def _new_group(self) -> _GroupState:
         accumulators = [agg.function.create() for agg in self._aggs]
         distinct = [dict() if agg.distinct else None for agg in self._aggs]
+        self._groups_created += 1
         return _GroupState(accumulators, distinct)
 
     # -- data path ---------------------------------------------------------------
@@ -317,18 +353,23 @@ class AggregateOperator(Operator):
         snapshot = super().state_snapshot()
         snapshot["groups"] = copy.deepcopy(self._groups)
         snapshot["finalized_max"] = copy.deepcopy(self._finalized_max)
+        snapshot["groups_created"] = self._groups_created
         return snapshot
 
     def state_restore(self, snapshot: dict) -> None:
         super().state_restore(snapshot)
         self._groups = copy.deepcopy(snapshot["groups"])
         self._finalized_max = copy.deepcopy(snapshot["finalized_max"])
+        self._groups_created = snapshot.get("groups_created", 0)
 
     def state_size(self) -> int:
         return sum(state.retained for state in self._groups.values())
 
     def _extra_metrics(self) -> dict:
-        return {"groups": len(self._groups)}
+        return {
+            "groups": len(self._groups),
+            "groups_created": self._groups_created,
+        }
 
     @property
     def group_count(self) -> int:
@@ -336,3 +377,444 @@ class AggregateOperator(Operator):
 
     def name(self) -> str:
         return f"Aggregate({len(self._aggs)} aggs, {len(self._groups)} groups)"
+
+
+class PartialAggregateOperator(AggregateOperator):
+    """Shard-local half of a two-phase aggregation.
+
+    Instead of maintaining accumulators and emitting a retract/insert
+    pair per input row, this operator condenses each micro-batch into
+    **one** payload change shipped across the merge:
+
+    * **replay mode** (``delta_mode=False``, the byte-identity path):
+      the payload carries the batch's effective rows in order as
+      ``(sign, key, values)`` entries; the combine operator replays
+      them through the exact single-phase transitions.
+    * **delta mode** (``delta_mode=True``, paired with
+      ``coalesce_updates``): the batch is folded into one delta per
+      touched group via the :class:`AggregateFunction` delta protocol,
+      so merge traffic is O(groups touched), not O(rows).
+
+    The late-data check runs *here*, against the shard's input
+    watermark — watermarks are broadcast, so the cutoff at each row's
+    global sequence position is exactly the serial operator's.  The
+    only persistent state is DISTINCT dedup counts (rows of one group
+    always hash to one shard, so shard-local counts are global for
+    that group); without DISTINCT the operator is stateless and the
+    empty-group retraction guard falls to the combine stage.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        group_indices: Sequence[int],
+        aggs: Sequence[AggCall],
+        event_time_key_positions: Sequence[int],
+        input_bounded: bool,
+        allowed_lateness: int = 0,
+        delta_mode: bool = False,
+    ):
+        super().__init__(
+            schema,
+            group_indices,
+            aggs,
+            event_time_key_positions,
+            input_bounded,
+            allowed_lateness,
+        )
+        if not self._group_indices:
+            raise ExecutionError(
+                "partial aggregation requires group keys; global "
+                "aggregates are not split"
+            )
+        self.delta_mode = delta_mode
+        self._has_distinct = any(agg.distinct for agg in self._aggs)
+        # Hot-loop table for _delta_batch: one attribute-free tuple per
+        # aggregate, so the per-row loop does no method resolution on
+        # ``agg.function``.
+        self._delta_specs = tuple(
+            (
+                agg.arg_index,
+                agg.distinct,
+                None if agg.distinct else agg.function.delta_create,
+                None if agg.distinct else agg.function.delta_add,
+                None if agg.distinct else agg.function.delta_retract,
+            )
+            for agg in self._aggs
+        )
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def on_open(self) -> list[Change]:
+        # Never global (checked above): no seed row.  The combine
+        # stage owns any output-side initialization.
+        return []
+
+    # -- data path ---------------------------------------------------------------
+
+    def on_change(self, port: int, change: Change) -> list[Change]:
+        return self.on_batch(port, (change,))
+
+    def on_batch(self, port: int, changes: Sequence[Change]) -> list[Change]:
+        if not changes:
+            return []
+        # Watermark events break batches, so one batch sits at one
+        # processing instant and under one lateness cutoff.
+        if self.delta_mode:
+            return self._delta_batch(changes)
+        return self._replay_batch(changes)
+
+    def _replay_batch(self, changes: Sequence[Change]) -> list[Change]:
+        group_indices = self._group_indices
+        et_positions = self._et_positions
+        lateness = self._allowed_lateness
+        wm = self.input_watermark if et_positions else MIN_TIMESTAMP
+        aggs = self._aggs
+        insert = ChangeKind.INSERT
+        entries: list[tuple] = []
+        if not self._has_distinct:
+            # Stateless: forward each effective row's sign, key, and
+            # aggregate arguments verbatim.
+            arg_indices = tuple(agg.arg_index for agg in aggs)
+            for change in changes:
+                values = change.values
+                key = tuple(values[i] for i in group_indices)
+                if et_positions and all(
+                    key[pos] + lateness <= wm for pos in et_positions
+                ):
+                    self.late_dropped += 1
+                    continue
+                vals = tuple(
+                    values[i] if i is not None else None for i in arg_indices
+                )
+                entries.append(
+                    (1 if change.kind is insert else -1, key, vals)
+                )
+        else:
+            # DISTINCT dedup happens shard-side so the combine stage
+            # never sees a duplicate: forwarded values mark the local
+            # 0->1 / 1->0 transitions, everything else ships as
+            # SUPPRESSED.  Group state exists purely to host the
+            # counts; it mirrors the serial operator's row_count and
+            # empty-retraction guard so errors surface identically.
+            groups = self._groups
+            for change in changes:
+                values = change.values
+                key = tuple(values[i] for i in group_indices)
+                if et_positions and all(
+                    key[pos] + lateness <= wm for pos in et_positions
+                ):
+                    self.late_dropped += 1
+                    continue
+                state = groups.get(key)
+                if state is None:
+                    state = self._new_group()
+                    groups[key] = state
+                adding = change.kind is insert
+                if adding:
+                    state.row_count += 1
+                    state.retained += 1
+                else:
+                    if state.row_count <= 0:
+                        raise ExecutionError(
+                            f"retraction for empty group {key!r} in aggregation"
+                        )
+                    state.row_count -= 1
+                    state.retained -= 1
+                vals = []
+                for i, agg in enumerate(aggs):
+                    value = (
+                        values[agg.arg_index]
+                        if agg.arg_index is not None
+                        else None
+                    )
+                    counts = state.distinct_counts[i]
+                    if counts is None:
+                        vals.append(value)
+                    elif adding:
+                        seen = counts.get(value, 0)
+                        counts[value] = seen + 1
+                        vals.append(SUPPRESSED if seen else value)
+                    else:
+                        seen = counts.get(value, 0)
+                        if seen > 1:
+                            counts[value] = seen - 1
+                            vals.append(SUPPRESSED)
+                        else:
+                            counts.pop(value, None)
+                            vals.append(value)
+                if state.row_count == 0:
+                    # Death resets the dedup counts, exactly when the
+                    # serial operator would drop the group.
+                    del groups[key]
+                entries.append(
+                    (1 if adding else -1, key, tuple(vals))
+                )
+        if not entries:
+            return []
+        payload = ("P2R", len(entries), tuple(entries))
+        return [Change(ChangeKind.INSERT, payload, changes[0].ptime)]
+
+    def _delta_batch(self, changes: Sequence[Change]) -> list[Change]:
+        group_indices = self._group_indices
+        et_positions = self._et_positions
+        lateness = self._allowed_lateness
+        wm = self.input_watermark if et_positions else MIN_TIMESTAMP
+        aggs = self._aggs
+        specs = self._delta_specs
+        insert = ChangeKind.INSERT
+        if len(group_indices) == 1:
+            sole = group_indices[0]
+            key_of = lambda values: (values[sole],)  # noqa: E731
+        else:
+            key_of = itemgetter(*group_indices)
+        # First-touch insertion order, so the combine emits groups in
+        # a deterministic order per payload.
+        builders: dict[tuple, list] = {}
+        rows = 0
+        for change in changes:
+            values = change.values
+            key = key_of(values)
+            if et_positions and all(
+                key[pos] + lateness <= wm for pos in et_positions
+            ):
+                self.late_dropped += 1
+                continue
+            rows += 1
+            builder = builders.get(key)
+            if builder is None:
+                builder = [
+                    0,
+                    [
+                        ([], []) if distinct else create()
+                        for _, distinct, create, _, _ in specs
+                    ],
+                ]
+                builders[key] = builder
+            adding = change.kind is insert
+            builder[0] += 1 if adding else -1
+            for delta, (arg_index, distinct, _, add, retract) in zip(
+                builder[1], specs
+            ):
+                value = values[arg_index] if arg_index is not None else None
+                if distinct:
+                    # DISTINCT deltas are always raw value lists; the
+                    # combine's global dedup counts decide what
+                    # reaches the accumulator.
+                    delta[0 if adding else 1].append(value)
+                elif adding:
+                    add(delta, value)
+                else:
+                    retract(delta, value)
+        if not builders:
+            return []
+        entries = tuple(
+            (
+                key,
+                builder[0],
+                tuple(
+                    (tuple(delta[0]), tuple(delta[1]))
+                    if agg.distinct
+                    else agg.function.delta_freeze(delta)
+                    for agg, delta in zip(aggs, builder[1])
+                ),
+            )
+            for key, builder in builders.items()
+        )
+        payload = ("P2D", rows, entries)
+        return [Change(ChangeKind.INSERT, payload, changes[0].ptime)]
+
+    # -- introspection ----------------------------------------------------------------
+
+    def _extra_metrics(self) -> dict:
+        extras = super()._extra_metrics()
+        extras["partial_mode"] = "delta" if self.delta_mode else "replay"
+        return extras
+
+    def name(self) -> str:
+        mode = "delta" if self.delta_mode else "replay"
+        return f"PartialAggregate({len(self._aggs)} aggs, {mode})"
+
+
+class CombineAggregateOperator(AggregateOperator):
+    """Merge-stage half of a two-phase aggregation.
+
+    Consumes the partial payloads of every shard in global sequence
+    order.  Replay payloads go through the inherited single-phase
+    transitions entry by entry — group keys arrive pre-extracted, the
+    lateness cutoff already happened shard-side, and SUPPRESSED marks
+    a DISTINCT duplicate the shard absorbed — so the emitted changelog
+    is byte-identical to serial execution.  Delta payloads fold one
+    summary per touched group into the global accumulators and emit
+    one retract/insert pair per group, the coalesced shape.
+
+    ``rows_in`` counts payloads — that *is* the merge-traffic metric —
+    while ``agg_rows_in`` preserves the true row count for the cost
+    model's fan-in feedback.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        group_indices: Sequence[int],
+        aggs: Sequence[AggCall],
+        event_time_key_positions: Sequence[int],
+        input_bounded: bool,
+        allowed_lateness: int = 0,
+    ):
+        super().__init__(
+            schema,
+            group_indices,
+            aggs,
+            event_time_key_positions,
+            input_bounded,
+            allowed_lateness,
+        )
+        self._agg_rows_in = 0
+
+    # -- data path ---------------------------------------------------------------
+
+    def on_change(self, port: int, change: Change) -> list[Change]:
+        return self.on_batch(port, (change,))
+
+    def on_batch(self, port: int, changes: Sequence[Change]) -> list[Change]:
+        out: list[Change] = []
+        for change in changes:
+            tag, rows, entries = change.values
+            self._agg_rows_in += rows
+            if tag == "P2R":
+                self._replay(entries, change.ptime, out)
+            elif tag == "P2D":
+                self._apply_deltas(entries, change.ptime, out)
+            else:
+                raise ExecutionError(
+                    f"unknown partial aggregation payload tag {tag!r}"
+                )
+        return out
+
+    def _replay(
+        self, entries: tuple, ptime: Timestamp, out: list[Change]
+    ) -> None:
+        groups = self._groups
+        aggs = self._aggs
+        retract = ChangeKind.RETRACT
+        insert = ChangeKind.INSERT
+        append = out.append
+        for sign, key, vals in entries:
+            state = groups.get(key)
+            if state is None:
+                state = self._new_group()
+                groups[key] = state
+            if sign > 0:
+                state.row_count += 1
+                state.retained += 1
+                for i, agg in enumerate(aggs):
+                    value = vals[i]
+                    if value is SUPPRESSED:
+                        continue
+                    counts = state.distinct_counts[i]
+                    if counts is not None:
+                        counts[value] = 1
+                    agg.function.add(state.accumulators[i], value)
+            else:
+                if state.row_count <= 0:
+                    raise ExecutionError(
+                        f"retraction for empty group {key!r} in aggregation"
+                    )
+                state.row_count -= 1
+                state.retained -= 1
+                for i, agg in enumerate(aggs):
+                    value = vals[i]
+                    if value is SUPPRESSED:
+                        continue
+                    counts = state.distinct_counts[i]
+                    if counts is not None:
+                        counts.pop(value, None)
+                    agg.function.retract(state.accumulators[i], value)
+            emitted = state.emitted
+            if state.row_count == 0:
+                if emitted is not None:
+                    append(Change(retract, emitted, ptime))
+                del groups[key]
+                continue
+            row = self._output_row(key, state)
+            if row == emitted:
+                continue
+            if emitted is not None:
+                append(Change(retract, emitted, ptime))
+            append(Change(insert, row, ptime))
+            state.emitted = row
+
+    def _apply_deltas(
+        self, entries: tuple, ptime: Timestamp, out: list[Change]
+    ) -> None:
+        groups = self._groups
+        aggs = self._aggs
+        retract = ChangeKind.RETRACT
+        insert = ChangeKind.INSERT
+        append = out.append
+        for key, rc_delta, frozen in entries:
+            state = groups.get(key)
+            if state is None:
+                state = self._new_group()
+                groups[key] = state
+            new_count = state.row_count + rc_delta
+            if new_count < 0:
+                raise ExecutionError(
+                    f"retraction for empty group {key!r} in aggregation"
+                )
+            state.row_count = new_count
+            state.retained += rc_delta
+            for i, agg in enumerate(aggs):
+                counts = state.distinct_counts[i]
+                if counts is not None:
+                    adds, removes = frozen[i]
+                    for value in adds:
+                        seen = counts.get(value, 0)
+                        counts[value] = seen + 1
+                        if not seen:
+                            agg.function.add(state.accumulators[i], value)
+                    for value in removes:
+                        seen = counts.get(value, 0)
+                        if seen > 1:
+                            counts[value] = seen - 1
+                            continue
+                        counts.pop(value, None)
+                        agg.function.retract(state.accumulators[i], value)
+                else:
+                    agg.function.delta_apply(state.accumulators[i], frozen[i])
+            emitted = state.emitted
+            if new_count == 0:
+                if emitted is not None:
+                    append(Change(retract, emitted, ptime))
+                del groups[key]
+                continue
+            row = self._output_row(key, state)
+            if row == emitted:
+                continue
+            if emitted is not None:
+                append(Change(retract, emitted, ptime))
+            append(Change(insert, row, ptime))
+            state.emitted = row
+
+    # -- introspection ----------------------------------------------------------------
+
+    def state_snapshot(self) -> dict:
+        snapshot = super().state_snapshot()
+        snapshot["agg_rows_in"] = self._agg_rows_in
+        return snapshot
+
+    def state_restore(self, snapshot: dict) -> None:
+        super().state_restore(snapshot)
+        self._agg_rows_in = snapshot.get("agg_rows_in", 0)
+
+    def _extra_metrics(self) -> dict:
+        extras = super()._extra_metrics()
+        extras["agg_rows_in"] = self._agg_rows_in
+        return extras
+
+    def name(self) -> str:
+        return (
+            f"CombineAggregate({len(self._aggs)} aggs, "
+            f"{len(self._groups)} groups)"
+        )

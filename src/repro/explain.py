@@ -1,0 +1,153 @@
+"""One EXPLAIN API over every introspection surface.
+
+Every way of asking "what will (did) this query do" — the engine's
+``explain()``, a prepared query's ``explain()``, the shell's
+``\\explain`` and ``EXPLAIN ...`` statements — renders through
+:func:`render_explain`, parameterized by one ``mode``:
+
+* ``logical`` — the optimized logical plan, plus the runtime note
+  (sharded-by or the serial fallback reason) when parallelism is
+  configured.
+* ``physical`` — ``logical`` plus the physical aggregation shape: the
+  combine-stage tree and the per-shard partial tree for a two-phase
+  plan, or the single-phase reason.
+* ``costs`` — ``physical`` plus the cost-model inputs: the configured
+  knob, the observed fan-in from counter feedback, the combine
+  threshold, and the resulting decision.
+* ``analyze`` — ``logical`` plus per-operator runtime counters from an
+  actual execution (the old ``explain_analyze``).
+
+SQL spellings map onto the same modes: ``EXPLAIN q`` is ``logical``,
+``EXPLAIN (PHYSICAL) q`` / ``EXPLAIN (COSTS) q`` select a mode, and
+``EXPLAIN ANALYZE q`` is ``analyze`` (:func:`parse_explain`).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from .core.errors import ValidationError
+from .plan.physical import MIN_COMBINE_FANIN, split_eligibility
+
+__all__ = ["EXPLAIN_MODES", "parse_explain", "render_explain"]
+
+EXPLAIN_MODES = ("logical", "physical", "costs", "analyze")
+
+_EXPLAIN_RE = re.compile(
+    r"^explain(\s+analyze)?(?:\s*\(\s*([a-z]+)\s*\))?\s+(.+)$",
+    re.IGNORECASE | re.DOTALL,
+)
+
+
+def parse_explain(sql: str) -> Optional[tuple[str, str]]:
+    """Split an ``EXPLAIN`` statement into ``(mode, inner sql)``.
+
+    Returns ``None`` when ``sql`` is not an EXPLAIN statement at all;
+    raises :class:`ValidationError` for an unknown mode or the
+    contradictory ``EXPLAIN ANALYZE (mode)`` spelling.
+    """
+    match = _EXPLAIN_RE.match(sql.strip())
+    if match is None:
+        return None
+    analyze, mode, inner = match.groups()
+    if mode is not None:
+        mode = mode.lower()
+        if mode not in EXPLAIN_MODES:
+            raise ValidationError(
+                f"unknown EXPLAIN mode {mode!r}; expected one of "
+                f"{', '.join(EXPLAIN_MODES)}"
+            )
+        if analyze and mode != "analyze":
+            raise ValidationError(
+                "EXPLAIN ANALYZE takes no mode parenthetical; use "
+                f"EXPLAIN ({mode.upper()}) instead"
+            )
+        return mode, inner
+    return ("analyze" if analyze else "logical"), inner
+
+
+def render_explain(query, mode: str = "logical", verbose: bool = False) -> str:
+    """Render one explain ``mode`` for a prepared query.
+
+    ``query`` is a :class:`~repro.engine.PreparedQuery`; ``analyze``
+    executes it over the registered sources, the other modes only plan.
+    """
+    if mode not in EXPLAIN_MODES:
+        raise ValidationError(
+            f"unknown explain mode {mode!r}; expected one of "
+            f"{', '.join(EXPLAIN_MODES)}"
+        )
+    text = _logical(query, verbose)
+    if mode == "analyze":
+        result = query.run()
+        if result.metrics is not None:
+            text = f"{text}\n{result.metrics.render()}"
+        return text
+    if mode in ("physical", "costs"):
+        text = f"{text}\n{_physical_section(query, verbose)}"
+    if mode == "costs":
+        text = f"{text}\n{_costs_section(query)}"
+    return text
+
+
+def _logical(query, verbose: bool) -> str:
+    """The optimized plan plus the runtime note (the historical text)."""
+    text = query.plan.explain(verbose=verbose)
+    effective = query._effective()
+    if effective.parallelism > 1:
+        decision = query.partition_decision()
+        if decision.partitionable:
+            note = (
+                f"Runtime: sharded({effective.parallelism}) by "
+                f"{decision.spec.description} [{effective.backend}]"
+            )
+        else:
+            note = f"Runtime: serial — {decision.reason}"
+        text = f"{text.rstrip()}\n{note}"
+    return text.rstrip()
+
+
+def _physical_section(query, verbose: bool) -> str:
+    physical = query.physical_decision()
+    if not physical.use_two_phase:
+        return f"Physical: single-phase — {physical.reason}"
+    split, _ = split_eligibility(query.plan)
+    assert split is not None  # use_two_phase implies eligibility
+    effective = query._effective()
+    payload = "delta" if effective.coalesce_updates else "replay"
+    lines = [
+        f"Physical: two-phase aggregation ({payload} payloads) — "
+        f"{physical.reason}",
+        "  merge stage:",
+    ]
+    depth = 2
+    for node in split.finish:
+        lines.append("  " * depth + node._describe())
+        depth += 1
+    lines.append("  " * depth + "Combine" + split.aggregate._describe())
+    lines.append(f"  each of {effective.parallelism} shards:")
+    lines.append(split.shard_plan.root.explain(2, verbose).rstrip("\n"))
+    return "\n".join(lines)
+
+
+def _costs_section(query) -> str:
+    effective = query._effective()
+    physical = query.physical_decision()
+    lines = [
+        f"Costs: two_phase={effective.two_phase}, "
+        f"parallelism={effective.parallelism}"
+    ]
+    if physical.fan_in is not None:
+        lines.append(
+            f"  observed fan-in: {physical.fan_in:.2f} rows/group "
+            f"(combine threshold {MIN_COMBINE_FANIN:g})"
+        )
+    else:
+        lines.append(
+            f"  observed fan-in: no counter feedback yet "
+            f"(combine threshold {MIN_COMBINE_FANIN:g}; run the query "
+            "once to inform auto mode)"
+        )
+    lines.append(f"  decision: {physical.mode} — {physical.reason}")
+    return "\n".join(lines)

@@ -1,7 +1,10 @@
 """Query planning: row expressions, logical operators, planner, optimizer.
 
 Import :mod:`repro.plan.planner` / :mod:`repro.plan.optimizer` directly
-where needed; this package namespace re-exports the logical algebra.
+where needed; this package namespace re-exports the logical algebra and
+the physical aggregation planner (:mod:`repro.plan.physical`), which
+decides whether a sharded run splits decomposable aggregates into
+shard-local partials plus a merge-stage combine.
 """
 
 from . import rex
@@ -18,6 +21,7 @@ from .logical import (
     JoinKind,
     JoinNode,
     LogicalNode,
+    PartialAggregateNode,
     ProjectNode,
     ScanNode,
     SortNode,
@@ -25,6 +29,14 @@ from .logical import (
     ValuesNode,
     WindowKind,
     WindowNode,
+)
+from .physical import (
+    MIN_COMBINE_FANIN,
+    PhysicalDecision,
+    TwoPhaseSplit,
+    estimate_fan_in,
+    plan_physical,
+    split_eligibility,
 )
 
 __all__ = [
@@ -41,9 +53,17 @@ __all__ = [
     "WindowNode",
     "AggCall",
     "AggregateNode",
+    "PartialAggregateNode",
     "JoinKind",
     "JoinNode",
     "UnionNode",
     "SortNode",
     "ValuesNode",
+    # physical aggregation planning (provisional surface)
+    "MIN_COMBINE_FANIN",
+    "PhysicalDecision",
+    "TwoPhaseSplit",
+    "estimate_fan_in",
+    "plan_physical",
+    "split_eligibility",
 ]

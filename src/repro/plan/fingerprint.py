@@ -36,6 +36,7 @@ from .logical import (
     JoinNode,
     LogicalNode,
     OverNode,
+    PartialAggregateNode,
     ProjectNode,
     ScanNode,
     SemiJoinNode,
@@ -141,6 +142,12 @@ def _node_token(node: LogicalNode) -> tuple:
     if isinstance(node, AggregateNode):
         return (
             "aggregate",
+            node.group_indices,
+            tuple(_agg_token(call) for call in node.aggs),
+        )
+    if isinstance(node, PartialAggregateNode):
+        return (
+            "partial_aggregate",
             node.group_indices,
             tuple(_agg_token(call) for call in node.aggs),
         )

@@ -44,6 +44,7 @@ __all__ = [
     "WindowNode",
     "AggCall",
     "AggregateNode",
+    "PartialAggregateNode",
     "OverNode",
     "JoinKind",
     "JoinNode",
@@ -439,6 +440,53 @@ class AggregateNode(LogicalNode):
         keys = ", ".join(f"${i}" for i in self.group_indices)
         aggs = ", ".join(str(a) for a in self.aggs)
         return f"Aggregate(group=[{keys}], aggs=[{aggs}])"
+
+
+class PartialAggregateNode(LogicalNode):
+    """Shard-local half of a two-phase aggregation.
+
+    The physical rewrite (``repro.plan.physical``) replaces the
+    grouped :class:`AggregateNode` at the root of each shard's plan
+    with this node; the other half — :class:`CombineAggregateOperator`
+    at the merge stage — replays or folds its payloads to reproduce
+    the single-phase changelog.  The output is not a relation users
+    see: each "row" is one opaque per-batch payload ``(tag, entries)``,
+    so the schema is a single untyped column and completion metadata
+    is dropped (payloads are never emitted to a sink).
+    """
+
+    def __init__(
+        self,
+        input: LogicalNode,
+        group_indices: Sequence[int],
+        aggs: Sequence[AggCall],
+    ):
+        self.input = input
+        self.group_indices = tuple(group_indices)
+        self.aggs = tuple(aggs)
+        self.inputs = (input,)
+        self.schema = Schema([Column("$partial", SqlType.NULL)])
+        self.bounded = input.bounded
+        self.completion_indices = None
+        self.emit_key_indices = ()
+
+    @property
+    def event_time_key_positions(self) -> tuple[int, ...]:
+        """Positions within the group key that are event time columns."""
+        return tuple(
+            pos
+            for pos, in_idx in enumerate(self.group_indices)
+            if self.input.schema.columns[in_idx].event_time
+        )
+
+    def with_inputs(self, inputs: Sequence[LogicalNode]) -> "PartialAggregateNode":
+        (child,) = inputs
+        return PartialAggregateNode(child, self.group_indices, self.aggs)
+
+    def _describe(self) -> str:
+        keys = ", ".join(f"${i}" for i in self.group_indices)
+        aggs = ", ".join(str(a) for a in self.aggs)
+        return f"PartialAggregate(group=[{keys}], aggs=[{aggs}])"
 
 
 class OverNode(LogicalNode):

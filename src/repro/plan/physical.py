@@ -1,0 +1,185 @@
+"""Physical planning: the one-phase / two-phase aggregation choice.
+
+The sharded runtime (``repro.runtime.sharded``) routes rows to their
+owner shard and merges every output change at the sink, so a grouped
+aggregation ships one retract/insert pair per input row across the
+merge.  When the aggregate is *decomposable* — partial state folded on
+each shard and combined once per micro-batch reproduces the
+single-phase result — the planner can instead run a
+:class:`~repro.plan.logical.PartialAggregateNode` on every shard and a
+single combine operator at the merge stage.  The partial stage is the
+pre-aggregate reduction before the merge reshuffle: the only rows that
+cross shards are one payload per (shard, batch), not one changelog
+entry per input row.
+
+The choice is made by :func:`plan_physical` from three inputs:
+
+* **eligibility** (:func:`split_eligibility`) — the plan must end in a
+  grouped aggregate (optionally under stateless Project/Filter
+  finishing steps) whose functions all opt into the delta protocol
+  (``AggregateFunction.decomposable``);
+* **configuration** — ``ExecutionConfig.two_phase`` is ``auto`` /
+  ``on`` / ``off``;
+* **counter feedback** — in ``auto`` mode a prior run's
+  :class:`~repro.obs.metrics.MetricsReport` supplies the observed
+  fan-in (aggregate input rows per created group).  Below
+  :data:`MIN_COMBINE_FANIN` the combine stage costs more than the
+  per-row merge it replaces, so the planner falls back to one phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .logical import (
+    AggregateNode,
+    FilterNode,
+    LogicalNode,
+    PartialAggregateNode,
+    ProjectNode,
+)
+from .planner import QueryPlan
+
+__all__ = [
+    "MIN_COMBINE_FANIN",
+    "PhysicalDecision",
+    "TwoPhaseSplit",
+    "estimate_fan_in",
+    "plan_physical",
+    "split_eligibility",
+]
+
+#: Minimum observed rows-per-group below which the combine stage is not
+#: worth its overhead: with nearly one row per group the partial stage
+#: forwards as many entries as single-phase forwards changes.
+MIN_COMBINE_FANIN = 4.0
+
+
+@dataclass(frozen=True)
+class TwoPhaseSplit:
+    """The rewritten shard-side plan plus the pieces the merge needs.
+
+    ``finish`` lists the stateless nodes between the original plan root
+    and the aggregate, root-first; the combine stage rebuilds them as
+    operators downstream of the combine so the merged changelog passes
+    through the exact same finishing steps as single-phase execution.
+    """
+
+    shard_plan: QueryPlan
+    partial: PartialAggregateNode
+    aggregate: AggregateNode
+    finish: tuple[LogicalNode, ...] = field(default_factory=tuple)
+
+
+def split_eligibility(
+    plan: QueryPlan,
+) -> tuple[Optional[TwoPhaseSplit], str]:
+    """Decide whether ``plan`` can run as partial + combine.
+
+    Returns ``(split, reason)``; ``split`` is ``None`` when the plan
+    must stay single-phase, with ``reason`` saying why (surfaced by
+    ``explain(mode="costs")``).
+    """
+    finish: list[LogicalNode] = []
+    node = plan.root
+    while isinstance(node, (ProjectNode, FilterNode)):
+        finish.append(node)
+        node = node.inputs[0]
+    if not isinstance(node, AggregateNode):
+        return None, "no grouped aggregate at the plan root"
+    if not node.group_indices:
+        # A global aggregate keeps one group for all rows; it is not
+        # partitionable in the first place, but guard it here too.
+        return None, "global aggregates keep one group for all rows"
+    for call in node.aggs:
+        if not call.function.decomposable:
+            return None, (
+                f"{call.function.name} is not decomposable into "
+                "partial + combine"
+            )
+    partial = PartialAggregateNode(node.input, node.group_indices, node.aggs)
+    shard_plan = QueryPlan(root=partial, emit=plan.emit, sql=plan.sql)
+    split = TwoPhaseSplit(
+        shard_plan=shard_plan,
+        partial=partial,
+        aggregate=node,
+        finish=tuple(finish),
+    )
+    agg_names = ", ".join(call.function.name for call in node.aggs)
+    return split, f"grouped aggregate over decomposable [{agg_names}]"
+
+
+@dataclass(frozen=True)
+class PhysicalDecision:
+    """The planner's one-phase / two-phase verdict for one query."""
+
+    mode: str  # 'two_phase' | 'single'
+    reason: str
+    fan_in: Optional[float] = None
+
+    @property
+    def use_two_phase(self) -> bool:
+        return self.mode == "two_phase"
+
+
+def estimate_fan_in(report) -> Optional[float]:
+    """Observed aggregate rows-per-group from a prior run's metrics.
+
+    Reads the monotonic ``groups_created`` counter (the ``groups``
+    gauge can be zero after watermark freeing) against the aggregate's
+    input row count.  The combine operator counts payloads as
+    ``rows_in``, so it exports the true entry count as ``agg_rows_in``.
+    """
+    if report is None:
+        return None
+    for entry in report.operators:
+        groups = entry.get("groups_created")
+        if not groups:
+            continue
+        rows = entry.get("agg_rows_in")
+        if rows is None:
+            rows = sum(entry.get("rows_in", ()))
+        if rows:
+            return rows / groups
+    return None
+
+
+def plan_physical(
+    plan: QueryPlan,
+    decision,
+    config,
+    feedback=None,
+) -> PhysicalDecision:
+    """Choose the physical aggregation shape for one query.
+
+    ``decision`` is the :class:`~repro.runtime.partition
+    .PartitionDecision` for the plan, ``config`` a resolved
+    ``ExecutionConfig`` (only ``two_phase`` and ``parallelism`` are
+    read), and ``feedback`` an optional :class:`MetricsReport` from a
+    prior run of the same query.
+    """
+    knob = getattr(config, "two_phase", None) or "auto"
+    if knob == "off":
+        return PhysicalDecision("single", "two-phase disabled (two_phase=off)")
+    parallelism = getattr(config, "parallelism", 1) or 1
+    if parallelism <= 1:
+        return PhysicalDecision(
+            "single", "serial execution has no merge stage to relieve"
+        )
+    if not decision.partitionable:
+        return PhysicalDecision("single", decision.reason)
+    split, reason = split_eligibility(plan)
+    if split is None:
+        return PhysicalDecision("single", reason)
+    if knob == "on":
+        return PhysicalDecision("two_phase", f"forced on: {reason}")
+    fan_in = estimate_fan_in(feedback)
+    if fan_in is not None and fan_in < MIN_COMBINE_FANIN:
+        return PhysicalDecision(
+            "single",
+            f"observed fan-in {fan_in:.2f} rows/group below the "
+            f"combine threshold {MIN_COMBINE_FANIN:g}",
+            fan_in=fan_in,
+        )
+    return PhysicalDecision("two_phase", reason, fan_in=fan_in)

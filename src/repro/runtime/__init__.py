@@ -22,6 +22,7 @@ engine's, with or without worker failures along the way (see
 """
 
 from .backends import run_shards
+from .combine import CombineStage
 from .faults import (
     FAULT_KINDS,
     FaultInjector,
@@ -37,6 +38,7 @@ from .supervisor import RetryPolicy, ShardSupervisor, SupervisedOutcome
 
 __all__ = [
     "ShardedDataflow",
+    "CombineStage",
     "WatermarkFrontier",
     "run_shards",
     "RetryPolicy",

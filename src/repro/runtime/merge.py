@@ -25,6 +25,7 @@ __all__ = [
     "dedup_by_seq",
     "dedup_observations",
     "merge_tagged_changes",
+    "merge_tagged_slices",
     "replay_frontier",
 ]
 
@@ -94,11 +95,15 @@ def dedup_observations(
     return unique
 
 
-def merge_tagged_changes(
+def merge_tagged_slices(
     tagged: list[list[TaggedSlice]],
-) -> list[Change]:
-    """Interleave per-shard output slices by global event sequence."""
-    entries: list[tuple[int, list[Change]]] = []
+) -> list[TaggedSlice]:
+    """Interleave per-shard output slices by global event sequence.
+
+    Keeps the per-slice structure — the two-phase combine stage feeds
+    one slice (one payload batch) at a time, in global order.
+    """
+    entries: list[TaggedSlice] = []
     claimed: dict[int, int] = {}
     for shard, slices in enumerate(tagged):
         for seq, changes in slices:
@@ -111,7 +116,18 @@ def merge_tagged_changes(
             claimed[seq] = shard
             entries.append((seq, changes))
     entries.sort(key=lambda item: item[0])
-    return [change for _, changes in entries for change in changes]
+    return entries
+
+
+def merge_tagged_changes(
+    tagged: list[list[TaggedSlice]],
+) -> list[Change]:
+    """Flattened form of :func:`merge_tagged_slices`."""
+    return [
+        change
+        for _, changes in merge_tagged_slices(tagged)
+        for change in changes
+    ]
 
 
 def replay_frontier(

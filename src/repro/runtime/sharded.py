@@ -21,6 +21,18 @@ Two driving modes share that merge invariant:
   number, merge the tagged output slices, and replay the watermark
   observations into the frontier.
 
+With ``two_phase=True``, eligible grouped-aggregate plans run split:
+each shard executes the plan's *partial* half (folding only its routed
+rows into per-group payloads), and a
+:class:`~repro.runtime.combine.CombineStage` behind the merge point
+folds those payloads into the final aggregate changelog.  Payload
+slices and watermark observations are applied to the stage in global
+sequence order — the same interleaving the serial executor sees — so
+the spliced output keeps the serial guarantee while the merge path
+carries one payload per shard batch instead of one change per input
+row.  Plans the physical planner cannot split (see
+:mod:`repro.plan.physical`) simply run single-phase.
+
 Like the serial executor, a sharded dataflow can host several output
 channels over shared subplans (:meth:`attach_output` /
 :meth:`remove_output`): each shard grafts the new plan onto its local
@@ -49,13 +61,18 @@ from ..obs.metrics import RecoveryStats, merge_shard_reports
 from ..obs.telemetry import RunTelemetry
 from ..obs.trace import TraceEvent
 from ..plan.partition import PartitionSpec
+from ..plan.physical import TwoPhaseSplit, split_eligibility
 from .backends import run_shards
+from .combine import CombineStage
 from .faults import FaultInjector, FaultPlan
 from .frontier import WatermarkFrontier
 from .merge import (
+    TaggedSlice,
+    WatermarkObservation,
     dedup_by_seq,
     dedup_observations,
     merge_tagged_changes,
+    merge_tagged_slices,
     replay_frontier,
 )
 from .routing import partition_events
@@ -90,6 +107,7 @@ class ShardedDataflow:
         fault_plan: Optional[FaultPlan] = None,
         batch_size: int = 1,
         coalesce_updates: bool = False,
+        two_phase: bool = False,
         output_id: str = "main",
     ):
         if shards < 1:
@@ -101,12 +119,19 @@ class ShardedDataflow:
         self.fault_plan = fault_plan
         self.batch_size = batch_size
         self.coalesce_updates = coalesce_updates
+        self.two_phase = two_phase
         self._allowed_lateness = allowed_lateness
         self._raw_sources = sources
         self._sources = {name.lower(): tvr for name, tvr in sources.items()}
+        #: per-output physical split and its combine stage; an output
+        #: absent from these maps runs single-phase.
+        self._splits: dict[str, TwoPhaseSplit] = {}
+        self._stages: dict[str, CombineStage] = {}
+        split = self._prepare_split(plan)
+        shard_plan = split.shard_plan if split is not None else plan
         self._shards = [
             Dataflow(
-                plan,
+                shard_plan,
                 sources,
                 allowed_lateness,
                 batch_size=batch_size,
@@ -115,6 +140,11 @@ class ShardedDataflow:
             )
             for _ in range(shards)
         ]
+        if split is not None:
+            self._splits[output_id] = split
+            self._stages[output_id] = CombineStage(
+                split, allowed_lateness, coalesce_updates
+            )
         self._outputs: dict[str, _OutputMerge] = {
             output_id: _OutputMerge(shards)
         }
@@ -125,6 +155,23 @@ class ShardedDataflow:
         #: optional lineage recorder shared with every shard flow;
         #: install via :meth:`set_lineage`.
         self.lineage: Optional[LineageRecorder] = None
+
+    def _prepare_split(self, plan) -> Optional[TwoPhaseSplit]:
+        """The plan's two-phase split, if this flow runs two-phase.
+
+        The split is recomputed deterministically wherever the flow is
+        (re)built — checkpoints carry only the stage *state*, never the
+        rewritten plan.  ``delta_mode`` tracks the flow's
+        ``coalesce_updates`` flag: with coalescing on, byte-level output
+        identity is already waived, so partials ship folded per-group
+        deltas instead of replayable per-row entries.
+        """
+        if not self.two_phase:
+            return None
+        split, _ = split_eligibility(plan)
+        if split is not None:
+            split.partial.delta_mode = self.coalesce_updates
+        return split
 
     @property
     def _frontier(self) -> WatermarkFrontier:
@@ -204,20 +251,46 @@ class ShardedDataflow:
 
     def state_rows_of(self, output_id: str) -> int:
         """Rows retained by the operators ``output_id`` reads, all shards."""
-        return sum(shard.state_rows_of(output_id) for shard in self._shards)
+        total = sum(shard.state_rows_of(output_id) for shard in self._shards)
+        stage = self._stages.get(output_id)
+        if stage is not None:
+            total += stage.state_rows()
+        return total
+
+    def is_two_phase(self, output_id: Optional[str] = None) -> bool:
+        """Whether ``output_id`` (default: primary) runs split aggregation."""
+        return (output_id if output_id is not None else self._primary) in (
+            self._stages
+        )
+
+    def combine_stage(self, output_id: Optional[str] = None):
+        """The output's :class:`CombineStage`, or ``None`` if single-phase."""
+        return self._stages.get(
+            output_id if output_id is not None else self._primary
+        )
 
     @property
     def telemetry(self) -> RunTelemetry:
         """Latency telemetry merged over shards.
 
         Watermarks are broadcast and every root change is produced by
-        exactly one shard, so this merge reproduces the serial run's
-        distributions sample for sample.
+        exactly one shard (or, two-phase, by the combine stage fed in
+        that shard's slice position), so this merge reproduces the
+        serial run's distributions sample for sample.
         """
-        return RunTelemetry.merged(shard.telemetry for shard in self._shards)
+        return self.telemetry_of(self._primary)
 
     def telemetry_of(self, output_id: str) -> RunTelemetry:
-        """One output channel's latency telemetry, merged over shards."""
+        """One output channel's latency telemetry, merged over shards.
+
+        For a two-phase output the shards emit partial payloads, not
+        query rows, so the combine stage's telemetry — one sample per
+        final root change, taken at the merged frontier — *is* the
+        channel's telemetry, and the shard channels contribute nothing.
+        """
+        stage = self._stages.get(output_id)
+        if stage is not None:
+            return RunTelemetry.merged([stage.telemetry])
         return RunTelemetry.merged(
             shard.telemetry_of(output_id) for shard in self._shards
         )
@@ -243,11 +316,15 @@ class ShardedDataflow:
 
     def total_state_rows(self) -> int:
         """Rows currently retained across all shards' operator state."""
-        return sum(shard.total_state_rows() for shard in self._shards)
+        return sum(shard.total_state_rows() for shard in self._shards) + sum(
+            stage.state_rows() for stage in self._stages.values()
+        )
 
     def changes_coalesced(self) -> int:
         """Changes dropped by intra-instant compaction, over all shards."""
-        return sum(shard.changes_coalesced() for shard in self._shards)
+        return sum(shard.changes_coalesced() for shard in self._shards) + sum(
+            stage.changes_coalesced() for stage in self._stages.values()
+        )
 
     def state_report(self):
         """Per-operator state breakdown, summed across shards."""
@@ -293,6 +370,7 @@ class ShardedDataflow:
         """
         if output_id in self._outputs:
             raise ExecutionError(f"output {output_id!r} is already attached")
+        split = self._prepare_split(plan)
         if donor is not None:
             if donor.shard_count != self.shard_count:
                 raise ExecutionError(
@@ -302,14 +380,37 @@ class ShardedDataflow:
                 raise ExecutionError(
                     "donor partition spec does not match the host dataflow"
                 )
+            donor_split = donor._splits.get(donor._primary)
+            if (split is None) != (donor_split is None):
+                raise ExecutionError(
+                    "donor and host disagree on two-phase aggregation for "
+                    "this plan; shard-local state would not transplant"
+                )
+            if donor_split is not None:
+                # Adopt the donor's rewrite wholesale: shard-level
+                # transplanting matches operators by logical-node
+                # *identity*, so the attach must use the very plan
+                # object the donor's shards were compiled from.
+                split = donor_split
+        shard_plan = split.shard_plan if split is not None else plan
         for index, shard in enumerate(self._shards):
             shard.attach_output(
                 output_id,
-                plan,
+                shard_plan,
                 donor=donor._shards[index] if donor is not None else None,
                 allow_root_share=allow_root_share,
             )
         merge = _OutputMerge(len(self._shards))
+        if split is not None:
+            self._splits[output_id] = split
+            if donor is not None:
+                # The donor's combine stage carries the global per-group
+                # accumulators matching the transplanted shard state.
+                self._stages[output_id] = donor._stages[donor._primary]
+            else:
+                self._stages[output_id] = CombineStage(
+                    split, self._allowed_lateness, self.coalesce_updates
+                )
         if donor is not None:
             donor_merge = donor._outputs[donor._primary]
             merge.merged = donor_merge.merged
@@ -325,6 +426,8 @@ class ShardedDataflow:
         for shard in self._shards:
             shard.remove_output(output_id)
         del self._outputs[output_id]
+        self._splits.pop(output_id, None)
+        self._stages.pop(output_id, None)
         return True
 
     # -- incremental API ---------------------------------------------------------
@@ -396,6 +499,12 @@ class ShardedDataflow:
                             f"output in shard {index}; the plan is not "
                             "cleanly partitioned"
                         )
+                    stage = self._stages.get(oid)
+                    if stage is not None and produced:
+                        # Two-phase: the shard emitted partial payloads;
+                        # fold them through the combine stage and splice
+                        # the *final* changes instead.
+                        produced = stage.feed(produced, merge.frontier.current)
                     merged_at[oid] = len(merge.merged)
                     merge.merged.extend(produced)
                 if recorder is not None:
@@ -403,6 +512,11 @@ class ShardedDataflow:
                     # output's cursor forward over the spliced slice.
                     for oid, cause, count in recorder.drain_shard_notes():
                         start = merged_at[oid]
+                        if oid in self._stages:
+                            # The note counted partial payloads; what
+                            # landed in the merged changelog is the
+                            # combine stage's output for this event.
+                            count = len(self._outputs[oid].merged) - start
                         recorder.record_output(
                             cause, oid, range(start, start + count)
                         )
@@ -423,10 +537,15 @@ class ShardedDataflow:
                         "watermark-triggered operator it should not have"
                     )
             for oid, merge in self._outputs.items():
+                stage = self._stages.get(oid)
                 for index, shard in enumerate(self._shards):
-                    merge.frontier.observe(
+                    advanced = merge.frontier.observe(
                         index, event.ptime, shard.root_watermark_of(oid)
                     )
+                    if stage is not None and advanced is not None:
+                        # The merged frontier moved: free combine-stage
+                        # state exactly when the serial root would.
+                        stage.advance(advanced, event.ptime)
         else:  # pragma: no cover — the event algebra is closed
             raise ExecutionError(f"unknown stream event {event!r}")
 
@@ -489,11 +608,13 @@ class ShardedDataflow:
         transfer_state = self.backend == "processes"
         injector = FaultInjector(self.fault_plan)
         trace = self._trace
+        split = self._splits.get(self._primary)
+        shard_plan = split.shard_plan if split is not None else self.plan
 
         def make_supervisor(index: int) -> ShardSupervisor:
             def make_dataflow() -> Dataflow:
                 flow = Dataflow(
-                    self.plan,
+                    shard_plan,
                     self._raw_sources,
                     self._allowed_lateness,
                     batch_size=self.batch_size,
@@ -542,14 +663,53 @@ class ShardedDataflow:
             unique, drops = dedup_by_seq(outcome.slices)
             self._recovery.dedup_drops += drops
             deduped_slices.append(unique)
-        self._merged_changes.extend(merge_tagged_changes(deduped_slices))
-        replay_frontier(
-            self._frontier,
-            [dedup_observations(outcome.observations) for outcome in outcomes],
-        )
+        observations = [
+            dedup_observations(outcome.observations) for outcome in outcomes
+        ]
+        stage = self._stages.get(self._primary)
+        if stage is None:
+            self._merged_changes.extend(merge_tagged_changes(deduped_slices))
+            replay_frontier(self._frontier, observations)
+        else:
+            self._replay_two_phase(stage, deduped_slices, observations)
         for event, _ in events:
             if event.ptime > self._last_ptime:
                 self._last_ptime = event.ptime
+
+    def _replay_two_phase(
+        self,
+        stage: CombineStage,
+        deduped_slices: list[list[TaggedSlice]],
+        observations: list[list[WatermarkObservation]],
+    ) -> None:
+        """Drive the combine stage from a supervised batch run's logs.
+
+        Payload slices and watermark observations are interleaved in
+        global sequence order — exactly how the incremental path would
+        have fed the stage — so a batch run's merged changelog matches
+        the synchronous reference byte for byte.  (An event sequence
+        number names either a routed row batch or a broadcast
+        watermark, never both.)
+        """
+        merge = self._outputs[self._primary]
+        slices = merge_tagged_slices(deduped_slices)
+        by_seq: dict[int, list[tuple[int, Timestamp, Timestamp]]] = {}
+        for shard, obs in enumerate(observations):
+            for seq, ptime, value in obs:
+                by_seq.setdefault(seq, []).append((shard, ptime, value))
+        slice_index = 0
+        for seq in sorted(set(by_seq) | {s for s, _ in slices}):
+            while slice_index < len(slices) and slices[slice_index][0] == seq:
+                merge.merged.extend(
+                    stage.feed(
+                        slices[slice_index][1], merge.frontier.current
+                    )
+                )
+                slice_index += 1
+            for shard, ptime, value in sorted(by_seq.get(seq, ())):
+                advanced = merge.frontier.observe(shard, ptime, value)
+                if advanced is not None:
+                    stage.advance(advanced, ptime)
 
     @property
     def recovery(self) -> RecoveryStats:
@@ -583,8 +743,10 @@ class ShardedDataflow:
                 [self._last_ptime] + [r.last_ptime for r in shard_results]
             ),
             late_dropped=sum(r.late_dropped for r in shard_results),
-            expired_rows=sum(r.expired_rows for r in shard_results),
-            peak_state_rows=sum(r.peak_state_rows for r in shard_results),
+            expired_rows=sum(r.expired_rows for r in shard_results)
+            + sum(s.expired_rows() for s in self._stages.values()),
+            peak_state_rows=sum(r.peak_state_rows for r in shard_results)
+            + sum(s.peak_state_rows() for s in self._stages.values()),
             metrics=self.metrics_report(),
         )
 
@@ -600,6 +762,21 @@ class ShardedDataflow:
             [shard.metrics_report(output_id) for shard in self._shards]
         )
         report.recovery = self.recovery
+        stage = self._stages.get(
+            output_id if output_id is not None else self._primary
+        )
+        if stage is not None:
+            # The combine stage sits above the shards' partial trees:
+            # its operators head the report at depths 0..k-1 and every
+            # shard entry shifts below them, so the rendered tree reads
+            # root-first like the physical plan actually executed.
+            stage_entries = stage.metrics_entries()
+            for entry in report.operators:
+                entry["depth"] += len(stage_entries)
+            report.operators[:0] = stage_entries
+            report.telemetry = self.telemetry_of(
+                output_id if output_id is not None else self._primary
+            )
         return report
 
     # -- checkpointing -----------------------------------------------------------
@@ -618,6 +795,14 @@ class ShardedDataflow:
                 for oid, merge in self._outputs.items()
             },
             "last_ptime": self._last_ptime,
+            # Combine stages carry *state*, never structure: a restored
+            # flow recomputes the physical split from its own plan, so
+            # the checkpoint stays valid across planner-identical
+            # rebuilds (mirroring how shard plans are never pickled).
+            "two_phase_outputs": sorted(self._stages),
+            "stages": {
+                oid: stage.snapshot() for oid, stage in self._stages.items()
+            },
             "recovery": self._recovery.as_dict(),
             # Shard blobs carry no lineage (they don't own the shared
             # recorder); the parent snapshots it exactly once.
@@ -651,6 +836,15 @@ class ShardedDataflow:
             merge.frontier.restore(payload["frontier"])
             merge.merged = list(payload["merged_changes"])
         self._last_ptime = payload["last_ptime"]
+        stored_stages = payload.get("stages", {})
+        if set(stored_stages) != set(self._stages):
+            raise ExecutionError(
+                "checkpoint two-phase outputs "
+                f"{sorted(stored_stages)} do not match this dataflow's "
+                f"{sorted(self._stages)}"
+            )
+        for oid, blob in stored_stages.items():
+            self._stages[oid].restore(blob)
         # Absent in pre-supervisor checkpoints; start the ledger fresh.
         self._recovery = RecoveryStats(**payload.get("recovery", {}))
         if payload.get("lineage") is not None:
@@ -670,12 +864,16 @@ class ShardedDataflow:
         fault_plan: Optional[FaultPlan] = None,
         batch_size: int = 1,
         coalesce_updates: bool = False,
+        two_phase: bool = False,
     ) -> "ShardedDataflow":
         """Rebuild a multi-output sharded dataflow from a checkpoint recipe.
 
         ``structure`` is one shard's checkpoint payload (all shards are
-        structurally identical); see ``Dataflow.from_structure``.  Call
-        :meth:`restore` with the full sharded checkpoint afterwards.
+        structurally identical); see ``Dataflow.from_structure``.  With
+        ``two_phase`` the physical split is recomputed per plan — the
+        rewrite is deterministic, so the rebuilt shard trees match the
+        checkpointed ones.  Call :meth:`restore` with the full sharded
+        checkpoint afterwards.
         """
         if shards < 1:
             raise ExecutionError("a sharded dataflow needs at least one shard")
@@ -687,12 +885,26 @@ class ShardedDataflow:
         self.fault_plan = fault_plan
         self.batch_size = batch_size
         self.coalesce_updates = coalesce_updates
+        self.two_phase = two_phase
         self._allowed_lateness = allowed_lateness
         self._raw_sources = sources
         self._sources = {name.lower(): tvr for name, tvr in sources.items()}
+        self._splits = {}
+        self._stages = {}
+        shard_plans = []
+        for oid, plan in plans:
+            split = self._prepare_split(plan)
+            if split is not None:
+                self._splits[oid] = split
+                self._stages[oid] = CombineStage(
+                    split, allowed_lateness, coalesce_updates
+                )
+                shard_plans.append((oid, split.shard_plan))
+            else:
+                shard_plans.append((oid, plan))
         self._shards = [
             Dataflow.from_structure(
-                plans,
+                shard_plans,
                 structure,
                 sources,
                 allowed_lateness,

@@ -184,6 +184,10 @@ class SharedPlanCache:
                     effective.allowed_lateness,
                     effective.batch_size,
                     effective.coalesce_updates,
+                    # Flow-level, not per-plan: whether an individual
+                    # output splits is decided at attach time, so an
+                    # ineligible query can still share a two-phase flow.
+                    effective.two_phase,
                 )
         return (
             "serial",
@@ -414,6 +418,7 @@ class SessionManager:
                     retry=effective.retry,
                     batch_size=effective.batch_size,
                     coalesce_updates=effective.coalesce_updates,
+                    two_phase=effective.two_phase != "off",
                     output_id=output_id,
                 )
                 self._install_lineage(flow, effective, lineage)
@@ -701,6 +706,7 @@ class SessionManager:
                 retry=effective.retry,
                 batch_size=effective.batch_size,
                 coalesce_updates=effective.coalesce_updates,
+                two_phase=effective.two_phase != "off",
             )
         else:
             flow = Dataflow.from_structure(

@@ -14,13 +14,13 @@ Run it with ``python -m repro``.
 
 from __future__ import annotations
 
-import re
 import sys
 from typing import Optional, TextIO
 
 from .core.errors import ReproError
 from .core.times import MAX_TIMESTAMP, fmt_time, t
 from .engine import StreamEngine
+from .explain import EXPLAIN_MODES, parse_explain
 from .io import parse_script
 
 __all__ = ["Shell"]
@@ -34,7 +34,7 @@ Commands:
   \\save NAME PATH     write a registered relation as a dataset script
   \\at TIME            set the table-view instant (e.g. \\at 8:13)
   \\until TIME         set the stream-view horizon
-  \\explain SQL;       show the optimized plan
+  \\explain [MODE] SQL;  show the plan (MODE: logical|physical|costs|analyze)
   \\analyze SQL;       run a query and show the plan with operator metrics
   \\watch SQL;         run a query with a live telemetry dashboard
   \\state SQL;         run a query and show per-operator state
@@ -45,8 +45,8 @@ Commands:
   \\lineage QUERY SEQ  trace a standing query's delta back to source rows
   \\quit               exit
 Anything else is SQL, terminated by ';'.  Add EMIT STREAM to see the
-changelog rendering instead of a table; EXPLAIN and EXPLAIN ANALYZE
-prefixes work like their backslash commands."""
+changelog rendering instead of a table; EXPLAIN, EXPLAIN ANALYZE, and
+EXPLAIN (PHYSICAL|COSTS) prefixes work like their backslash commands."""
 
 
 class Shell:
@@ -147,11 +147,18 @@ class Shell:
                 self.until = _parse_instant(args[0])
                 return f"stream views will render until {fmt_time(self.until)}"
             if name == "\\explain":
-                sql = line.split(None, 1)[1].rstrip(";")
-                return self.engine.explain(sql)
+                rest = line.split(None, 1)[1].rstrip(";")
+                mode = "logical"
+                head = rest.split(None, 1)
+                if head and head[0].lower() in EXPLAIN_MODES:
+                    mode = head[0].lower()
+                    rest = head[1] if len(head) > 1 else ""
+                if not rest.strip():
+                    return "usage: \\explain [MODE] SELECT ...;"
+                return self.engine.explain(rest, mode=mode)
             if name == "\\analyze":
                 sql = line.split(None, 1)[1].rstrip(";")
-                return self.engine.explain_analyze(sql)
+                return self.engine.explain(sql, mode="analyze")
             if name == "\\watch":
                 if len(parts) < 2:
                     return "usage: \\watch SELECT ...;"
@@ -462,15 +469,10 @@ class Shell:
     def _run_sql(self, sql: str) -> str:
         try:
             statement = sql.strip().rstrip(";").strip()
-            match = re.match(
-                r"^explain(\s+analyze)?\s+(.*)$",
-                statement,
-                re.IGNORECASE | re.DOTALL,
-            )
-            if match is not None:
-                if match.group(1):
-                    return self.engine.explain_analyze(match.group(2))
-                return self.engine.explain(match.group(2))
+            explained = parse_explain(statement)
+            if explained is not None:
+                mode, inner = explained
+                return self.engine.explain(inner, mode=mode)
             query = self.engine.query(sql)
             if query.emit.stream:
                 until = self.until if self.until is not None else MAX_TIMESTAMP

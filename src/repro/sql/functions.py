@@ -60,6 +60,14 @@ class AggregateFunction:
 
     name: str = ""
 
+    #: Whether shard-local partial aggregation may stand in for this
+    #: function: partial state folded per shard and merged at the
+    #: combine stage must equal feeding every row to one accumulator.
+    #: The built-in COUNT/SUM/AVG/MIN/MAX opt in; anything else
+    #: (including user registrations) defaults to single-phase so an
+    #: unknown function can never be silently split.
+    decomposable: bool = False
+
     def return_type(self, arg_type: Optional[SqlType]) -> SqlType:
         raise NotImplementedError
 
@@ -76,11 +84,47 @@ class AggregateFunction:
     def result(self, acc: Any) -> Any:
         raise NotImplementedError
 
+    # -- two-phase delta protocol ---------------------------------------
+    #
+    # A *delta* is a shard-batch-local summary of adds and retracts,
+    # folded cheaply per row and shipped to the combine stage once per
+    # micro-batch.  The generic encoding below — the literal value
+    # lists — is correct for any function; numeric functions override
+    # it with O(1) accumulator-shaped deltas (COUNT ships one integer,
+    # SUM/AVG a (total, count) pair).
+
+    def delta_create(self) -> Any:
+        """A fresh per-batch delta builder."""
+        return ([], [])
+
+    def delta_add(self, delta: Any, value: Any) -> None:
+        delta[0].append(value)
+
+    def delta_retract(self, delta: Any, value: Any) -> None:
+        delta[1].append(value)
+
+    def delta_freeze(self, delta: Any) -> Any:
+        """A hashable, picklable form of the builder for the payload."""
+        return (tuple(delta[0]), tuple(delta[1]))
+
+    def delta_apply(self, acc: Any, frozen: Any) -> None:
+        """Fold one frozen delta into a combine-stage accumulator.
+
+        Adds apply before retracts so a value inserted and removed
+        within the same batch passes through multiset state cleanly.
+        """
+        adds, removes = frozen
+        for value in adds:
+            self.add(acc, value)
+        for value in removes:
+            self.retract(acc, value)
+
 
 class _Count(AggregateFunction):
     """COUNT(x): number of non-null inputs; COUNT(*) counts rows."""
 
     name = "COUNT"
+    decomposable = True
 
     def __init__(self, star: bool = False):
         self._star = star
@@ -102,11 +146,30 @@ class _Count(AggregateFunction):
     def result(self, acc: list[int]) -> int:
         return acc[0]
 
+    # delta: one signed integer per (group, batch)
+    def delta_create(self) -> list[int]:
+        return [0]
+
+    def delta_add(self, delta: list[int], value: Any) -> None:
+        if self._star or value is not None:
+            delta[0] += 1
+
+    def delta_retract(self, delta: list[int], value: Any) -> None:
+        if self._star or value is not None:
+            delta[0] -= 1
+
+    def delta_freeze(self, delta: list[int]) -> int:
+        return delta[0]
+
+    def delta_apply(self, acc: list[int], frozen: int) -> None:
+        acc[0] += frozen
+
 
 class _Sum(AggregateFunction):
     """SUM(x): NULL over an empty (or all-null) group, like SQL."""
 
     name = "SUM"
+    decomposable = True
 
     def return_type(self, arg_type: Optional[SqlType]) -> SqlType:
         if arg_type is None or not arg_type.is_numeric:
@@ -129,11 +192,34 @@ class _Sum(AggregateFunction):
     def result(self, acc: list) -> Any:
         return acc[0] if acc[1] else None
 
+    # delta: a (sum, non-null count) pair — same shape as the
+    # accumulator, so folding is two additions
+    def delta_create(self) -> list:
+        return [0, 0]
+
+    def delta_add(self, delta: list, value: Any) -> None:
+        if value is not None:
+            delta[0] += value
+            delta[1] += 1
+
+    def delta_retract(self, delta: list, value: Any) -> None:
+        if value is not None:
+            delta[0] -= value
+            delta[1] -= 1
+
+    def delta_freeze(self, delta: list) -> tuple:
+        return (delta[0], delta[1])
+
+    def delta_apply(self, acc: list, frozen: tuple) -> None:
+        acc[0] += frozen[0]
+        acc[1] += frozen[1]
+
 
 class _Avg(AggregateFunction):
     """AVG(x): arithmetic mean of non-null inputs."""
 
     name = "AVG"
+    decomposable = True
 
     def return_type(self, arg_type: Optional[SqlType]) -> SqlType:
         if arg_type is None or not arg_type.is_numeric:
@@ -156,13 +242,39 @@ class _Avg(AggregateFunction):
     def result(self, acc: list) -> Any:
         return acc[0] / acc[1] if acc[1] else None
 
+    # delta: (sum, count), identical to SUM's
+    def delta_create(self) -> list:
+        return [0, 0]
+
+    def delta_add(self, delta: list, value: Any) -> None:
+        if value is not None:
+            delta[0] += value
+            delta[1] += 1
+
+    def delta_retract(self, delta: list, value: Any) -> None:
+        if value is not None:
+            delta[0] -= value
+            delta[1] -= 1
+
+    def delta_freeze(self, delta: list) -> tuple:
+        return (delta[0], delta[1])
+
+    def delta_apply(self, acc: list, frozen: tuple) -> None:
+        acc[0] += frozen[0]
+        acc[1] += frozen[1]
+
 
 class _Extreme(AggregateFunction):
     """Shared implementation of MIN and MAX.
 
     Keeps the whole multiset so a retraction of the current extreme can
-    reveal the runner-up.
+    reveal the runner-up.  Decomposable via the generic value-list
+    delta: every value still reaches the combine-stage multiset (there
+    is no smaller exact summary that supports retraction), but batched
+    into one payload instead of one changelog entry per row.
     """
+
+    decomposable = True
 
     def __init__(self, name: str):
         self.name = name
@@ -188,12 +300,24 @@ class _Extreme(AggregateFunction):
             return None
         return acc.max() if self.name == "MAX" else acc.min()
 
+    def delta_add(self, delta: Any, value: Any) -> None:
+        if value is not None:
+            delta[0].append(value)
+
+    def delta_retract(self, delta: Any, value: Any) -> None:
+        if value is not None:
+            delta[1].append(value)
+
 
 class _Variance(AggregateFunction):
     """VAR_POP / VAR_SAMP / STDDEV_POP / STDDEV_SAMP.
 
     Maintains (count, sum, sum of squares), which supports exact
     retraction; the result is derived on demand.
+
+    Left out of two-phase splitting (``decomposable`` stays False):
+    merging float partial sums changes the accumulation order, and
+    the cancellation guard in :meth:`result` makes that observable.
     """
 
     def __init__(self, name: str):

@@ -1,0 +1,195 @@
+"""The unified explain API: one renderer behind every entry point.
+
+``StreamEngine.explain``, ``PreparedQuery.explain``, the shell's
+``\\explain [MODE]`` and the SQL ``EXPLAIN [...]`` spellings all route
+through ``repro.explain.render_explain``, so their output can never
+drift apart; the pre-1.2 ``explain_analyze`` entry points live on as
+warn-once deprecation shims.
+"""
+
+import pytest
+
+import repro.config as repro_config
+from repro import ExecutionConfig, StreamEngine, ValidationError, parse_explain
+from repro.core.schema import Schema, int_col, timestamp_col
+from repro.core.tvr import TimeVaryingRelation, ins, wm
+from repro.shell import Shell
+
+SCHEMA = Schema(
+    [int_col("k"), timestamp_col("ts", event_time=True), int_col("v")]
+)
+
+MINUTE = 60_000
+
+SQL = """
+    SELECT k, wend, SUM(v) AS total
+    FROM Tumble(data => TABLE(S), timecol => DESCRIPTOR(ts),
+                dur => INTERVAL '2' MINUTE) TS
+    GROUP BY k, wend
+"""
+
+
+def make_engine(parallelism=4, two_phase="on"):
+    engine = StreamEngine(
+        config=ExecutionConfig(
+            parallelism=parallelism, backend="sync", two_phase=two_phase
+        )
+    )
+    events = [
+        ins(1_000_000 + i, (i % 3, (i % 2) * MINUTE, i)) for i in range(12)
+    ] + [wm(2_000_000, 1 << 60)]
+    engine.register_stream("S", TimeVaryingRelation(SCHEMA, events))
+    return engine
+
+
+@pytest.fixture(autouse=True)
+def fresh_warning_registry():
+    saved = set(repro_config._WARNED)
+    repro_config._WARNED.clear()
+    yield
+    repro_config._WARNED.clear()
+    repro_config._WARNED.update(saved)
+
+
+class TestModes:
+    def test_logical_is_the_historical_text(self):
+        engine = make_engine()
+        text = engine.explain(SQL)
+        assert "Aggregate(" in text
+        assert "Runtime: sharded(4)" in text
+        assert "Physical:" not in text and "Costs:" not in text
+
+    def test_physical_shows_the_phase_split(self):
+        text = make_engine().explain(SQL, mode="physical")
+        assert "Physical: two-phase aggregation (replay payloads)" in text
+        assert "merge stage:" in text
+        assert "CombineAggregate(" in text
+        assert "each of 4 shards:" in text
+        assert "PartialAggregate(" in text
+
+    def test_physical_reports_single_phase_reason(self):
+        text = make_engine(two_phase="off").explain(SQL, mode="physical")
+        assert "Physical: single-phase" in text
+        assert "CombineAggregate(" not in text
+
+    def test_costs_shows_threshold_and_decision(self):
+        engine = make_engine(two_phase="auto")
+        query = engine.query(SQL)
+        before = query.explain(mode="costs")
+        assert "Costs: two_phase=auto, parallelism=4" in before
+        assert "no counter feedback yet" in before
+        assert "decision: two_phase" in before
+        query.run()
+        after = query.explain(mode="costs")
+        assert "observed fan-in:" in after
+        assert "combine threshold 4" in after
+
+    def test_analyze_appends_runtime_counters(self):
+        text = make_engine().explain(SQL, mode="analyze")
+        assert "Aggregate(" in text
+        assert "rows_in" in text
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValidationError, match="unknown explain mode"):
+            make_engine().explain(SQL, mode="quantum")
+
+
+class TestParity:
+    def test_engine_and_query_render_identically(self):
+        engine = make_engine()
+        query = engine.query(SQL)
+        for mode in ("logical", "physical", "costs"):
+            assert engine.explain(SQL, mode=mode) == query.explain(mode=mode)
+
+
+class TestDeprecatedShims:
+    def test_engine_shim_warns_once_and_matches(self):
+        engine = make_engine()
+        with pytest.warns(DeprecationWarning, match="explain_analyze"):
+            old = engine.explain_analyze(SQL)
+        # second use is silent (warn-once), and output matches the new mode
+        old_again = engine.explain_analyze(SQL)
+        assert old == old_again == engine.explain(SQL, mode="analyze")
+
+    def test_query_shim_shares_the_warn_once_registry(self):
+        engine = make_engine()
+        with pytest.warns(DeprecationWarning, match="explain_analyze"):
+            engine.query(SQL).explain_analyze()
+        # the engine shim is the same deprecated entry point: silent now
+        engine.explain_analyze(SQL)
+
+
+class TestParseExplain:
+    def test_plain_and_analyze(self):
+        assert parse_explain("EXPLAIN SELECT 1") == ("logical", "SELECT 1")
+        assert parse_explain("explain analyze SELECT 1") == (
+            "analyze",
+            "SELECT 1",
+        )
+
+    def test_mode_parentheticals(self):
+        assert parse_explain("EXPLAIN (PHYSICAL) SELECT 1") == (
+            "physical",
+            "SELECT 1",
+        )
+        assert parse_explain("EXPLAIN ( costs ) SELECT 1") == (
+            "costs",
+            "SELECT 1",
+        )
+
+    def test_not_an_explain(self):
+        assert parse_explain("SELECT 1") is None
+        assert parse_explain("EXPLAINER SELECT 1") is None
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValidationError, match="unknown EXPLAIN mode"):
+            parse_explain("EXPLAIN (QUANTUM) SELECT 1")
+
+    def test_analyze_with_parenthetical_rejected(self):
+        with pytest.raises(ValidationError, match="no mode parenthetical"):
+            parse_explain("EXPLAIN ANALYZE (PHYSICAL) SELECT 1")
+
+
+class TestShell:
+    @pytest.fixture
+    def shell(self, tmp_path):
+        sh = Shell(
+            engine=StreamEngine(
+                config=ExecutionConfig(
+                    parallelism=2, backend="sync", two_phase="on"
+                )
+            )
+        )
+        sh.engine.register_stream(
+            "S",
+            TimeVaryingRelation(
+                SCHEMA,
+                [ins(1_000_000, (1, 0, 5)), wm(2_000_000, 1 << 60)],
+            ),
+        )
+        return sh
+
+    def test_explain_default_mode(self, shell):
+        out = shell.feed(f"\\explain {SQL};")
+        assert "Scan(S stream)" in out
+        assert "Physical:" not in out
+
+    def test_explain_mode_token(self, shell):
+        out = shell.feed(f"\\explain physical {SQL};")
+        assert "Physical: two-phase aggregation" in out
+        out = shell.feed(f"\\explain costs {SQL};")
+        assert "decision:" in out
+
+    def test_explain_usage_without_sql(self, shell):
+        out = shell.feed("\\explain physical")
+        assert "usage" in out.lower()
+
+    def test_sql_explain_prefixes(self, shell):
+        out = shell.feed(f"EXPLAIN (PHYSICAL) {SQL};")
+        assert "Physical: two-phase aggregation" in out
+        out = shell.feed(f"EXPLAIN {SQL};")
+        assert "Scan(S stream)" in out and "Physical:" not in out
+
+    def test_sql_explain_unknown_mode_reports_error(self, shell):
+        out = shell.feed("EXPLAIN (QUANTUM) SELECT 1;")
+        assert "unknown EXPLAIN mode" in out

@@ -216,7 +216,7 @@ def test_nexmark_tumble_actually_shards_with_samples():
 
 def test_explain_analyze_has_latency_section():
     engine = keyed_engine(windowed_events())
-    text = engine.explain_analyze(TUMBLE_SQL)
+    text = engine.explain(TUMBLE_SQL, mode="analyze")
     assert "emit latency" in text
     assert "watermark lag" in text
     assert "p99" in text
