@@ -1,28 +1,43 @@
-"""Micro-batching benchmark: throughput sweep and compaction savings.
+"""Micro-batching benchmark: columnar throughput sweep and compaction.
 
-Sweeps ``batch_size`` x ``coalesce_updates`` over three NEXMark-shaped
-workloads on a *bursty* generated stream (``events_per_instant=64``,
-so same-instant runs actually exist for the scheduler to batch) and
-writes ``BENCH_batching.json`` — the artifact CI uploads:
+Sweeps ``batch_size`` x ``columnar`` x ``coalesce_updates`` over four
+NEXMark-shaped workloads on a *bursty* generated stream
+(``events_per_instant=64``, so same-instant runs actually exist for the
+scheduler to batch) and writes ``BENCH_batching.json`` — the artifact
+CI uploads:
 
-* **tumble** — tumbling-window count grouped by window end only, the
-  single-hot-group shape where intra-instant insert/retract churn is
-  maximal (every bid in a burst updates the same running count);
+* **tumble** — tumbling-window MAX grouped by window end: one running
+  extreme per window, the shape where columnar batches amortize best.
+  This workload carries the headline throughput gate.
+* **tumble_churn** — the same window with ``COUNT(*)``: every bid in a
+  burst retracts and re-emits the running count, so the changelog is
+  churn-dominated.  It carries the coalescing gate (compaction must
+  remove >= 30% of propagated changes) and pins byte-identity on the
+  worst-case retraction pattern.
 * **q3** — NEXMark Q3, an incremental two-stream join;
 * **q7** — NEXMark Q7, whose plan scans ``Bid`` twice; its multi-leaf
   source is deliberately *excluded* from batching by the scheduler, so
   it benchmarks the fallback path and proves it stays correct.
 
-Every default-mode run (``coalesce_updates=False``) is asserted
-change-for-change identical to the ``batch_size=1`` baseline — the
-batching invariant of ``docs/RUNTIME.md`` section 7 — including a
-sharded (N=4, threads) run per partitionable workload.  Coalesced runs
-are asserted snapshot-equivalent at every distinct processing instant,
+Every default-mode run (``coalesce_updates=False``) — serial or
+sharded, columnar on or off, codegen on or off, two-phase or
+single-phase, plan-shared or not — is asserted change-for-change
+identical to the ``batch_size=1`` row-at-a-time baseline: the batching
+invariant of ``docs/RUNTIME.md`` sections 7 and 9.  Coalesced runs are
+asserted snapshot-equivalent at every distinct processing instant,
 with the churn they removed reported as ``changes_coalesced``.
 
 ``batch_size=0`` in the sweep is shorthand for *per-instant* batching
 (no size cap: one batch per same-instant run), spelled
 ``PER_INSTANT_BATCH`` at the execution layer.
+
+The generator's watermark cadence is widened to ``WATERMARK_INTERVAL``
+events: a watermark must break a scheduler run (the input watermark
+may not move inside a batch), so the default cadence of 20 would cap
+every effective batch at ~18 bids no matter what ``batch_size`` says.
+192 leaves three full 64-event bursts between watermarks — batching is
+measured at the sizes the sweep names, while still exercising hundreds
+of watermark advances per run.
 
 Runs under plain pytest (no pytest-benchmark fixtures) and as a
 script::
@@ -37,18 +52,35 @@ import time
 from pathlib import Path
 
 from repro import ExecutionConfig, StreamEngine
+from repro.exec import codegen
 from repro.nexmark import NexmarkConfig, generate
 from repro.nexmark.queries import Q3_LOCAL_ITEM_SUGGESTION, q7_highest_bid
+from repro.service import StandingQueryService
 
 NUM_EVENTS = 5_000
 EVENTS_PER_INSTANT = 64
+WATERMARK_INTERVAL = 192
 SEED = 42
 
 #: sweep values; 0 means "per-instant" (no cap on the same-instant run).
 BATCH_SWEEP = [1, 16, 64, 256, 0]
 PER_INSTANT_BATCH = 1 << 30
 
+#: the headline gate: columnar batch=64 vs row-at-a-time batch=1.
+GATE_BATCH = 64
+GATE_SPEEDUP = 5.0
+GATE_RETRIES = 2
+
 TUMBLE_SQL = """
+    SELECT TB.wend, MAX(TB.price) AS high
+    FROM Tumble(
+      data    => TABLE(Bid),
+      timecol => DESCRIPTOR(bidtime),
+      dur     => INTERVAL '10' SECONDS) TB
+    GROUP BY TB.wend
+"""
+
+TUMBLE_CHURN_SQL = """
     SELECT TB.wend, COUNT(*) AS bids
     FROM Tumble(
       data    => TABLE(Bid),
@@ -59,12 +91,13 @@ TUMBLE_SQL = """
 
 WORKLOADS = {
     "tumble": TUMBLE_SQL,
+    "tumble_churn": TUMBLE_CHURN_SQL,
     "q3": Q3_LOCAL_ITEM_SUGGESTION,
     "q7": q7_highest_bid(),
 }
 
 ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_batching.json"
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 4
 
 
 def _streams():
@@ -73,6 +106,7 @@ def _streams():
             num_events=NUM_EVENTS,
             seed=SEED,
             events_per_instant=EVENTS_PER_INSTANT,
+            watermark_interval=WATERMARK_INTERVAL,
         )
     )
 
@@ -83,13 +117,28 @@ def _engine(streams, **config) -> StreamEngine:
     return engine
 
 
-def _run(streams, sql: str, batch_size: int, coalesce: bool) -> tuple:
+def _run(
+    streams,
+    sql: str,
+    batch_size: int,
+    coalesce: bool,
+    columnar: str = "off",
+    use_codegen: bool = True,
+) -> tuple:
     """One serial configuration; returns (record, RunResult)."""
     effective = batch_size if batch_size >= 1 else PER_INSTANT_BATCH
     engine = _engine(
-        streams, batch_size=effective, coalesce_updates=coalesce
+        streams,
+        batch_size=effective,
+        coalesce_updates=coalesce,
+        columnar=columnar,
     )
-    flow = engine.query(sql).dataflow()
+    was_enabled = codegen.ENABLED
+    codegen.ENABLED = use_codegen
+    try:
+        flow = engine.query(sql).dataflow()
+    finally:
+        codegen.ENABLED = was_enabled
     start = time.perf_counter()
     result = flow.run()
     elapsed = time.perf_counter() - start
@@ -97,6 +146,8 @@ def _run(streams, sql: str, batch_size: int, coalesce: bool) -> tuple:
     record = {
         "batch_size": batch_size or "per-instant",
         "coalesce_updates": coalesce,
+        "columnar": columnar,
+        "codegen": use_codegen,
         "backend": "serial",
         "seconds": elapsed,
         "events_per_second": NUM_EVENTS / elapsed,
@@ -108,10 +159,17 @@ def _run(streams, sql: str, batch_size: int, coalesce: bool) -> tuple:
     return record, result
 
 
-def _run_sharded(streams, sql: str, batch_size: int) -> tuple:
+def _run_sharded(
+    streams, sql: str, batch_size: int, columnar: str, two_phase: str
+) -> tuple:
     """Sharded default-mode run (None when the plan is not partitionable)."""
     engine = _engine(
-        streams, parallelism=4, backend="threads", batch_size=batch_size
+        streams,
+        parallelism=4,
+        backend="threads",
+        batch_size=batch_size,
+        columnar=columnar,
+        two_phase=two_phase,
     )
     query = engine.query(sql)
     if not query.partition_decision().partitionable:
@@ -122,7 +180,10 @@ def _run_sharded(streams, sql: str, batch_size: int) -> tuple:
     record = {
         "batch_size": batch_size,
         "coalesce_updates": False,
+        "columnar": columnar,
+        "codegen": True,
         "backend": "threads(4)",
+        "two_phase": two_phase,
         "seconds": elapsed,
         "events_per_second": NUM_EVENTS / elapsed,
         "root_changes": len(result.changes),
@@ -147,6 +208,37 @@ def _assert_snapshot_equivalent(baseline, result, label: str) -> None:
         )
 
 
+def _mqo_deltas(streams, share_plans: bool, **config) -> list:
+    """Run the tumble workload as a standing query; return its deltas."""
+    from repro.core.tvr import TimeVaryingRelation
+
+    service = StandingQueryService(
+        config=ExecutionConfig(share_plans=share_plans, **config)
+    )
+    # register an *empty* stream with the generated schema, then replay
+    # the recording through the live ingest path (the registered TVR
+    # records what the service ingests, so it must start empty).
+    service.register_stream("Bid", TimeVaryingRelation(streams.bids.schema))
+    query = service.submit("bench", TUMBLE_SQL)
+    for event in streams.bids.events():
+        service.ingest(event, "Bid")
+    return query.flow.output_slice_of(query.output_id, 0)
+
+
+def _check_mqo(streams) -> dict:
+    """Plan-shared columnar service vs unshared row service: same deltas."""
+    shared = _mqo_deltas(
+        streams, share_plans=True, batch_size=GATE_BATCH, columnar="on"
+    )
+    unshared = _mqo_deltas(streams, share_plans=False, columnar="off")
+    assert shared == unshared, "mqo: shared columnar deltas diverged"
+    return {
+        "workload": "tumble",
+        "deltas": len(shared),
+        "identical": True,
+    }
+
+
 def collect() -> dict:
     streams = _streams()
     workloads = []
@@ -154,19 +246,41 @@ def collect() -> dict:
         baseline = None
         runs = []
         for batch_size in BATCH_SWEEP:
-            for coalesce in (False, True):
-                record, result = _run(streams, sql, batch_size, coalesce)
-                label = f"{name} batch={record['batch_size']} coalesce={coalesce}"
+            modes = [("off", False), ("off", True)]
+            if batch_size != 1:
+                # columnar is a no-op at batch_size=1 (single events
+                # take the row path); sweep it where batches exist.
+                modes.insert(1, ("on", False))
+            for columnar, coalesce in modes:
+                record, result = _run(
+                    streams, sql, batch_size, coalesce, columnar=columnar
+                )
+                label = (
+                    f"{name} batch={record['batch_size']} "
+                    f"columnar={columnar} coalesce={coalesce}"
+                )
                 if baseline is None:
-                    baseline = result  # batch_size=1, coalesce=False
+                    baseline = result  # batch=1, columnar=off, no coalesce
                 elif not coalesce:
                     _assert_identical(baseline, result, label)
                 else:
                     _assert_snapshot_equivalent(baseline, result, label)
                 runs.append(record)
-        sharded, sharded_result = _run_sharded(streams, sql, batch_size=64)
-        if sharded is not None:
-            _assert_identical(baseline, sharded_result, f"{name} sharded")
+        # codegen-off arm: the interpreted pipeline path must match too.
+        record, result = _run(
+            streams, sql, GATE_BATCH, False, columnar="on", use_codegen=False
+        )
+        _assert_identical(baseline, result, f"{name} codegen=off")
+        runs.append(record)
+        for two_phase in ("auto", "on"):
+            sharded, sharded_result = _run_sharded(
+                streams, sql, GATE_BATCH, columnar="on", two_phase=two_phase
+            )
+            if sharded is None:
+                break  # not partitionable; "on" would not be either
+            _assert_identical(
+                baseline, sharded_result, f"{name} sharded two_phase={two_phase}"
+            )
             runs.append(sharded)
         workloads.append(
             {
@@ -175,10 +289,15 @@ def collect() -> dict:
                 "events": NUM_EVENTS,
                 "seed": SEED,
                 "events_per_instant": EVENTS_PER_INSTANT,
+                "watermark_interval": WATERMARK_INTERVAL,
                 "runs": runs,
             }
         )
-    return {"schema_version": SCHEMA_VERSION, "workloads": workloads}
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "workloads": workloads,
+        "mqo": _check_mqo(streams),
+    }
 
 
 def write_artifact(payload: dict) -> Path:
@@ -186,36 +305,63 @@ def write_artifact(payload: dict) -> Path:
     return ARTIFACT
 
 
-def _find(workload: dict, batch_size, coalesce: bool) -> dict:
+def _find(workload: dict, batch_size, coalesce: bool, columnar: str) -> dict:
     for run in workload["runs"]:
         if (
             run["batch_size"] == batch_size
             and run["coalesce_updates"] is coalesce
+            and run["columnar"] == columnar
             and run["backend"] == "serial"
         ):
             return run
-    raise AssertionError(f"missing run batch={batch_size} coalesce={coalesce}")
+    raise AssertionError(
+        f"missing run batch={batch_size} coalesce={coalesce} "
+        f"columnar={columnar}"
+    )
 
 
 def test_batching_bench_produces_artifact():
-    """The bench is also the regression gate: batching must actually
-    pay (>= 2x events/s on the tumble workload at batch 64), coalescing
-    must actually shrink the changelog (>= 30% fewer propagated changes
-    on tumble), and the artifact must land on disk for CI to upload.
+    """The bench is also the regression gate: columnar batching must
+    actually pay (>= 5x events/s on the tumble workload at batch 64,
+    columnar on, vs the batch=1 row baseline), coalescing must actually
+    shrink the changelog (>= 30% fewer propagated changes on the churn
+    workload), and the artifact must land on disk for CI to upload.
     The change-for-change and snapshot equivalence checks already ran
     inside :func:`collect`."""
     payload = collect()
     assert payload["schema_version"] == SCHEMA_VERSION
+    assert payload["mqo"]["identical"]
     tumble = payload["workloads"][0]
     assert tumble["name"] == "tumble"
 
-    serial = _find(tumble, 1, False)
-    batched = _find(tumble, 64, False)
+    serial = _find(tumble, 1, False, "off")
+    batched = _find(tumble, GATE_BATCH, False, "on")
+    # The gate pair shares the machine with every other sweep point; on
+    # a miss, re-measure both arms (best-of accumulates across
+    # attempts) before declaring a regression.
+    streams = _streams()
+    for _ in range(GATE_RETRIES):
+        speedup = batched["events_per_second"] / serial["events_per_second"]
+        if speedup >= GATE_SPEEDUP:
+            break
+        refreshed_serial, _res = _run(streams, TUMBLE_SQL, 1, False)
+        if refreshed_serial["seconds"] < serial["seconds"]:
+            serial.update(refreshed_serial)  # in place: artifact sees it
+        refreshed_batched, _res = _run(
+            streams, TUMBLE_SQL, GATE_BATCH, False, columnar="on"
+        )
+        if refreshed_batched["seconds"] < batched["seconds"]:
+            batched.update(refreshed_batched)
     speedup = batched["events_per_second"] / serial["events_per_second"]
-    assert speedup >= 2.0, f"batch=64 speedup only {speedup:.2f}x"
+    assert speedup >= GATE_SPEEDUP, (
+        f"columnar batch={GATE_BATCH} speedup only {speedup:.2f}x"
+    )
 
-    coalesced = _find(tumble, 64, True)
-    before = serial["rows_out"] + serial["retracts_out"]
+    churn = payload["workloads"][1]
+    assert churn["name"] == "tumble_churn"
+    churn_serial = _find(churn, 1, False, "off")
+    coalesced = _find(churn, GATE_BATCH, True, "off")
+    before = churn_serial["rows_out"] + churn_serial["retracts_out"]
     after = coalesced["rows_out"] + coalesced["retracts_out"]
     reduction = 1 - after / before
     assert coalesced["changes_coalesced"] > 0
@@ -231,11 +377,17 @@ if __name__ == "__main__":
     for workload in data["workloads"]:
         print(f"== {workload['name']}")
         for run in workload["runs"]:
+            extras = "" if run["codegen"] else "  codegen=off"
+            if run.get("two_phase") == "on":
+                extras += "  two_phase=on"
             print(
                 f"  batch={run['batch_size']!s:>11} "
+                f"columnar={run['columnar']:<4} "
                 f"coalesce={str(run['coalesce_updates']):<5} "
                 f"({run['backend']:>10}): {run['seconds']:.3f}s  "
                 f"{run['events_per_second']:>9,.0f} ev/s  "
-                f"changes={run['root_changes']}"
+                f"changes={run['root_changes']}{extras}"
             )
+    mqo = data["mqo"]
+    print(f"== mqo  shared-plan deltas={mqo['deltas']} identical={mqo['identical']}")
     print(f"wrote {path}")

@@ -76,6 +76,13 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
              "disables it",
     )
     parser.add_argument(
+        "--columnar", choices=("auto", "on", "off"), default=None,
+        help="columnar micro-batch execution with fused filter/project "
+             "pipelines; auto (default) enables it whenever batch size "
+             "exceeds 1, on forces it, off keeps row-at-a-time batches "
+             "(output is byte-identical in every mode)",
+    )
+    parser.add_argument(
         "--share-plans", action=argparse.BooleanOptionalAction, default=None,
         help="serve mode: graft standing queries with matching subplan "
              "fingerprints onto one dataflow, computing shared prefixes "
@@ -249,6 +256,7 @@ def build_config(args: argparse.Namespace) -> ExecutionConfig:
         batch_size=args.batch_size,
         coalesce_updates=args.coalesce_updates,
         two_phase=args.two_phase,
+        columnar=args.columnar,
         queue_capacity=getattr(args, "queue_capacity", None),
         subscriber_capacity=getattr(args, "subscriber_capacity", None),
         checkpoint_dir=getattr(args, "checkpoint_dir", None),

@@ -53,6 +53,7 @@ EXECUTION_DEFAULTS: dict[str, Any] = {
     "batch_size": 1,
     "coalesce_updates": False,
     "two_phase": "auto",
+    "columnar": "auto",
     "queue_capacity": 1024,
     "subscriber_capacity": 256,
     "checkpoint_dir": "",
@@ -96,6 +97,14 @@ class ExecutionConfig:
       instant.  Per-instant snapshots are preserved, but the changelog
       row count shrinks, so ``EMIT STREAM`` renderings see fewer rows
       (see docs/API.md).
+    * ``columnar`` — columnar micro-batch execution: ``"auto"`` (the
+      default) runs micro-batches columnar whenever ``batch_size > 1``,
+      ``"on"`` forces it, ``"off"`` keeps row-at-a-time batches.
+      Batches flow between operators as per-column vectors, adjacent
+      filters/projections are fused into one generated loop, and
+      operators without a columnar path receive rows at their boundary;
+      the changelog is byte-identical in every mode (see
+      docs/RUNTIME.md).
     * ``two_phase`` — physical aggregation shape for sharded runs:
       ``"auto"`` (the default) splits eligible grouped aggregates into
       shard-local partials plus a merge-stage combine, falling back to
@@ -146,6 +155,7 @@ class ExecutionConfig:
     batch_size: Optional[int] = None
     coalesce_updates: Optional[bool] = None
     two_phase: Optional[str] = None
+    columnar: Optional[str] = None
     queue_capacity: Optional[int] = None
     subscriber_capacity: Optional[int] = None
     checkpoint_dir: Optional[str] = None
@@ -222,6 +232,15 @@ class ExecutionConfig:
             raise ValidationError(
                 f"two_phase must be 'auto', 'on', or 'off', got "
                 f"{self.two_phase!r}"
+            )
+        if self.columnar is not None and self.columnar not in (
+            "auto",
+            "on",
+            "off",
+        ):
+            raise ValidationError(
+                f"columnar must be 'auto', 'on', or 'off', got "
+                f"{self.columnar!r}"
             )
         if self.queue_capacity is not None and self.queue_capacity < 1:
             raise ValidationError("queue_capacity must be at least 1")

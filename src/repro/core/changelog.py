@@ -46,7 +46,7 @@ class ChangeKind(enum.Enum):
         return self.value
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Change:
     """One element of a changelog.
 

@@ -1,0 +1,130 @@
+"""Columnar micro-batches: the vectorized payload between operators.
+
+Inside one micro-batch the executor can move data column-wise instead
+of as per-row :class:`~repro.core.changelog.Change` objects.  A
+:class:`ColumnarBatch` holds one sequence per column plus parallel
+``kinds``/``ptimes`` vectors (and an optional ``seqs`` vector carrying
+merge sequence numbers, reserved for routing layers).  The payoff on
+the hot path is twofold:
+
+* kind-preserving operators (Tumble, pipelines without filters) can
+  *share* untouched column sequences with their input instead of
+  rebuilding one tuple per row, and
+* generated expression loops (:mod:`repro.exec.codegen`) read scalars
+  straight out of columns, so no intermediate ``Change`` or row tuple
+  is ever allocated between fused operators.
+
+Batches are immutable by convention: a batch may be fanned out to
+several consumers (shared subplans multicast their output), so an
+operator must never mutate the column sequences it receives — derived
+batches reference or copy, never write.  Conversion back to rows
+(:meth:`to_changes`) happens lazily at the first non-vectorized
+boundary and is memoized, so an output channel and a row-at-a-time
+consumer downstream of the same batch pay for the conversion once.
+
+The row and columnar encodings are two spellings of the same changelog
+slice; converting in either direction is byte-identity-preserving by
+construction, which is what lets the executor mix vectorized and
+row-at-a-time operators freely inside one plan.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .changelog import Change, ChangeKind
+from .times import Timestamp
+
+__all__ = ["ColumnarBatch"]
+
+_RETRACT = ChangeKind.RETRACT
+
+
+class ColumnarBatch:
+    """A micro-batch of changes stored column-wise.
+
+    ``columns`` is one sequence per output column (all the same
+    length); ``kinds`` and ``ptimes`` are the parallel per-row change
+    kind and processing-time vectors.  ``seqs`` optionally carries
+    per-row merge sequence numbers for routing layers.
+    """
+
+    __slots__ = ("columns", "kinds", "ptimes", "seqs", "_rows", "_retracts")
+
+    def __init__(
+        self,
+        columns: Sequence[Sequence],
+        kinds: Sequence[ChangeKind],
+        ptimes: Sequence[Timestamp],
+        seqs: Optional[Sequence[int]] = None,
+    ):
+        self.columns = tuple(columns)
+        self.kinds = kinds
+        self.ptimes = ptimes
+        self.seqs = seqs
+        self._rows: Optional[list[Change]] = None
+        self._retracts: Optional[int] = None
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_changes(
+        cls, changes: Sequence[Change], width: int
+    ) -> "ColumnarBatch":
+        """Transpose a run of row changes into columns.
+
+        The original change list is retained as the memoized row view,
+        so a batch that crosses back to the row encoding untouched
+        hands out the very objects it was built from.
+        """
+        kinds = [c.kind for c in changes]
+        ptimes = [c.ptime for c in changes]
+        if changes:
+            columns = list(zip(*(c.values for c in changes)))
+        else:
+            columns = [() for _ in range(width)]
+        batch = cls(columns, kinds, ptimes)
+        batch._rows = list(changes)
+        return batch
+
+    # -- row view ------------------------------------------------------
+
+    def to_changes(self) -> list[Change]:
+        """The row encoding of this batch (memoized)."""
+        rows = self._rows
+        if rows is None:
+            make = Change
+            rows = [
+                make(kind, values, ptime)
+                for kind, values, ptime in zip(
+                    self.kinds, zip(*self.columns), self.ptimes
+                )
+            ]
+            self._rows = rows
+        return rows
+
+    # -- introspection -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    @property
+    def width(self) -> int:
+        return len(self.columns)
+
+    def retract_count(self) -> int:
+        """Retractions in the batch (memoized; counters use this)."""
+        count = self._retracts
+        if count is None:
+            count = 0
+            for kind in self.kinds:
+                if kind is _RETRACT:
+                    count += 1
+            self._retracts = count
+        return count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ColumnarBatch({len(self)} rows x {self.width} cols, "
+            f"{self.retract_count()} retracts)"
+        )

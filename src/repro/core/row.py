@@ -51,10 +51,12 @@ class Row:
 
     def __getattr__(self, name: str) -> Any:
         # __getattr__ is only called when normal lookup fails, so the
-        # _schema/_values slots never route through here.
+        # _schema/_values slots never route through here.  Probe the
+        # schema's interned index map directly instead of paying the
+        # index_of call plus its error-wrapping per lookup.
         try:
-            return self._values[self._schema.index_of(name)]
-        except Exception:
+            return self._values[self._schema._index[name.lower()]]
+        except (KeyError, IndexError):
             raise AttributeError(name) from None
 
     def __iter__(self) -> Iterator[Any]:

@@ -440,6 +440,7 @@ class PreparedQuery:
                     batch_size=effective.batch_size,
                     coalesce_updates=effective.coalesce_updates,
                     two_phase=physical.use_two_phase,
+                    columnar=effective.columnar,
                 )
         if flow is None:
             flow = Dataflow(
@@ -448,6 +449,7 @@ class PreparedQuery:
                 effective.allowed_lateness,
                 batch_size=effective.batch_size,
                 coalesce_updates=effective.coalesce_updates,
+                columnar=effective.columnar,
             )
         if exporter is not None:
             flow.trace = exporter.on_event
@@ -471,6 +473,7 @@ class PreparedQuery:
             effective.allowed_lateness,
             batch_size=effective.batch_size,
             coalesce_updates=effective.coalesce_updates,
+            columnar=effective.columnar,
         )
 
     def sharded_dataflow(
@@ -522,6 +525,7 @@ class PreparedQuery:
             batch_size=effective.batch_size,
             coalesce_updates=effective.coalesce_updates,
             two_phase=physical.use_two_phase,
+            columnar=effective.columnar,
         )
 
     # -- renderings --------------------------------------------------------------

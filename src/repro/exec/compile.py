@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from ..core.errors import PlanError
 from ..plan import rex
 from ..plan.match import MatchRecognizeNode
+from ..plan.pipeline import PipelineNode
 from ..plan.logical import (
     AggregateNode,
     FilterNode,
@@ -43,6 +44,7 @@ from .operators.stateless import (
 )
 from .operators.match import MatchRecognizeOperator
 from .operators.over import OverOperator
+from .operators.pipeline import PipelineOperator
 from .operators.temporal import TemporalFilterOperator
 from .operators.temporal_join import TemporalJoinOperator
 from .operators.window import HopOperator, TumbleOperator
@@ -107,6 +109,12 @@ def build_operator(
     if isinstance(node, FilterNode):
         (child,) = children
         return FilterOperator(node.schema, rex.compile_rex(node.condition))
+    if isinstance(node, PipelineNode):
+        # Fused Filter/Project chain (columnar mode); the operator runs
+        # the whole chain in one generated loop.
+        return PipelineOperator(
+            node.schema, len(node.input.schema), node.steps
+        )
     if isinstance(node, TemporalFilterNode):
         return TemporalFilterOperator(node.schema, node.bounds)
     if isinstance(node, ProjectNode):

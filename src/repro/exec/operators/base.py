@@ -46,6 +46,12 @@ __all__ = ["Operator"]
 class Operator:
     """Base class for physical operators."""
 
+    #: Operators that consume :class:`~repro.core.colbatch.ColumnarBatch`
+    #: payloads directly set this True and implement :meth:`on_cols`.
+    #: For everything else the executor converts the batch back to rows
+    #: at the operator boundary.
+    supports_columnar = False
+
     def __init__(self, schema: Schema, arity: int):
         self.schema = schema
         self.arity = arity
@@ -131,6 +137,25 @@ class Operator:
         self.counters.record_in_batch(port, changes)
         out = self.on_batch(port, changes)
         self.counters.record_out(out)
+        return out
+
+    def on_cols(self, port: int, batch):
+        """Consume a columnar batch; only called when
+        ``supports_columnar`` is True.  May return either a
+        :class:`~repro.core.colbatch.ColumnarBatch` or a row list —
+        the executor handles both payload encodings downstream."""
+        raise NotImplementedError
+
+    def process_cols(self, port: int, batch):
+        """Counted columnar entry point; counters land exactly as if
+        the batch had been delivered change by change."""
+        counters = self.counters
+        counters.record_in_cols(port, batch)
+        out = self.on_cols(port, batch)
+        if isinstance(out, list):
+            counters.record_out(out)
+        else:
+            counters.record_out_cols(out)
         return out
 
     def process_watermark(

@@ -22,6 +22,8 @@ __all__ = ["ScanOperator", "FilterOperator", "ProjectOperator", "UnionOperator",
 class ScanOperator(Operator):
     """Leaf operator bound to a registered source; pure passthrough."""
 
+    supports_columnar = True
+
     def __init__(self, schema: Schema, source_name: str):
         super().__init__(schema, arity=1)
         self.source_name = source_name
@@ -31,6 +33,9 @@ class ScanOperator(Operator):
 
     def on_batch(self, port: int, changes: Sequence[Change]) -> list[Change]:
         return list(changes)
+
+    def on_cols(self, port: int, batch):
+        return batch
 
     def name(self) -> str:
         return f"Scan({self.source_name})"
@@ -98,6 +103,8 @@ class ProjectOperator(Operator):
 class UnionOperator(Operator):
     """Bag union: forwards changes from every input port."""
 
+    supports_columnar = True
+
     def __init__(self, schema: Schema, arity: int):
         super().__init__(schema, arity=arity)
 
@@ -106,6 +113,9 @@ class UnionOperator(Operator):
 
     def on_batch(self, port: int, changes: Sequence[Change]) -> list[Change]:
         return list(changes)
+
+    def on_cols(self, port: int, batch):
+        return batch
 
 
 class SortOperator(Operator):
@@ -117,6 +127,8 @@ class SortOperator(Operator):
     (and rejects ``EMIT STREAM`` over LIMIT queries).
     """
 
+    supports_columnar = True
+
     def __init__(self, schema: Schema):
         super().__init__(schema, arity=1)
 
@@ -125,3 +137,6 @@ class SortOperator(Operator):
 
     def on_batch(self, port: int, changes: Sequence[Change]) -> list[Change]:
         return list(changes)
+
+    def on_cols(self, port: int, batch):
+        return batch

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from ...core.changelog import Change
+from ...core.colbatch import ColumnarBatch
 from ...core.errors import ExecutionError
 from ...core.schema import Schema
 from ...core.times import Duration, align_to_window
@@ -26,6 +27,8 @@ __all__ = ["TumbleOperator", "HopOperator", "hop_windows"]
 
 class TumbleOperator(Operator):
     """Assigns each row to the fixed window containing its timestamp."""
+
+    supports_columnar = True
 
     def __init__(
         self, schema: Schema, timecol: int, size: Duration, offset: Duration = 0
@@ -62,6 +65,25 @@ class TumbleOperator(Operator):
             )
         return out
 
+    def on_cols(self, port: int, batch):
+        # The columnar fast path: Tumble is kind-preserving and 1:1,
+        # so every input column, the kinds vector, and the ptimes
+        # vector are shared with the input batch untouched — only the
+        # two window columns are materialized.
+        size, offset = self._size, self._offset
+        wstarts: list[int] = []
+        append = wstarts.append
+        for ts in batch.columns[self._timecol]:
+            if ts is None:
+                raise ExecutionError("NULL event timestamp in Tumble input")
+            # Inline align_to_window: ts - ((ts - offset) % size) is
+            # the same grid alignment without the second multiply.
+            append(ts - ((ts - offset) % size))
+        wends = [ws + size for ws in wstarts]
+        return ColumnarBatch(
+            (wstarts, wends) + batch.columns, batch.kinds, batch.ptimes
+        )
+
 
 def hop_windows(
     ts: int, size: Duration, slide: Duration, offset: Duration = 0
@@ -88,6 +110,8 @@ def hop_windows(
 
 class HopOperator(Operator):
     """Assigns each row to every sliding window that contains it."""
+
+    supports_columnar = True
 
     def __init__(
         self,
@@ -128,3 +152,29 @@ class HopOperator(Operator):
                     make(change.kind, (wstart, wend) + change.values, change.ptime)
                 )
         return out
+
+    def on_cols(self, port: int, batch):
+        # Hop is 1:N, so columns cannot be shared; materialize the row
+        # index list first, then gather every output column from it.
+        size, slide, offset = self._size, self._slide, self._offset
+        wstarts: list[int] = []
+        wends: list[int] = []
+        indices: list[int] = []
+        tcol = batch.columns[self._timecol]
+        for row, ts in enumerate(tcol):
+            if ts is None:
+                raise ExecutionError("NULL event timestamp in Hop input")
+            for wstart, wend in hop_windows(ts, size, slide, offset):
+                wstarts.append(wstart)
+                wends.append(wend)
+                indices.append(row)
+        kinds = batch.kinds
+        ptimes = batch.ptimes
+        out_cols = [wstarts, wends]
+        for col in batch.columns:
+            out_cols.append([col[i] for i in indices])
+        return ColumnarBatch(
+            out_cols,
+            [kinds[i] for i in indices],
+            [ptimes[i] for i in indices],
+        )

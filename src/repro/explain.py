@@ -29,6 +29,7 @@ from typing import Optional
 
 from .core.errors import ValidationError
 from .plan.physical import MIN_COMBINE_FANIN, split_eligibility
+from .plan.pipeline import PipelineNode, get_fused_root
 
 __all__ = ["EXPLAIN_MODES", "parse_explain", "render_explain"]
 
@@ -86,6 +87,7 @@ def render_explain(query, mode: str = "logical", verbose: bool = False) -> str:
         return text
     if mode in ("physical", "costs"):
         text = f"{text}\n{_physical_section(query, verbose)}"
+        text = f"{text}\n{_columnar_section(query)}"
     if mode == "costs":
         text = f"{text}\n{_costs_section(query)}"
     return text
@@ -128,6 +130,51 @@ def _physical_section(query, verbose: bool) -> str:
     lines.append("  " * depth + "Combine" + split.aggregate._describe())
     lines.append(f"  each of {effective.parallelism} shards:")
     lines.append(split.shard_plan.root.explain(2, verbose).rstrip("\n"))
+    return "\n".join(lines)
+
+
+def _columnar_section(query) -> str:
+    """The columnar execution shape: the fused tree, annotated.
+
+    ``[columnar]`` marks operators that consume column batches;
+    ``[fused: ...]`` marks Filter/Project chains collapsed into one
+    generated pipeline loop.  Rendered only from the plan — the same
+    fusion the executor applies (:func:`get_fused_root`), so the tree
+    shown is the tree that runs.
+    """
+    effective = query._effective()
+    active = effective.columnar == "on" or (
+        effective.columnar == "auto" and effective.batch_size > 1
+    )
+    if not active:
+        return (
+            f"Columnar: off — row-at-a-time batches "
+            f"(columnar={effective.columnar}, "
+            f"batch_size={effective.batch_size})"
+        )
+    from .exec.compile import compile_plan
+
+    root = get_fused_root(query.plan)
+    compiled = compile_plan(
+        root, allowed_lateness=effective.allowed_lateness
+    )
+    ops = {id(node): op for node, op in compiled.node_ops}
+    lines = [
+        f"Columnar: on (columnar={effective.columnar}, "
+        f"batch_size={effective.batch_size})"
+    ]
+
+    def walk(node, depth: int) -> None:
+        tags = ""
+        if ops[id(node)].supports_columnar:
+            tags += " [columnar]"
+        if isinstance(node, PipelineNode):
+            tags += f" [fused: {node.step_kinds()}]"
+        lines.append("  " * depth + node._describe() + tags)
+        for child in node.inputs:
+            walk(child, depth + 1)
+
+    walk(root, 1)
     return "\n".join(lines)
 
 

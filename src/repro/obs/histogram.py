@@ -84,6 +84,23 @@ class Histogram:
         self.sum += total
         self.min, self.max = lo, hi
 
+    def observe_run(self, value: int, times: int) -> None:
+        """Record one value ``times`` times; identical to ``times``
+        calls to :meth:`observe`.  The executor uses this for runs of
+        root changes emitted at one instant, where every sample in the
+        run is the same number."""
+        if times <= 0:
+            return
+        if value < 0:
+            value = 0
+        self.buckets[_bucket_index(value)] += times
+        self.count += times
+        self.sum += value * times
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
     def merge(self, other: "Histogram") -> "Histogram":
         """Fold ``other`` into this histogram (in place); returns self."""
         for i, n in enumerate(other.buckets):

@@ -145,6 +145,22 @@ class OperatorCounters:
         if retracts:
             self.retracts_out += retracts
 
+    def record_in_cols(self, port: int, batch) -> None:
+        """Columnar twin of :meth:`record_in_batch`; counts from the
+        kinds vector so the totals match the row path exactly."""
+        self.rows_in[port] += len(batch)
+        retracts = batch.retract_count()
+        if retracts:
+            self.retracts_in[port] += retracts
+
+    def record_out_cols(self, batch) -> None:
+        if not len(batch):
+            return
+        self.rows_out += len(batch)
+        retracts = batch.retract_count()
+        if retracts:
+            self.retracts_out += retracts
+
     def note_state(self, size: int) -> None:
         if size > self.peak_state_rows:
             self.peak_state_rows = size

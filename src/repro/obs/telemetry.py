@@ -81,25 +81,45 @@ class RunTelemetry:
         if completion is not None:
             latencies = []
             early = 0
-            for change in changes:
-                values = change.values
-                bound = None
-                for i in completion:
-                    v = values[i]
-                    if isinstance(v, int) and (bound is None or v > bound):
-                        bound = v
-                if bound is not None and _is_finite(bound):
-                    latency = change.ptime - bound
-                    if latency < 0:
-                        early += 1
-                    latencies.append(latency)
+            if len(completion) == 1:
+                (ci,) = completion
+                lo, hi = MIN_TIMESTAMP, MAX_TIMESTAMP
+                lat_append = latencies.append
+                for change in changes:
+                    bound = change.values[ci]
+                    if isinstance(bound, int) and lo < bound < hi:
+                        latency = change.ptime - bound
+                        if latency < 0:
+                            early += 1
+                        lat_append(latency)
+            else:
+                for change in changes:
+                    values = change.values
+                    bound = None
+                    for i in completion:
+                        v = values[i]
+                        if isinstance(v, int) and (bound is None or v > bound):
+                            bound = v
+                    if bound is not None and _is_finite(bound):
+                        latency = change.ptime - bound
+                        if latency < 0:
+                            early += 1
+                        latencies.append(latency)
             if latencies:
                 self.emit_latency.observe_many(latencies)
                 self.early_emits += early
-        if _is_finite(root_watermark):
-            self.watermark_lag.observe_many(
-                [c.ptime - root_watermark for c in changes]
-            )
+        if changes and _is_finite(root_watermark):
+            first = changes[0].ptime
+            if changes[-1].ptime == first:
+                # a scheduler run holds one instant, so every lag sample
+                # in it is the same number — one bulk increment
+                self.watermark_lag.observe_run(
+                    first - root_watermark, len(changes)
+                )
+            else:
+                self.watermark_lag.observe_many(
+                    [c.ptime - root_watermark for c in changes]
+                )
 
     # -- merging ---------------------------------------------------------------
 

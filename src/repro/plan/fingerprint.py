@@ -49,6 +49,7 @@ from .logical import (
     WindowNode,
 )
 from .match import MatchRecognizeNode
+from .pipeline import PipelineNode
 from .rex import Rex, RexCall, RexCase, RexCast, RexCurrentTime, RexInput, RexLiteral
 
 __all__ = [
@@ -124,6 +125,19 @@ def _node_token(node: LogicalNode) -> tuple:
         return ("filter", rex_token(node.condition))
     if isinstance(node, ProjectNode):
         return ("project", tuple(rex_token(e) for e in node.exprs))
+    if isinstance(node, PipelineNode):
+        # A fused chain fingerprints as its ordered steps, so two
+        # pipelines share state exactly when their filter/project
+        # chains are expression-identical.
+        return (
+            "pipeline",
+            tuple(
+                ("filter", rex_token(payload))
+                if kind == "filter"
+                else ("project", tuple(rex_token(e) for e in payload))
+                for kind, payload in node.steps
+            ),
+        )
     if isinstance(node, TemporalFilterNode):
         return (
             "temporal_filter",

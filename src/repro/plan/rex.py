@@ -42,14 +42,14 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Rex:
     """Base row expression; ``type`` is the statically derived type."""
 
     type: SqlType = field(kw_only=True)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RexInput(Rex):
     """A reference to input column ``index``."""
 
@@ -59,7 +59,7 @@ class RexInput(Rex):
         return f"${self.index}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RexLiteral(Rex):
     """A constant value."""
 
@@ -69,7 +69,7 @@ class RexLiteral(Rex):
         return repr(self.value)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RexCall(Rex):
     """An operator or scalar-function application.
 
@@ -86,7 +86,7 @@ class RexCall(Rex):
         return f"{self.op}({', '.join(str(a) for a in self.args)})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RexCase(Rex):
     """``CASE WHEN ... THEN ... ELSE ... END``."""
 
@@ -99,7 +99,7 @@ class RexCase(Rex):
         return f"CASE {arms}{tail} END"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RexCast(Rex):
     """``CAST(operand AS type)``."""
 
@@ -109,7 +109,7 @@ class RexCast(Rex):
         return f"CAST({self.operand} AS {self.type})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RexCurrentTime(Rex):
     """``CURRENT_TIME``: the progressing processing-time instant.
 
@@ -191,6 +191,13 @@ def is_literal(rex: Rex) -> bool:
 _Evaluator = Callable[[tuple], Any]
 
 
+def _NONE_EVAL(row: tuple) -> Any:
+    """Shared evaluator for ``RexLiteral(None)`` — NULL literals are
+    common enough (IS NULL scaffolding, defaults) that each deserves
+    the same closure instead of a fresh one per compile."""
+    return None
+
+
 def compile_rex(rex: Rex) -> _Evaluator:
     """Compile a rex tree into a ``row_tuple -> value`` closure."""
     if isinstance(rex, RexInput):
@@ -198,6 +205,8 @@ def compile_rex(rex: Rex) -> _Evaluator:
         return lambda row: row[index]
     if isinstance(rex, RexLiteral):
         value = rex.value
+        if value is None:
+            return _NONE_EVAL
         return lambda row: value
     if isinstance(rex, RexCase):
         compiled = [(compile_rex(c), compile_rex(v)) for c, v in rex.whens]
@@ -223,26 +232,32 @@ def compile_rex(rex: Rex) -> _Evaluator:
     raise ExecutionError(f"cannot compile {rex!r}")
 
 
+# Cast-target dispatch, built once instead of re-branching on the
+# target type inside cast_eval on every row.
+_CAST_OPS: dict[SqlType, Callable[[Any], Any]] = {
+    SqlType.INT: int,
+    SqlType.TIMESTAMP: int,
+    SqlType.FLOAT: float,
+    SqlType.STRING: str,
+    SqlType.BOOL: bool,
+}
+
+
 def _compile_cast(rex: RexCast) -> _Evaluator:
     inner = compile_rex(rex.operand)
-    target = rex.type
+    convert = _CAST_OPS.get(rex.type)
+    if convert is None:
+        # Identity cast: NULL stays NULL and values pass through.
+        return inner
 
     def cast_eval(row: tuple) -> Any:
         value = inner(row)
         if value is None:
             return None
         try:
-            if target is SqlType.INT or target is SqlType.TIMESTAMP:
-                return int(value)
-            if target is SqlType.FLOAT:
-                return float(value)
-            if target is SqlType.STRING:
-                return str(value)
-            if target is SqlType.BOOL:
-                return bool(value)
+            return convert(value)
         except (TypeError, ValueError) as exc:
             raise ExecutionError(f"CAST failed: {exc}") from None
-        return value
 
     return cast_eval
 

@@ -109,6 +109,7 @@ class ShardedDataflow:
         coalesce_updates: bool = False,
         two_phase: bool = False,
         output_id: str = "main",
+        columnar: str = "off",
     ):
         if shards < 1:
             raise ExecutionError("a sharded dataflow needs at least one shard")
@@ -120,6 +121,7 @@ class ShardedDataflow:
         self.batch_size = batch_size
         self.coalesce_updates = coalesce_updates
         self.two_phase = two_phase
+        self.columnar = columnar
         self._allowed_lateness = allowed_lateness
         self._raw_sources = sources
         self._sources = {name.lower(): tvr for name, tvr in sources.items()}
@@ -137,6 +139,7 @@ class ShardedDataflow:
                 batch_size=batch_size,
                 coalesce_updates=coalesce_updates,
                 output_id=output_id,
+                columnar=columnar,
             )
             for _ in range(shards)
         ]
@@ -620,6 +623,7 @@ class ShardedDataflow:
                     batch_size=self.batch_size,
                     coalesce_updates=self.coalesce_updates,
                     output_id=self._primary,
+                    columnar=self.columnar,
                 )
                 flow.trace = _shard_batch_tagger(trace, index)
                 return flow
@@ -865,6 +869,7 @@ class ShardedDataflow:
         batch_size: int = 1,
         coalesce_updates: bool = False,
         two_phase: bool = False,
+        columnar: str = "off",
     ) -> "ShardedDataflow":
         """Rebuild a multi-output sharded dataflow from a checkpoint recipe.
 
@@ -886,6 +891,7 @@ class ShardedDataflow:
         self.batch_size = batch_size
         self.coalesce_updates = coalesce_updates
         self.two_phase = two_phase
+        self.columnar = columnar
         self._allowed_lateness = allowed_lateness
         self._raw_sources = sources
         self._sources = {name.lower(): tvr for name, tvr in sources.items()}
@@ -910,6 +916,7 @@ class ShardedDataflow:
                 allowed_lateness,
                 batch_size=batch_size,
                 coalesce_updates=coalesce_updates,
+                columnar=columnar,
             )
             for _ in range(shards)
         ]

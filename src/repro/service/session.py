@@ -188,12 +188,14 @@ class SharedPlanCache:
                     # output splits is decided at attach time, so an
                     # ineligible query can still share a two-phase flow.
                     effective.two_phase,
+                    effective.columnar,
                 )
         return (
             "serial",
             effective.allowed_lateness,
             effective.batch_size,
             effective.coalesce_updates,
+            effective.columnar,
         )
 
     def find_host(
@@ -420,6 +422,7 @@ class SessionManager:
                     coalesce_updates=effective.coalesce_updates,
                     two_phase=effective.two_phase != "off",
                     output_id=output_id,
+                    columnar=effective.columnar,
                 )
                 self._install_lineage(flow, effective, lineage)
                 return flow
@@ -430,6 +433,7 @@ class SessionManager:
             batch_size=effective.batch_size,
             coalesce_updates=effective.coalesce_updates,
             output_id=output_id,
+            columnar=effective.columnar,
         )
         self._install_lineage(flow, effective, lineage)
         return flow
@@ -707,6 +711,7 @@ class SessionManager:
                 batch_size=effective.batch_size,
                 coalesce_updates=effective.coalesce_updates,
                 two_phase=effective.two_phase != "off",
+                columnar=effective.columnar,
             )
         else:
             flow = Dataflow.from_structure(
@@ -716,6 +721,7 @@ class SessionManager:
                 effective.allowed_lateness,
                 batch_size=effective.batch_size,
                 coalesce_updates=effective.coalesce_updates,
+                columnar=effective.columnar,
             )
         flow.restore(blob)
         record = _FlowRecord(

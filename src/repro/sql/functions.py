@@ -16,6 +16,7 @@ Users can extend the registry through
 from __future__ import annotations
 
 import math
+from bisect import insort
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
@@ -278,6 +279,7 @@ class _Extreme(AggregateFunction):
 
     def __init__(self, name: str):
         self.name = name
+        self._take_last = name == "MAX"
 
     def return_type(self, arg_type: Optional[SqlType]) -> SqlType:
         if arg_type is None:
@@ -287,18 +289,23 @@ class _Extreme(AggregateFunction):
     def create(self) -> SortedMultiset:
         return SortedMultiset()
 
+    # add/result run once per input row on the hot aggregation path, so
+    # both work on the multiset's backing list directly — one frame per
+    # row instead of three.
+
     def add(self, acc: SortedMultiset, value: Any) -> None:
         if value is not None:
-            acc.add(value)
+            insort(acc._items, value)
 
     def retract(self, acc: SortedMultiset, value: Any) -> None:
         if value is not None:
             acc.remove(value)
 
     def result(self, acc: SortedMultiset) -> Any:
-        if not acc:
+        items = acc._items
+        if not items:
             return None
-        return acc.max() if self.name == "MAX" else acc.min()
+        return items[-1] if self._take_last else items[0]
 
     def delta_add(self, delta: Any, value: Any) -> None:
         if value is not None:
